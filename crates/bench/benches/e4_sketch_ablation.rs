@@ -1,0 +1,33 @@
+//! E4 — alignment with exact centroid comparison vs MinHash sketches
+//! (§2.4). Identification is done once per configuration in setup; the
+//! measured region is the alignment pass alone.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use storypivot_bench::{corpus_fixed_period, ingest_all, OMEGA};
+use storypivot_core::config::PivotConfig;
+
+fn bench(c: &mut Criterion) {
+    let corpus = corpus_fixed_period(1_000, 16, 17);
+    let mut group = c.benchmark_group("e4_alignment");
+    group.sample_size(10);
+    for (name, use_sketches, k) in [("exact", false, 128usize), ("minhash_k64", true, 64), ("minhash_k256", true, 256)] {
+        let mut cfg = PivotConfig::temporal(OMEGA);
+        cfg.align.use_sketches = use_sketches;
+        cfg.sketch.minhash_k = k;
+        let pivot = ingest_all(&corpus, cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pivot, |b, pivot| {
+            b.iter_batched(
+                || pivot.clone(),
+                |mut p| {
+                    p.align();
+                    p.global_stories().len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

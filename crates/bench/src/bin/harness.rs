@@ -1,0 +1,539 @@
+//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p storypivot-bench --release --bin harness -- all
+//! cargo run -p storypivot-bench --release --bin harness -- e1 e3 --quick
+//! ```
+//!
+//! Experiments (see DESIGN.md §4):
+//!   e1  per-event identification cost vs #events   (Fig 7, performance)
+//!   e2  F-measure vs #events per SI/SA method      (Fig 7, quality)
+//!   e3  sliding-window size ω sweep                (§2.2)
+//!   e4  sketch vs exact alignment ablation         (§2.4)
+//!   e5  out-of-order delivery robustness           (§2.4)
+//!   e6  incremental source onboarding              (§2.1)
+//!   e7  refinement error-correction                (§2.3, Fig 1d)
+//!   e8  scaling with the number of sources         (Fig 7 inset)
+//!   e9  document add/remove latency                (§4.2.1)
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use storypivot_bench::{corpus_constant_density, corpus_fixed_period, ingest_all, pivot_for, OMEGA};
+use storypivot_core::config::PivotConfig;
+use storypivot_eval::run::{alignment_scores, identification_scores, run, RunOptions};
+use storypivot_eval::Table;
+use storypivot_gen::{CorpusBuilder, GenConfig};
+use storypivot_types::{SnippetId, DAY, HOUR};
+
+struct Scale {
+    e1_sizes: Vec<usize>,
+    e2_sizes: Vec<usize>,
+    mid: usize,
+    e8_sources: Vec<u32>,
+    per_source: usize,
+}
+
+impl Scale {
+    fn quick() -> Self {
+        Scale {
+            e1_sizes: vec![500, 1_000, 2_000],
+            e2_sizes: vec![500, 1_000, 2_000],
+            mid: 1_200,
+            e8_sources: vec![2, 5, 10],
+            per_source: 60,
+        }
+    }
+
+    fn full() -> Self {
+        Scale {
+            e1_sizes: vec![1_000, 2_000, 4_000, 8_000, 16_000],
+            e2_sizes: vec![1_000, 2_000, 4_000, 8_000, 16_000],
+            mid: 4_000,
+            e8_sources: vec![2, 5, 10, 20, 50],
+            per_source: 120,
+        }
+    }
+}
+
+fn ms(nanos: f64) -> String {
+    format!("{:.4}", nanos / 1e6)
+}
+
+fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| csv_dir.as_deref() != Some(a.as_str()))
+        .map(String::as_str)
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create --csv directory");
+    }
+    for exp in wanted {
+        let table = match exp {
+            "e1" => e1(&scale),
+            "e2" => e2(&scale),
+            "e3" => e3(&scale),
+            "e4" => e4(&scale),
+            "e5" => e5(&scale),
+            "e6" => e6(&scale),
+            "e7" => e7(&scale),
+            "e8" => e8(&scale),
+            "e9" => e9(),
+            "e10" => e10(&scale),
+            other => {
+                eprintln!("unknown experiment {other:?} (use e1..e10 or all)");
+                continue;
+            }
+        };
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{exp}.csv");
+            std::fs::write(&path, table.to_csv()).expect("write CSV");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// E1 — Figure 7, performance panel: per-event identification time as
+/// the number of events grows, at constant event density.
+fn e1(scale: &Scale) -> Table {
+    println!("\n## E1 — identification cost vs #events (Fig 7, performance)\n");
+    let mut table = Table::new([
+        "events", "SI method", "ms/event", "p50 ms", "p95 ms", "comparisons", "stories",
+    ]);
+    for &n in &scale.e1_sizes {
+        let corpus = corpus_constant_density(n, 10, 7);
+        for (name, cfg) in [
+            ("temporal", PivotConfig::temporal(OMEGA)),
+            ("complete", PivotConfig::complete()),
+        ] {
+            let r = run(
+                &corpus,
+                cfg,
+                RunOptions {
+                    align: false,
+                    refine: false,
+                    delivery_order: true,
+                },
+            );
+            table.row([
+                corpus.len().to_string(),
+                name.to_string(),
+                ms(r.per_event_nanos),
+                ms(r.p50_nanos as f64),
+                ms(r.p95_nanos as f64),
+                r.comparisons.to_string(),
+                r.stories.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E2 — Figure 7, quality panel: F-measure vs #events for each SI
+/// method, with and without alignment/refinement.
+fn e2(scale: &Scale) -> Table {
+    println!("\n## E2 — F-measure vs #events (Fig 7, quality)\n");
+    let mut table = Table::new(["events", "SI method", "SI F1", "SA F1", "SA NMI", "SA+refine F1"]);
+    for &n in &scale.e2_sizes {
+        let corpus = corpus_fixed_period(n, 10, 11);
+        for (name, cfg) in [
+            ("temporal", PivotConfig::temporal(OMEGA)),
+            ("complete", PivotConfig::complete()),
+        ] {
+            let base = run(&corpus, cfg.clone(), RunOptions::default());
+            // NMI over the same aligned clustering (extra metric beside
+            // the paper's F-measure).
+            let mut pivot = ingest_all(&corpus, cfg.clone());
+            pivot.align();
+            let (pred, truth) = storypivot_eval::run::alignment_clusterings(&pivot, &corpus);
+            let nmi = storypivot_eval::nmi(&pred, &truth);
+            let refined = run(
+                &corpus,
+                cfg,
+                RunOptions {
+                    refine: true,
+                    ..RunOptions::default()
+                },
+            );
+            table.row([
+                corpus.len().to_string(),
+                name.to_string(),
+                f3(base.si_f1()),
+                f3(base.sa_f1()),
+                f3(nmi),
+                f3(refined.sa_f1()),
+            ]);
+        }
+    }
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E3 — sliding-window sweep: runtime and quality as ω varies; the
+/// complete mode is the ω → ∞ limit.
+fn e3(scale: &Scale) -> Table {
+    println!("\n## E3 — window size ω sweep (§2.2)\n");
+    let corpus = corpus_fixed_period(scale.mid, 10, 13);
+    let mut table = Table::new(["omega", "ms/event", "comparisons", "SI F1", "SA F1"]);
+    for days in [1i64, 3, 7, 14, 30, 90] {
+        let r = run(&corpus, PivotConfig::temporal(days * DAY), RunOptions::default());
+        table.row([
+            format!("{days}d"),
+            ms(r.per_event_nanos),
+            r.comparisons.to_string(),
+            f3(r.si_f1()),
+            f3(r.sa_f1()),
+        ]);
+    }
+    let r = run(&corpus, PivotConfig::complete(), RunOptions::default());
+    table.row([
+        "inf (complete)".to_string(),
+        ms(r.per_event_nanos),
+        r.comparisons.to_string(),
+        f3(r.si_f1()),
+        f3(r.sa_f1()),
+    ]);
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E4 — sketch ablation: exact centroid comparison vs MinHash sketches
+/// of several sizes during alignment.
+fn e4(scale: &Scale) -> Table {
+    println!("\n## E4 — sketch vs exact story comparison (§2.4)\n");
+    let corpus = corpus_fixed_period(scale.mid, 20, 17);
+    let mut table = Table::new(["comparison", "align ms", "pairs scored", "SA F1"]);
+    let mut configs = vec![("exact".to_string(), false, 128usize)];
+    for k in [32usize, 64, 128, 256] {
+        configs.push((format!("minhash k={k}"), true, k));
+    }
+    for (name, use_sketches, k) in configs {
+        let mut cfg = PivotConfig::temporal(OMEGA);
+        cfg.align.use_sketches = use_sketches;
+        cfg.sketch.minhash_k = k;
+        let mut pivot = ingest_all(&corpus, cfg);
+        let t = Instant::now();
+        let outcome = pivot.align().clone();
+        let align_nanos = t.elapsed().as_nanos() as f64;
+        let sa = alignment_scores(&pivot, &corpus);
+        table.row([
+            name,
+            ms(align_nanos),
+            outcome.pairs_scored.to_string(),
+            f3(sa.f1),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E5 — out-of-order robustness: publication lag scrambles delivery
+/// order; quality must degrade gracefully.
+fn e5(scale: &Scale) -> Table {
+    println!("\n## E5 — out-of-order delivery (§2.4)\n");
+    let mut table = Table::new(["mean pub lag", "inversion frac", "order", "SI F1", "SA F1"]);
+    for lag_hours in [0i64, 6, 24, 72, 168] {
+        let mut gen = GenConfig::default().with_seed(19).with_target_snippets(scale.mid);
+        gen.mean_pub_lag = lag_hours * HOUR;
+        let corpus = CorpusBuilder::new(gen).build();
+        for (order, delivery) in [("delivery", true), ("event-time", false)] {
+            let r = run(
+                &corpus,
+                PivotConfig::temporal(OMEGA),
+                RunOptions {
+                    delivery_order: delivery,
+                    ..RunOptions::default()
+                },
+            );
+            table.row([
+                format!("{lag_hours}h"),
+                format!("{:.3}", corpus.inversion_fraction()),
+                order.to_string(),
+                f3(r.si_f1()),
+                f3(r.sa_f1()),
+            ]);
+        }
+    }
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E6 — incremental source onboarding vs full re-alignment.
+fn e6(scale: &Scale) -> Table {
+    println!("\n## E6 — source onboarding (§2.1)\n");
+    let corpus = corpus_fixed_period(scale.mid, 12, 23);
+    let mut table = Table::new([
+        "step",
+        "align ms",
+        "pairs scored",
+        "global stories",
+        "same partition",
+    ]);
+
+    // Ingest the first 10 sources, align.
+    let cfg = PivotConfig::temporal(OMEGA);
+    let mut pivot = pivot_for(&corpus, cfg);
+    for s in &corpus.snippets {
+        if s.source.raw() < 10 {
+            pivot.ingest(s.clone()).unwrap();
+        }
+    }
+    let t = Instant::now();
+    pivot.align();
+    let base_nanos = t.elapsed().as_nanos() as f64;
+    let base_pairs = pivot.alignment().unwrap().pairs_scored;
+    table.row([
+        "initial (10 sources)".into(),
+        ms(base_nanos),
+        base_pairs.to_string(),
+        pivot.global_stories().len().to_string(),
+        "-".into(),
+    ]);
+
+    // Onboard sources 10 and 11.
+    for s in &corpus.snippets {
+        if s.source.raw() >= 10 {
+            pivot.ingest(s.clone()).unwrap();
+        }
+    }
+    let mut incremental = pivot.clone();
+    let t = Instant::now();
+    incremental.align_incremental();
+    let inc_nanos = t.elapsed().as_nanos() as f64;
+    let inc_pairs = incremental.alignment().unwrap().pairs_scored;
+
+    let mut full = pivot.clone();
+    let t = Instant::now();
+    full.align();
+    let full_nanos = t.elapsed().as_nanos() as f64;
+    let full_pairs = full.alignment().unwrap().pairs_scored;
+
+    let partition = |p: &storypivot_core::pivot::StoryPivot| -> Vec<Vec<u32>> {
+        let mut v: Vec<Vec<u32>> = p
+            .global_stories()
+            .iter()
+            .map(|g| {
+                let mut m: Vec<u32> = g.members.iter().map(|&(id, _)| id.raw()).collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    let same = partition(&incremental) == partition(&full);
+
+    table.row([
+        "onboard +2 (incremental)".into(),
+        ms(inc_nanos),
+        inc_pairs.to_string(),
+        incremental.global_stories().len().to_string(),
+        same.to_string(),
+    ]);
+    table.row([
+        "onboard +2 (full realign)".into(),
+        ms(full_nanos),
+        full_pairs.to_string(),
+        full.global_stories().len().to_string(),
+        "-".into(),
+    ]);
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E7 — refinement error-correction: inject identification errors, then
+/// measure how many the alignment+refinement loop repairs (Fig 1d).
+fn e7(scale: &Scale) -> Table {
+    println!("\n## E7 — refinement corrects injected SI errors (§2.3, Fig 1d)\n");
+    let corpus = corpus_fixed_period(scale.mid / 2, 6, 29);
+    let mut table = Table::new([
+        "injected",
+        "SA F1 clean",
+        "SA F1 corrupted",
+        "SA F1 refined",
+        "restored",
+    ]);
+    for rate in [0.05f64, 0.10, 0.20] {
+        let mut pivot = ingest_all(&corpus, PivotConfig::temporal(OMEGA));
+        pivot.align();
+        let clean = alignment_scores(&pivot, &corpus).f1;
+
+        // Inject: move a random sample of snippets into a random other
+        // story of their source.
+        let mut rng = StdRng::seed_from_u64(1000 + (rate * 100.0) as u64);
+        let mut injected: Vec<(SnippetId, storypivot_types::StoryId)> = Vec::new();
+        for s in &corpus.snippets {
+            if !rng.random_bool(rate) {
+                continue;
+            }
+            let Some(original) = pivot.story_of(s.id) else { continue };
+            let others: Vec<_> = pivot
+                .stories_of_source(s.source)
+                .iter()
+                .map(|st| st.id())
+                .filter(|&id| id != original)
+                .collect();
+            if others.is_empty() {
+                continue;
+            }
+            let target = others[rng.random_range(0..others.len())];
+            pivot.reassign_snippet(s.id, target).unwrap();
+            injected.push((s.id, original));
+        }
+        pivot.align_incremental();
+        let corrupted = alignment_scores(&pivot, &corpus).f1;
+
+        pivot.refine();
+        let refined = alignment_scores(&pivot, &corpus).f1;
+        let restored = injected
+            .iter()
+            .filter(|&&(id, original)| pivot.story_of(id) == Some(original))
+            .count();
+        table.row([
+            format!("{:.0}% ({})", rate * 100.0, injected.len()),
+            f3(clean),
+            f3(corrupted),
+            f3(refined),
+            format!("{restored}/{}", injected.len()),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E8 — scaling with the number of sources (the Figure 7 dataset panel
+/// lists 50 sources).
+fn e8(scale: &Scale) -> Table {
+    println!("\n## E8 — scaling with #sources (Fig 7 inset)\n");
+    let mut table = Table::new([
+        "sources",
+        "events",
+        "ingest ms/event",
+        "align ms",
+        "pairs scored",
+        "SA F1",
+    ]);
+    for &n_sources in &scale.e8_sources {
+        let target = scale.per_source * n_sources as usize;
+        let corpus = corpus_fixed_period(target, n_sources, 31);
+        let r = run(&corpus, PivotConfig::temporal(OMEGA), RunOptions::default());
+        let mut pivot = ingest_all(&corpus, PivotConfig::temporal(OMEGA));
+        let t = Instant::now();
+        pivot.align();
+        let align_nanos = t.elapsed().as_nanos() as f64;
+        table.row([
+            n_sources.to_string(),
+            corpus.len().to_string(),
+            ms(r.per_event_nanos),
+            ms(align_nanos),
+            pivot.alignment().unwrap().pairs_scored.to_string(),
+            f3(r.sa_f1()),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E9 — interactive document add/remove (§4.2.1): incremental update
+/// latency vs recomputing from scratch.
+fn e9() -> Table {
+    println!("\n## E9 — document add/remove latency (§4.2.1)\n");
+    let corpus = corpus_fixed_period(1_000, 6, 37);
+    let mut pivot = ingest_all(&corpus, PivotConfig::temporal(OMEGA));
+    pivot.align();
+    let si_before = identification_scores(&pivot, &corpus).f1;
+
+    // Remove 20 documents, one by one, measuring incremental updates.
+    let mut remove_nanos = Vec::new();
+    let docs: Vec<_> = (0..20u32).map(storypivot_types::DocId::new).collect();
+    for &d in &docs {
+        let t = Instant::now();
+        pivot.remove_document(d).unwrap();
+        pivot.align_incremental();
+        remove_nanos.push(t.elapsed().as_nanos() as f64);
+    }
+    // Re-add them.
+    let mut add_nanos = Vec::new();
+    for &d in &docs {
+        let snippet = corpus
+            .snippets
+            .iter()
+            .find(|s| s.doc == d)
+            .expect("doc exists")
+            .clone();
+        let t = Instant::now();
+        pivot.ingest(snippet).unwrap();
+        pivot.align_incremental();
+        add_nanos.push(t.elapsed().as_nanos() as f64);
+    }
+    let si_after = identification_scores(&pivot, &corpus).f1;
+
+    // Full rebuild, for comparison.
+    let t = Instant::now();
+    let mut fresh = ingest_all(&corpus, PivotConfig::temporal(OMEGA));
+    fresh.align();
+    let rebuild_nanos = t.elapsed().as_nanos() as f64;
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut table = Table::new(["operation", "mean ms", "SI F1 impact"]);
+    table.row([
+        "remove doc + realign (incremental)".to_string(),
+        ms(mean(&remove_nanos)),
+        "-".into(),
+    ]);
+    table.row([
+        "re-add doc + realign (incremental)".to_string(),
+        ms(mean(&add_nanos)),
+        format!("{} -> {}", f3(si_before), f3(si_after)),
+    ]);
+    table.row(["full rebuild + align".to_string(), ms(rebuild_nanos), "-".into()]);
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E10 — ablation of the snippet–story scoring blend: pure single-link
+/// (pair_blend = 1.0) vs pure windowed centroid (0.0) vs the default
+/// blend (0.5). The design-choice ablation called out in DESIGN.md.
+fn e10(scale: &Scale) -> Table {
+    println!("\n## E10 — identification scoring ablation (design choice)\n");
+    let corpus = corpus_fixed_period(scale.mid * 2, 10, 41);
+    let mut table = Table::new(["scoring", "SI F1", "SI precision", "SI recall", "stories"]);
+    for (name, blend) in [
+        ("single-link (pair only)", 1.0f64),
+        ("blend 0.75", 0.75),
+        ("blend 0.50 (default)", 0.5),
+        ("blend 0.25", 0.25),
+        ("centroid only", 0.0),
+    ] {
+        let mut cfg = PivotConfig::temporal(OMEGA);
+        cfg.identify.pair_blend = blend;
+        let r = run(&corpus, cfg, RunOptions::default());
+        table.row([
+            name.to_string(),
+            f3(r.si_f1()),
+            f3(r.si_scores.precision),
+            f3(r.si_scores.recall),
+            r.stories.to_string(),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    table
+}

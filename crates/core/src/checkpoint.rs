@@ -1,0 +1,279 @@
+//! Engine checkpointing: persist a [`StoryPivot`]'s full state (event
+//! store + story assignments + id allocators) and restore it later.
+//!
+//! A repository like GDELT is updated "over fixed time intervals (e.g.,
+//! daily)" (paper §1); a long-running pivot therefore needs restarts
+//! without replaying months of history. The checkpoint contains the
+//! store snapshot plus, per source, the snippet→story assignment and
+//! the story-id allocator position. Story aggregates (centroids,
+//! sketches, signatures, lifespans) are *recomputed* from the snippets
+//! on load — they are derived state, and rebuilding them keeps the
+//! format small and version-stable.
+//!
+//! The configuration is **not** stored: the caller supplies it on load
+//! (configs contain policy, not data; loading under a different config
+//! is legal and simply applies the new policy from there on).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "SPVC" | version u32 | store_len u64 | store snapshot
+//!   | ident_count u32
+//!   | per ident: source u32, next_story u32, n u32, (snippet u32, story u32)×n
+//!   | snippet_ids u32 | doc_ids u32 | source_ids u32
+//! ```
+
+use storypivot_store::codec::{decode_store, encode_store};
+use storypivot_types::ids::IdGen;
+use storypivot_types::{Error, Result, SnippetId, SourceId, StoryId};
+
+use crate::identify::Identifier;
+use crate::pivot::StoryPivot;
+
+/// Checkpoint file magic.
+pub const MAGIC: &[u8; 4] = b"SPVC";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+fn get_u32(buf: &mut &[u8], what: &str) -> Result<u32> {
+    if buf.len() < 4 {
+        return Err(Error::Codec(format!("truncated checkpoint at {what}")));
+    }
+    let (head, rest) = buf.split_at(4);
+    *buf = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+}
+
+fn get_u64(buf: &mut &[u8], what: &str) -> Result<u64> {
+    if buf.len() < 8 {
+        return Err(Error::Codec(format!("truncated checkpoint at {what}")));
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
+impl StoryPivot {
+    /// Serialize the engine's full state.
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        let store_bytes = encode_store(&self.store);
+        let mut out = Vec::with_capacity(store_bytes.len() + 64);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(store_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&store_bytes);
+
+        let mut sources: Vec<SourceId> = self.identifiers.keys().copied().collect();
+        sources.sort_unstable();
+        out.extend_from_slice(&(sources.len() as u32).to_le_bytes());
+        for source in sources {
+            let ident = &self.identifiers[&source];
+            out.extend_from_slice(&source.raw().to_le_bytes());
+            out.extend_from_slice(&ident.next_story_id_raw().to_le_bytes());
+            let mut assignments: Vec<(SnippetId, StoryId)> = ident.assignments().collect();
+            assignments.sort_unstable();
+            out.extend_from_slice(&(assignments.len() as u32).to_le_bytes());
+            for (snippet, story) in assignments {
+                out.extend_from_slice(&snippet.raw().to_le_bytes());
+                out.extend_from_slice(&story.raw().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.snippet_ids.allocated().to_le_bytes());
+        out.extend_from_slice(&self.doc_ids.allocated().to_le_bytes());
+        out.extend_from_slice(&self.source_ids.allocated().to_le_bytes());
+        out
+    }
+
+    /// Restore an engine from a checkpoint under the given
+    /// configuration. Story aggregates are rebuilt deterministically
+    /// (members are folded in `(story, snippet)` order); alignment is
+    /// not part of the checkpoint — call [`StoryPivot::align`] after
+    /// loading.
+    pub fn load_checkpoint(config: crate::config::PivotConfig, mut buf: &[u8]) -> Result<Self> {
+        if buf.len() < 4 || &buf[..4] != MAGIC {
+            return Err(Error::Codec("not a StoryPivot checkpoint".into()));
+        }
+        buf = &buf[4..];
+        let version = get_u32(&mut buf, "version")?;
+        if version != VERSION {
+            return Err(Error::Codec(format!(
+                "unsupported checkpoint version {version} (expected {VERSION})"
+            )));
+        }
+        let store_len = get_u64(&mut buf, "store length")? as usize;
+        if buf.len() < store_len {
+            return Err(Error::Codec("truncated checkpoint store".into()));
+        }
+        let (store_bytes, rest) = buf.split_at(store_len);
+        buf = rest;
+        let store = decode_store(store_bytes)?;
+
+        let mut pivot = StoryPivot::try_new(config)?;
+        pivot.store = store;
+
+        let ident_count = get_u32(&mut buf, "identifier count")?;
+        for _ in 0..ident_count {
+            let source = SourceId::new(get_u32(&mut buf, "source id")?);
+            if pivot.store.source(source).is_none() {
+                return Err(Error::Codec(format!(
+                    "checkpoint references unregistered source {source}"
+                )));
+            }
+            let next_story = get_u32(&mut buf, "story allocator")?;
+            let n = get_u32(&mut buf, "assignment count")?;
+            let mut ident = Identifier::new(
+                source,
+                pivot.config.identify.clone(),
+                pivot.config.sketch,
+            );
+            let mut assignments = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let snippet = SnippetId::new(get_u32(&mut buf, "snippet id")?);
+                let story = StoryId::new(get_u32(&mut buf, "story id")?);
+                assignments.push((snippet, story));
+            }
+            // Deterministic rebuild order: by (story, snippet).
+            assignments.sort_unstable_by_key(|&(s, c)| (c, s));
+            for (snippet, story) in assignments {
+                let sn = pivot
+                    .store
+                    .get(snippet)
+                    .ok_or_else(|| {
+                        Error::Codec(format!("assignment references missing snippet {snippet}"))
+                    })?
+                    .clone();
+                if sn.source != source {
+                    return Err(Error::Codec(format!(
+                        "snippet {snippet} belongs to {}, not {source}",
+                        sn.source
+                    )));
+                }
+                ident.force_assign(&sn, story);
+            }
+            ident.restore_next_story_id(next_story);
+            pivot.identifiers.insert(source, ident);
+        }
+        pivot.snippet_ids = IdGen::starting_at(get_u32(&mut buf, "snippet allocator")?);
+        pivot.doc_ids = IdGen::starting_at(get_u32(&mut buf, "doc allocator")?);
+        pivot.source_ids = IdGen::starting_at(get_u32(&mut buf, "source allocator")?);
+        if !buf.is_empty() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after checkpoint",
+                buf.len()
+            )));
+        }
+        // Every stored snippet must be assigned (else the checkpoint was
+        // taken from a corrupt engine).
+        pivot.check_invariants()?;
+        Ok(pivot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PivotConfig;
+    use storypivot_types::{EntityId, Snippet, SourceKind, TermId, Timestamp, DAY};
+
+    fn populated() -> StoryPivot {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let a = pivot.add_source("a", SourceKind::Newspaper);
+        let b = pivot.add_source_with_lag("b", SourceKind::Wire, 3600);
+        for day in 0..6i64 {
+            for (src, e) in [(a, 1u32), (b, 1), (a, 40)] {
+                let id = pivot.fresh_snippet_id();
+                let s = Snippet::builder(id, src, Timestamp::from_secs(day * DAY))
+                    .doc(pivot.fresh_doc_id())
+                    .entity(EntityId::new(e), 1.0)
+                    .entity(EntityId::new(e + 1), 1.0)
+                    .term(TermId::new(e), 1.0)
+                    .build();
+                pivot.ingest(s).unwrap();
+            }
+        }
+        pivot
+    }
+
+    fn partition(p: &StoryPivot) -> Vec<Vec<u32>> {
+        let mut v: Vec<Vec<u32>> = p
+            .global_stories()
+            .iter()
+            .map(|g| {
+                let mut m: Vec<u32> = g.members.iter().map(|&(id, _)| id.raw()).collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn checkpoint_round_trips_state_and_results() {
+        let mut original = populated();
+        original.align();
+        let bytes = original.save_checkpoint();
+
+        let mut restored =
+            StoryPivot::load_checkpoint(PivotConfig::default(), &bytes).unwrap();
+        assert_eq!(restored.store().len(), original.store().len());
+        assert_eq!(restored.story_count(), original.story_count());
+        // Same per-snippet assignments.
+        for sn in original.store().iter() {
+            assert_eq!(restored.story_of(sn.id), original.story_of(sn.id));
+        }
+        // Alignment recomputes to the identical partition.
+        restored.align();
+        assert_eq!(partition(&restored), partition(&original));
+        restored.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restored_engine_continues_ingesting_without_id_collisions() {
+        let original = populated();
+        let next_before = original.snippet_ids.allocated();
+        let bytes = original.save_checkpoint();
+        let mut restored = StoryPivot::load_checkpoint(PivotConfig::default(), &bytes).unwrap();
+        let fresh = restored.fresh_snippet_id();
+        assert_eq!(fresh.raw(), next_before, "allocator resumes past old ids");
+        let s = Snippet::builder(fresh, SourceId::new(0), Timestamp::from_secs(999))
+            .entity(EntityId::new(1), 1.0)
+            .build();
+        restored.ingest(s).unwrap();
+        // Fresh story ids do not collide with checkpointed ones either.
+        let story = restored.fresh_story_id_for(SourceId::new(0)).unwrap();
+        assert!(restored.story(story).is_none());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_checkpoints_error_cleanly() {
+        let mut original = populated();
+        original.align();
+        let bytes = original.save_checkpoint();
+        for cut in [0usize, 3, 4, 8, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                StoryPivot::load_checkpoint(PivotConfig::default(), &bytes[..cut]).is_err(),
+                "cut {cut} must fail"
+            );
+        }
+        let mut garbled = bytes.clone();
+        garbled[0] = b'X';
+        assert!(StoryPivot::load_checkpoint(PivotConfig::default(), &garbled).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(StoryPivot::load_checkpoint(PivotConfig::default(), &trailing).is_err());
+    }
+
+    #[test]
+    fn loading_under_a_different_config_applies_new_policy() {
+        let original = populated();
+        let bytes = original.save_checkpoint();
+        // Load under complete matching: state carries over, future
+        // ingests use the new mode.
+        let mut restored =
+            StoryPivot::load_checkpoint(PivotConfig::complete(), &bytes).unwrap();
+        assert_eq!(restored.story_count(), original.story_count());
+        restored.align();
+        assert!(!restored.global_stories().is_empty());
+    }
+}

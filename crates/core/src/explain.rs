@@ -1,0 +1,272 @@
+//! Decision explanations (paper §4.2.1).
+//!
+//! The demo modules exist to "help the user to understand why our
+//! algorithms make certain decisions through visualizing" them: why a
+//! snippet sits in its story, and which cross-source counterparts tie a
+//! story together. This module computes those explanations from live
+//! engine state.
+
+use storypivot_types::{SnippetId, SourceId, StoryId};
+
+use crate::pivot::StoryPivot;
+use crate::sim::SimWeights;
+
+/// The per-component breakdown of one snippet–snippet similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimBreakdown {
+    /// Entity overlap (weighted Jaccard), unweighted by the mix.
+    pub entity: f64,
+    /// Description-term cosine.
+    pub term: f64,
+    /// Event-type affinity.
+    pub event: f64,
+    /// The combined, weight-mixed score.
+    pub combined: f64,
+    /// The component contributing most to `combined` *after* weighting
+    /// ("entities", "description", or "event type").
+    pub dominant: &'static str,
+}
+
+impl SimBreakdown {
+    fn between(
+        a: &storypivot_types::Snippet,
+        b: &storypivot_types::Snippet,
+        w: &SimWeights,
+    ) -> Self {
+        let entity = a.entities().weighted_jaccard(b.entities());
+        let term = a.terms().cosine(b.terms());
+        let event = a.content.event_type.affinity(b.content.event_type);
+        let (we, wt, wv) = (w.entity * entity, w.term * term, w.event * event);
+        let dominant = if we >= wt && we >= wv {
+            "entities"
+        } else if wt >= wv {
+            "description"
+        } else {
+            "event type"
+        };
+        SimBreakdown {
+            entity,
+            term,
+            event,
+            combined: w.snippet_sim(a, b),
+            dominant,
+        }
+    }
+
+    /// The dominant component name (weighted; see the `dominant` field).
+    pub fn dominant(&self) -> &'static str {
+        self.dominant
+    }
+}
+
+/// One neighbor supporting (or contesting) a snippet's assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborEvidence {
+    /// The neighboring snippet.
+    pub snippet: SnippetId,
+    /// Its source.
+    pub source: SourceId,
+    /// Its per-source story.
+    pub story: Option<StoryId>,
+    /// Similarity breakdown to the explained snippet.
+    pub sim: SimBreakdown,
+    /// Whether the neighbor shares the explained snippet's story.
+    pub same_story: bool,
+}
+
+/// Why a snippet is where it is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The explained snippet.
+    pub snippet: SnippetId,
+    /// Its per-source story.
+    pub story: Option<StoryId>,
+    /// Strongest same-story neighbors (the evidence *for* the
+    /// assignment), descending by similarity.
+    pub supporting: Vec<NeighborEvidence>,
+    /// Strongest other-story neighbors within the same source (what the
+    /// snippet was *not* matched with — the paper's Figure 5 shows
+    /// exactly this for `v¹₂` vs `v¹₄`), descending by similarity.
+    pub contesting: Vec<NeighborEvidence>,
+}
+
+/// Explain a snippet's story assignment: its strongest same-story and
+/// other-story neighbors within its source, each with a component
+/// breakdown. `k` bounds each list.
+pub fn explain_assignment(pivot: &StoryPivot, snippet: SnippetId, k: usize) -> Option<Explanation> {
+    let v = pivot.store().get(snippet)?;
+    let story = pivot.story_of(snippet);
+    let weights = pivot.config().identify.weights;
+
+    let mut supporting = Vec::new();
+    let mut contesting = Vec::new();
+    for other in pivot.store().snippets_of_source(v.source) {
+        if other.id == snippet {
+            continue;
+        }
+        let other_story = pivot.story_of(other.id);
+        let sim = SimBreakdown::between(v, other, &weights);
+        if sim.combined == 0.0 {
+            continue;
+        }
+        let evidence = NeighborEvidence {
+            snippet: other.id,
+            source: other.source,
+            story: other_story,
+            same_story: story.is_some() && other_story == story,
+            sim,
+        };
+        if evidence.same_story {
+            supporting.push(evidence);
+        } else {
+            contesting.push(evidence);
+        }
+    }
+    let by_sim = |a: &NeighborEvidence, b: &NeighborEvidence| {
+        b.sim
+            .combined
+            .partial_cmp(&a.sim.combined)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.snippet.cmp(&b.snippet))
+    };
+    supporting.sort_by(by_sim);
+    contesting.sort_by(by_sim);
+    supporting.truncate(k);
+    contesting.truncate(k);
+
+    Some(Explanation {
+        snippet,
+        story,
+        supporting,
+        contesting,
+    })
+}
+
+/// The cross-source counterparts holding a snippet inside its *global*
+/// story (why it is `Aligning`): other-source members within the
+/// counterpart lag, with breakdowns, descending by similarity.
+pub fn explain_counterparts(
+    pivot: &StoryPivot,
+    snippet: SnippetId,
+    k: usize,
+) -> Vec<NeighborEvidence> {
+    let Some(v) = pivot.store().get(snippet) else {
+        return Vec::new();
+    };
+    let Some(gid) = pivot.global_of(snippet) else {
+        return Vec::new();
+    };
+    let Some(g) = pivot.alignment().and_then(|o| o.global_story(gid)) else {
+        return Vec::new();
+    };
+    let weights = pivot.config().identify.weights;
+    let lag = pivot.config().align.counterpart_lag;
+    let mut out = Vec::new();
+    for &(m, _) in &g.members {
+        let Some(other) = pivot.store().get(m) else { continue };
+        if other.source == v.source || other.timestamp.distance(v.timestamp) > lag {
+            continue;
+        }
+        let sim = SimBreakdown::between(v, other, &weights);
+        if sim.combined == 0.0 {
+            continue;
+        }
+        out.push(NeighborEvidence {
+            snippet: m,
+            source: other.source,
+            story: pivot.story_of(m),
+            same_story: false,
+            sim,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.sim
+            .combined
+            .partial_cmp(&a.sim.combined)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.snippet.cmp(&b.snippet))
+    });
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PivotConfig;
+    use storypivot_types::{EntityId, EventType, Snippet, SourceKind, TermId, Timestamp, DAY};
+
+    fn fixture() -> (StoryPivot, Vec<SnippetId>) {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let a = pivot.add_source("a", SourceKind::Newspaper);
+        let b = pivot.add_source("b", SourceKind::Newspaper);
+        let mut ids = Vec::new();
+        let mk = |pivot: &mut StoryPivot, src, day: i64, e: u32, t: u32| {
+            let id = pivot.fresh_snippet_id();
+            let s = Snippet::builder(id, src, Timestamp::from_secs(day * DAY))
+                .entity(EntityId::new(e), 1.0)
+                .entity(EntityId::new(e + 1), 1.0)
+                .term(TermId::new(t), 1.0)
+                .event_type(EventType::Accident)
+                .build();
+            pivot.ingest(s).unwrap();
+            id
+        };
+        // Source a: crash story (0,1) + sports story (2).
+        ids.push(mk(&mut pivot, a, 0, 1, 10)); // 0
+        ids.push(mk(&mut pivot, a, 1, 1, 10)); // 1
+        ids.push(mk(&mut pivot, a, 0, 50, 60)); // 2
+        // Source b mirrors the crash story.
+        ids.push(mk(&mut pivot, b, 0, 1, 10)); // 3
+        pivot.align();
+        (pivot, ids)
+    }
+
+    #[test]
+    fn supporting_evidence_is_same_story_and_ranked() {
+        let (pivot, ids) = fixture();
+        let ex = explain_assignment(&pivot, ids[0], 5).unwrap();
+        assert_eq!(ex.story, pivot.story_of(ids[0]));
+        assert_eq!(ex.supporting.len(), 1);
+        assert_eq!(ex.supporting[0].snippet, ids[1]);
+        assert!(ex.supporting[0].same_story);
+        assert!(ex.supporting[0].sim.combined > 0.9);
+        assert_eq!(ex.supporting[0].sim.dominant(), "entities");
+    }
+
+    #[test]
+    fn contesting_evidence_shows_the_road_not_taken() {
+        let (pivot, ids) = fixture();
+        let ex = explain_assignment(&pivot, ids[0], 5).unwrap();
+        // The sports snippet shares only the event type: weak contest.
+        assert_eq!(ex.contesting.len(), 1);
+        assert_eq!(ex.contesting[0].snippet, ids[2]);
+        assert!(!ex.contesting[0].same_story);
+        assert!(ex.contesting[0].sim.combined < 0.2);
+        assert_eq!(ex.contesting[0].sim.dominant(), "event type");
+    }
+
+    #[test]
+    fn counterparts_come_from_other_sources() {
+        let (pivot, ids) = fixture();
+        let cps = explain_counterparts(&pivot, ids[0], 5);
+        assert_eq!(cps.len(), 1);
+        assert_eq!(cps[0].snippet, ids[3]);
+        assert_ne!(cps[0].source, pivot.store().get(ids[0]).unwrap().source);
+    }
+
+    #[test]
+    fn unknown_snippet_explains_to_none() {
+        let (pivot, _) = fixture();
+        assert!(explain_assignment(&pivot, SnippetId::new(999), 3).is_none());
+        assert!(explain_counterparts(&pivot, SnippetId::new(999), 3).is_empty());
+    }
+
+    #[test]
+    fn k_truncates_lists() {
+        let (pivot, ids) = fixture();
+        let ex = explain_assignment(&pivot, ids[0], 0).unwrap();
+        assert!(ex.supporting.is_empty());
+        assert!(ex.contesting.is_empty());
+    }
+}

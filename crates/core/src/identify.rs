@@ -1,0 +1,650 @@
+//! Story identification within one data source (paper §2.2).
+//!
+//! The identifier processes snippets *incrementally*: for every incoming
+//! snippet it finds the most likely story and joins it, or opens a new
+//! story around the snippet — exactly the loop described in §2.1. The
+//! comparison scope depends on the [`MatchMode`]:
+//!
+//! * **Temporal** (Figure 2b): only snippets with timestamps in
+//!   `[t-ω, t+ω]` are candidates — faster, and robust to story drift.
+//! * **Complete** (Figure 2a): every prior snippet of the source is a
+//!   candidate — the baseline that "overfits stories".
+//!
+//! Stories evolve, so the identifier also supports **merge** (an
+//! incoming snippet that strongly matches two stories is evidence they
+//! are one) and **split** (a maintenance pass that breaks a story whose
+//! member-similarity graph has fallen apart) — the incremental record
+//! linkage behaviour the paper cites.
+
+use std::collections::HashMap;
+
+use storypivot_sketch::HashFamily;
+use storypivot_store::EventStore;
+use storypivot_types::ids::IdGen;
+use storypivot_types::{Snippet, SnippetId, SourceId, StoryId};
+
+use crate::config::{IdentifyConfig, MatchMode, SketchConfig};
+use crate::state::StoryState;
+use crate::unionfind::UnionFind;
+
+/// Number of story-id slots reserved per source (story ids are
+/// partitioned by source so identifiers can run in parallel without a
+/// shared allocator).
+pub const STORY_ID_STRIDE: u32 = 1 << 24;
+
+/// What happened when a snippet was identified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdentifyDecision {
+    /// The story the snippet ended up in.
+    pub story: StoryId,
+    /// Whether that story was newly created for this snippet.
+    pub created: bool,
+    /// The best candidate score observed (0 when there were no candidates).
+    pub best_score: f64,
+    /// Stories merged into `story` as a side effect of this snippet.
+    pub merged: Vec<StoryId>,
+    /// Number of snippet comparisons performed (drives experiment E1).
+    pub compared: usize,
+}
+
+/// Report of a maintenance pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaintenanceReport {
+    /// Each entry: a story that split, with the ids of the fragments
+    /// (the original id is reused for the largest fragment).
+    pub splits: Vec<(StoryId, Vec<StoryId>)>,
+}
+
+/// Incremental story identifier for one data source.
+#[derive(Debug, Clone)]
+pub struct Identifier {
+    source: SourceId,
+    cfg: IdentifyConfig,
+    sketch_cfg: SketchConfig,
+    family: HashFamily,
+    stories: HashMap<StoryId, StoryState>,
+    assignment: HashMap<SnippetId, StoryId>,
+    ids: IdGen<StoryId>,
+    since_maintenance: usize,
+}
+
+impl Identifier {
+    /// A fresh identifier for `source`.
+    pub fn new(source: SourceId, cfg: IdentifyConfig, sketch_cfg: SketchConfig) -> Self {
+        Identifier {
+            source,
+            family: HashFamily::new(sketch_cfg.seed, sketch_cfg.minhash_k),
+            stories: HashMap::new(),
+            assignment: HashMap::new(),
+            ids: IdGen::starting_at(source.raw().wrapping_mul(STORY_ID_STRIDE)),
+            since_maintenance: 0,
+            cfg,
+            sketch_cfg,
+        }
+    }
+
+    /// The source this identifier owns.
+    pub fn source(&self) -> SourceId {
+        self.source
+    }
+
+    /// Number of (non-empty) stories.
+    pub fn story_count(&self) -> usize {
+        self.stories.len()
+    }
+
+    /// All story states (arbitrary order).
+    pub fn stories(&self) -> impl Iterator<Item = &StoryState> + '_ {
+        self.stories.values()
+    }
+
+    /// Story ids sorted ascending (deterministic iteration).
+    pub fn story_ids(&self) -> Vec<StoryId> {
+        let mut v: Vec<StoryId> = self.stories.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// One story's state.
+    pub fn story(&self, id: StoryId) -> Option<&StoryState> {
+        self.stories.get(&id)
+    }
+
+    /// The story a snippet is assigned to.
+    pub fn story_of(&self, snippet: SnippetId) -> Option<StoryId> {
+        self.assignment.get(&snippet).copied()
+    }
+
+    /// Number of assigned snippets.
+    pub fn assigned_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Iterate all `(snippet, story)` assignments (arbitrary order).
+    pub fn assignments(&self) -> impl Iterator<Item = (SnippetId, StoryId)> + '_ {
+        self.assignment.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// Raw value of the next story id this identifier would allocate
+    /// (checkpointing).
+    pub fn next_story_id_raw(&self) -> u32 {
+        self.ids.allocated()
+    }
+
+    /// Restore the story-id allocator position (checkpoint load).
+    pub fn restore_next_story_id(&mut self, raw: u32) {
+        self.ids = IdGen::starting_at(raw);
+    }
+
+    /// The hash family used by this identifier's sketches.
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// Identify one snippet. The snippet must already be stored in
+    /// `store` (so window queries can see it); it must belong to this
+    /// identifier's source.
+    ///
+    /// Returns the decision; also runs the periodic maintenance pass
+    /// when due (its effect is visible through the story table, not the
+    /// returned decision).
+    pub fn assign(&mut self, snippet: &Snippet, store: &EventStore) -> IdentifyDecision {
+        debug_assert_eq!(snippet.source, self.source);
+
+        // ---- candidate scoring ------------------------------------------
+        //
+        // Score = pair_blend·best-pair + (1-pair_blend)·window-centroid.
+        // The best-pair (single-link) component lets evolving stories
+        // chain through their most recent snippets; the centroid of the
+        // story's *windowed* members keeps one spuriously similar pair
+        // from chaining unrelated stories together (the incremental
+        // record-linkage failure mode at scale). E10 ablates the blend.
+        struct Candidate {
+            pair: f64,
+            entities: storypivot_types::SparseVec<storypivot_types::EntityId>,
+            terms: storypivot_types::SparseVec<storypivot_types::TermId>,
+            count: u32,
+        }
+        let mut per_story: HashMap<StoryId, Candidate> = HashMap::new();
+        let mut compared = 0usize;
+        let candidates: Vec<&Snippet> = match self.cfg.mode {
+            MatchMode::Temporal { omega } => store.window(self.source, snippet.timestamp, omega),
+            MatchMode::Complete => store.snippets_of_source(self.source),
+        };
+        for cand in candidates {
+            if cand.id == snippet.id {
+                continue;
+            }
+            let Some(&story) = self.assignment.get(&cand.id) else {
+                continue; // not yet identified (e.g. later batch position)
+            };
+            compared += 1;
+            let s = self.cfg.weights.snippet_sim(snippet, cand);
+            let entry = per_story.entry(story).or_insert_with(|| Candidate {
+                pair: 0.0,
+                entities: storypivot_types::SparseVec::new(),
+                terms: storypivot_types::SparseVec::new(),
+                count: 0,
+            });
+            if s > entry.pair {
+                entry.pair = s;
+            }
+            entry.entities.merge_add(cand.entities());
+            entry.terms.merge_add(cand.terms());
+            entry.count += 1;
+        }
+
+        // ---- pick the best story, detect merge evidence ---------------
+        let w = &self.cfg.weights;
+        let mut ranked: Vec<(StoryId, f64)> = per_story
+            .into_iter()
+            .map(|(story, c)| {
+                let type_affinity = snippet.content.event_type.affinity(
+                    self.stories
+                        .get(&story)
+                        .map(|s| s.dominant_event_type())
+                        .unwrap_or(snippet.content.event_type),
+                );
+                let centroid = (w.entity * snippet.entities().cosine(&c.entities)
+                    + w.term * snippet.terms().cosine(&c.terms)
+                    + w.event * type_affinity)
+                    / w.total();
+                (
+                    story,
+                    self.cfg.pair_blend * c.pair + (1.0 - self.cfg.pair_blend) * centroid,
+                )
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+
+        let decision = match ranked.first() {
+            Some(&(best_story, best_score)) if best_score >= self.cfg.match_threshold => {
+                // Merge every other story that also matches strongly.
+                let mut merged = Vec::new();
+                for &(other, score) in ranked.iter().skip(1) {
+                    if score >= self.cfg.merge_threshold {
+                        if let Some(other_state) = self.stories.remove(&other) {
+                            for &m in &other_state.story.members {
+                                self.assignment.insert(m, best_story);
+                            }
+                            self.stories
+                                .get_mut(&best_story)
+                                .expect("best story exists")
+                                .absorb(&other_state);
+                            merged.push(other);
+                        }
+                    }
+                }
+                let state = self.stories.get_mut(&best_story).expect("best story exists");
+                state.add_snippet(snippet, &self.family);
+                self.assignment.insert(snippet.id, best_story);
+                IdentifyDecision {
+                    story: best_story,
+                    created: false,
+                    best_score,
+                    merged,
+                    compared,
+                }
+            }
+            other => {
+                let best_score = other.map_or(0.0, |&(_, s)| s);
+                let id = self.ids.next_id();
+                let mut state = StoryState::new(
+                    id,
+                    self.source,
+                    &self.family,
+                    &self.sketch_cfg,
+                    self.cfg_bucket_width(),
+                );
+                state.add_snippet(snippet, &self.family);
+                self.stories.insert(id, state);
+                self.assignment.insert(snippet.id, id);
+                IdentifyDecision {
+                    story: id,
+                    created: true,
+                    best_score,
+                    merged: Vec::new(),
+                    compared,
+                }
+            }
+        };
+
+        self.since_maintenance += 1;
+        decision
+    }
+
+    /// Whether the periodic merge/split maintenance pass is due. Owners
+    /// call [`Identifier::maintain`] when it is (the pass is separate so
+    /// the caller can observe the split report, e.g. for dirty-story
+    /// tracking in incremental alignment).
+    pub fn maintenance_due(&self) -> bool {
+        self.cfg.maintenance_every > 0 && self.since_maintenance >= self.cfg.maintenance_every
+    }
+
+    /// Bucket width for story evolution signatures. Identification keeps
+    /// day-granularity signatures; alignment may rebucket.
+    fn cfg_bucket_width(&self) -> i64 {
+        storypivot_types::DAY
+    }
+
+    /// Remove a snippet from its story (document removal / refinement).
+    /// Rebuilds the story's aggregates exactly; drops the story when it
+    /// becomes empty. Returns the story it was removed from.
+    pub fn remove_snippet(&mut self, snippet: &Snippet, store: &EventStore) -> Option<StoryId> {
+        let story_id = self.assignment.remove(&snippet.id)?;
+        let state = self.stories.get_mut(&story_id)?;
+        state.story.remove_member(snippet.id);
+        if state.story.is_empty() {
+            self.stories.remove(&story_id);
+        } else {
+            let members: Vec<&Snippet> = state
+                .story
+                .members
+                .iter()
+                .filter_map(|&m| store.get(m))
+                .collect();
+            let family = self.family.clone();
+            let cfg = self.sketch_cfg;
+            self.stories
+                .get_mut(&story_id)
+                .expect("story exists")
+                .rebuild(members, &family, &cfg);
+        }
+        Some(story_id)
+    }
+
+    /// Force-assign a snippet to a specific story (used by refinement to
+    /// propagate alignment decisions back, Figure 1d). Creates the story
+    /// if it does not exist.
+    pub fn force_assign(&mut self, snippet: &Snippet, story: StoryId) {
+        debug_assert_eq!(snippet.source, self.source);
+        let state = self.stories.entry(story).or_insert_with(|| {
+            StoryState::new(
+                story,
+                self.source,
+                &self.family,
+                &self.sketch_cfg,
+                storypivot_types::DAY,
+            )
+        });
+        state.add_snippet(snippet, &self.family);
+        self.assignment.insert(snippet.id, story);
+    }
+
+    /// Allocate a fresh story id (for refinement moves that need a new
+    /// story).
+    pub fn fresh_story_id(&mut self) -> StoryId {
+        self.ids.next_id()
+    }
+
+    /// Run the merge/split maintenance pass now.
+    ///
+    /// Split: inside each story, member snippets stay connected when
+    /// their pairwise similarity reaches `split_threshold` *and* (in
+    /// temporal mode) they lie within `2ω` of each other. Stories whose
+    /// member graph decomposes are split into their components.
+    pub fn maintain(&mut self, store: &EventStore) -> MaintenanceReport {
+        self.since_maintenance = 0;
+        let mut report = MaintenanceReport::default();
+        let story_ids = self.story_ids();
+        for story_id in story_ids {
+            let members: Vec<&Snippet> = {
+                let state = &self.stories[&story_id];
+                if state.len() < 3 {
+                    continue;
+                }
+                state
+                    .story
+                    .members
+                    .iter()
+                    .filter_map(|&m| store.get(m))
+                    .collect()
+            };
+            if members.len() < 3 {
+                continue;
+            }
+            let mut uf = UnionFind::new(members.len());
+            let max_gap = self.cfg.mode.omega().map(|w| 2 * w);
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    if let Some(gap) = max_gap {
+                        if members[i].timestamp.distance(members[j].timestamp) > gap {
+                            continue;
+                        }
+                    }
+                    if self.cfg.weights.snippet_sim(members[i], members[j])
+                        >= self.cfg.split_threshold
+                    {
+                        uf.union(i, j);
+                    }
+                }
+            }
+            if uf.component_count() == 1 {
+                continue;
+            }
+            // Split: largest component keeps the id, others get new ids.
+            let mut groups = uf.groups();
+            groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+            let family = self.family.clone();
+            let sketch_cfg = self.sketch_cfg;
+            let mut fragment_ids = Vec::new();
+
+            // Rebuild the surviving story from the largest group.
+            let keep: Vec<&Snippet> = groups[0].iter().map(|&i| members[i]).collect();
+            self.stories
+                .get_mut(&story_id)
+                .expect("story exists")
+                .rebuild(keep.iter().copied(), &family, &sketch_cfg);
+            fragment_ids.push(story_id);
+
+            for group in &groups[1..] {
+                let new_id = self.ids.next_id();
+                let mut state = StoryState::new(
+                    new_id,
+                    self.source,
+                    &family,
+                    &sketch_cfg,
+                    storypivot_types::DAY,
+                );
+                for &i in group {
+                    state.add_snippet(members[i], &family);
+                    self.assignment.insert(members[i].id, new_id);
+                }
+                self.stories.insert(new_id, state);
+                fragment_ids.push(new_id);
+            }
+            report.splits.push((story_id, fragment_ids));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_types::{EntityId, EventType, Source, SourceKind, TermId, Timestamp, DAY};
+
+    fn store() -> EventStore {
+        let mut s = EventStore::new();
+        s.register_source(Source::new(SourceId::new(0), "s0", SourceKind::Newspaper))
+            .unwrap();
+        s
+    }
+
+    fn snip(id: u32, day: i64, entities: &[u32], terms: &[u32]) -> Snippet {
+        let mut b = Snippet::builder(
+            SnippetId::new(id),
+            SourceId::new(0),
+            Timestamp::from_secs(day * DAY),
+        )
+        .event_type(EventType::Accident);
+        for &e in entities {
+            b = b.entity(EntityId::new(e), 1.0);
+        }
+        for &t in terms {
+            b = b.term(TermId::new(t), 1.0);
+        }
+        b.build()
+    }
+
+    fn ident(mode: MatchMode) -> Identifier {
+        let cfg = IdentifyConfig {
+            mode,
+            maintenance_every: 0,
+            ..IdentifyConfig::default()
+        };
+        Identifier::new(SourceId::new(0), cfg, SketchConfig::default())
+    }
+
+    fn ingest(st: &mut EventStore, id: &mut Identifier, s: Snippet) -> IdentifyDecision {
+        st.insert(s.clone()).unwrap();
+        id.assign(&s, st)
+    }
+
+    #[test]
+    fn first_snippet_creates_story() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Complete);
+        let d = ingest(&mut st, &mut id, snip(0, 0, &[1, 2], &[10]));
+        assert!(d.created);
+        assert_eq!(d.best_score, 0.0);
+        assert_eq!(id.story_count(), 1);
+        assert_eq!(id.story_of(SnippetId::new(0)), Some(d.story));
+    }
+
+    #[test]
+    fn similar_snippets_join_the_same_story() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Complete);
+        let d0 = ingest(&mut st, &mut id, snip(0, 0, &[1, 2], &[10, 11]));
+        let d1 = ingest(&mut st, &mut id, snip(1, 1, &[1, 2], &[10, 11]));
+        assert!(!d1.created);
+        assert_eq!(d1.story, d0.story);
+        assert_eq!(id.story_count(), 1);
+        assert!(d1.best_score > 0.9);
+    }
+
+    #[test]
+    fn dissimilar_snippets_get_separate_stories() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Complete);
+        ingest(&mut st, &mut id, snip(0, 0, &[1, 2], &[10]));
+        let d = ingest(&mut st, &mut id, snip(1, 0, &[7, 8], &[20]));
+        assert!(d.created);
+        assert_eq!(id.story_count(), 2);
+    }
+
+    #[test]
+    fn temporal_mode_ignores_out_of_window_candidates() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Temporal { omega: 2 * DAY });
+        let d0 = ingest(&mut st, &mut id, snip(0, 0, &[1, 2], &[10]));
+        // Identical content but 100 days later: outside the window.
+        let d1 = ingest(&mut st, &mut id, snip(1, 100, &[1, 2], &[10]));
+        assert!(d1.created);
+        assert_ne!(d1.story, d0.story);
+        assert_eq!(d1.compared, 0);
+    }
+
+    #[test]
+    fn complete_mode_chains_across_time() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Complete);
+        let d0 = ingest(&mut st, &mut id, snip(0, 0, &[1, 2], &[10]));
+        let d1 = ingest(&mut st, &mut id, snip(1, 100, &[1, 2], &[10]));
+        assert_eq!(d1.story, d0.story);
+        assert!(d1.compared >= 1);
+    }
+
+    #[test]
+    fn complete_comparisons_grow_with_corpus() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Complete);
+        let mut last = 0;
+        for i in 0..20 {
+            let d = ingest(&mut st, &mut id, snip(i, i as i64, &[i, i + 100], &[i]));
+            last = d.compared;
+        }
+        assert_eq!(last, 19, "complete mode compares against all prior snippets");
+    }
+
+    #[test]
+    fn temporal_comparisons_stay_bounded() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Temporal { omega: 3 * DAY });
+        let mut last = 0;
+        for i in 0..50 {
+            let d = ingest(&mut st, &mut id, snip(i, i as i64, &[1], &[1]));
+            last = d.compared;
+        }
+        assert!(last <= 7, "window bounds comparisons, got {last}");
+    }
+
+    #[test]
+    fn bridging_snippet_merges_stories() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Complete);
+        // Two initially distinct stories...
+        let da = ingest(&mut st, &mut id, snip(0, 0, &[1, 2], &[10, 11]));
+        let db = ingest(&mut st, &mut id, snip(1, 1, &[3, 4], &[12, 13]));
+        assert_ne!(da.story, db.story);
+        // ...bridged by a snippet strongly matching both.
+        let d = ingest(&mut st, &mut id, snip(2, 2, &[1, 2, 3, 4], &[10, 11, 12, 13]));
+        assert_eq!(id.story_count(), 1, "stories should merge");
+        assert_eq!(d.merged.len(), 1);
+        // All three snippets now share one story.
+        let s0 = id.story_of(SnippetId::new(0)).unwrap();
+        let s1 = id.story_of(SnippetId::new(1)).unwrap();
+        let s2 = id.story_of(SnippetId::new(2)).unwrap();
+        assert_eq!(s0, s1);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn maintenance_splits_disconnected_story() {
+        let mut st = store();
+        // High merge threshold so the bridge joins but doesn't merge, low
+        // split threshold so the split check uses pure connectivity.
+        let cfg = IdentifyConfig {
+            mode: MatchMode::Complete,
+            match_threshold: 0.2,
+            merge_threshold: 0.99,
+            split_threshold: 0.3,
+            maintenance_every: 0,
+            ..IdentifyConfig::default()
+        };
+        let mut id = Identifier::new(SourceId::new(0), cfg, SketchConfig::default());
+        // A story built from a chain a-bridge-b where a and b are
+        // unrelated; removing the bridge disconnects them.
+        ingest(&mut st, &mut id, snip(0, 0, &[1, 2], &[10, 11]));
+        ingest(&mut st, &mut id, snip(1, 1, &[1, 2, 3, 4], &[10, 11, 12, 13]));
+        ingest(&mut st, &mut id, snip(2, 2, &[3, 4], &[12, 13]));
+        assert_eq!(id.story_count(), 1);
+        // Remove the bridge.
+        let bridge = st.get(SnippetId::new(1)).unwrap().clone();
+        st.remove(SnippetId::new(1)).unwrap();
+        id.remove_snippet(&bridge, &st);
+        let report = id.maintain(&st);
+        // Two members left with sim 0 → still one story of 2? No:
+        // stories under 3 members are skipped. Add a third to each side
+        // and re-check.
+        assert_eq!(report.splits.len(), 0);
+        ingest(&mut st, &mut id, snip(3, 0, &[1, 2], &[10, 11]));
+        ingest(&mut st, &mut id, snip(4, 2, &[3, 4], &[12, 13]));
+        let report = id.maintain(&st);
+        assert_eq!(report.splits.len(), 1);
+        assert_eq!(id.story_count(), 2);
+        // The two sides are now distinct stories.
+        let sa = id.story_of(SnippetId::new(0)).unwrap();
+        let sb = id.story_of(SnippetId::new(2)).unwrap();
+        assert_ne!(sa, sb);
+        assert_eq!(id.story_of(SnippetId::new(3)), Some(sa));
+        assert_eq!(id.story_of(SnippetId::new(4)), Some(sb));
+    }
+
+    #[test]
+    fn remove_snippet_drops_empty_story() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Complete);
+        let s = snip(0, 0, &[1], &[10]);
+        ingest(&mut st, &mut id, s.clone());
+        st.remove(SnippetId::new(0)).unwrap();
+        let removed_from = id.remove_snippet(&s, &st);
+        assert!(removed_from.is_some());
+        assert_eq!(id.story_count(), 0);
+        assert_eq!(id.story_of(SnippetId::new(0)), None);
+    }
+
+    #[test]
+    fn out_of_order_arrival_joins_existing_story() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Temporal { omega: 5 * DAY });
+        ingest(&mut st, &mut id, snip(0, 10, &[1, 2], &[10]));
+        // A late-arriving snippet dated *before* the first one.
+        let d = ingest(&mut st, &mut id, snip(1, 8, &[1, 2], &[10]));
+        assert!(!d.created, "symmetric window must catch late arrivals");
+        assert_eq!(id.story_count(), 1);
+    }
+
+    #[test]
+    fn story_ids_are_partitioned_by_source() {
+        let a = Identifier::new(SourceId::new(0), IdentifyConfig::default(), SketchConfig::default());
+        let b = Identifier::new(SourceId::new(1), IdentifyConfig::default(), SketchConfig::default());
+        let mut a = a;
+        let mut b = b;
+        assert_ne!(a.fresh_story_id(), b.fresh_story_id());
+    }
+
+    #[test]
+    fn force_assign_moves_snippet() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Complete);
+        let s = snip(0, 0, &[1], &[10]);
+        ingest(&mut st, &mut id, s.clone());
+        let target = id.fresh_story_id();
+        id.remove_snippet(&s, &st);
+        id.force_assign(&s, target);
+        assert_eq!(id.story_of(SnippetId::new(0)), Some(target));
+        assert_eq!(id.story(target).unwrap().len(), 1);
+    }
+}

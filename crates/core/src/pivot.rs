@@ -1,0 +1,719 @@
+//! The StoryPivot engine: store + identification + alignment +
+//! refinement behind one API.
+
+use std::collections::{HashMap, HashSet};
+
+use storypivot_store::EventStore;
+use storypivot_types::ids::IdGen;
+use storypivot_types::{
+    DocId, Error, GlobalStory, GlobalStoryId, Result, Snippet, SnippetId, Source, SourceId,
+    SourceKind, StoryId,
+};
+
+use crate::align::{AlignOutcome, Aligner};
+use crate::config::PivotConfig;
+use crate::identify::{Identifier, IdentifyDecision, STORY_ID_STRIDE};
+use crate::refine::{refine_once, RefineReport};
+use crate::state::StoryState;
+
+/// The story detection engine described by the paper's Figure 1:
+/// extraction results go in as [`Snippet`]s, per-source stories come out
+/// of identification, and integrated global stories come out of
+/// alignment (+ refinement).
+///
+/// ```
+/// use storypivot_core::config::PivotConfig;
+/// use storypivot_core::pivot::StoryPivot;
+/// use storypivot_types::{EntityId, Snippet, SnippetId, SourceKind, TermId, Timestamp};
+///
+/// let mut pivot = StoryPivot::new(PivotConfig::default());
+/// let nyt = pivot.add_source("New York Times", SourceKind::Newspaper);
+/// let wsj = pivot.add_source("Wall Street Journal", SourceKind::Newspaper);
+///
+/// let t = Timestamp::from_ymd(2014, 7, 17);
+/// for (i, src) in [nyt, wsj].into_iter().enumerate() {
+///     pivot.ingest(
+///         Snippet::builder(SnippetId::new(i as u32), src, t)
+///             .entity(EntityId::new(0), 1.0)   // Ukraine
+///             .entity(EntityId::new(1), 1.0)   // Malaysia Airlines
+///             .term(TermId::new(0), 1.0)       // "crash"
+///             .build(),
+///     ).unwrap();
+/// }
+/// pivot.align();
+/// assert_eq!(pivot.global_stories().len(), 1);
+/// assert!(pivot.global_stories()[0].is_cross_source());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoryPivot {
+    pub(crate) config: PivotConfig,
+    pub(crate) store: EventStore,
+    pub(crate) identifiers: HashMap<SourceId, Identifier>,
+    pub(crate) aligner: Aligner,
+    pub(crate) outcome: Option<AlignOutcome>,
+    pub(crate) dirty: HashSet<StoryId>,
+    pub(crate) source_ids: IdGen<SourceId>,
+    pub(crate) snippet_ids: IdGen<SnippetId>,
+    pub(crate) doc_ids: IdGen<DocId>,
+}
+
+impl StoryPivot {
+    /// Build an engine from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid; use
+    /// [`StoryPivot::try_new`] to handle invalid configs gracefully.
+    pub fn new(config: PivotConfig) -> Self {
+        Self::try_new(config).expect("invalid PivotConfig")
+    }
+
+    /// Build an engine, reporting configuration errors.
+    pub fn try_new(config: PivotConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(StoryPivot {
+            aligner: Aligner::new(config.align.clone(), config.identify.weights),
+            config,
+            store: EventStore::new(),
+            identifiers: HashMap::new(),
+            outcome: None,
+            dirty: HashSet::new(),
+            source_ids: IdGen::new(),
+            snippet_ids: IdGen::new(),
+            doc_ids: IdGen::new(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PivotConfig {
+        &self.config
+    }
+
+    /// Read access to the underlying event store.
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    // ---- sources -----------------------------------------------------
+
+    /// Register a new data source and return its id.
+    ///
+    /// # Panics
+    /// Panics when more than [`STORY_ID_STRIDE`]-supported sources
+    /// (2³²⁄2²⁴ = 256) are registered — story ids are partitioned by
+    /// source for lock-free parallel identification.
+    pub fn add_source<S: Into<String>>(&mut self, name: S, kind: SourceKind) -> SourceId {
+        self.add_source_with_lag(name, kind, 0)
+    }
+
+    /// Register a new data source with a typical reporting lag (seconds).
+    pub fn add_source_with_lag<S: Into<String>>(
+        &mut self,
+        name: S,
+        kind: SourceKind,
+        lag: i64,
+    ) -> SourceId {
+        let id = self.source_ids.next_id();
+        assert!(
+            id.raw() < u32::MAX / STORY_ID_STRIDE,
+            "too many sources for the story-id partitioning scheme"
+        );
+        self.store
+            .register_source(Source::new(id, name, kind).with_lag(lag))
+            .expect("fresh source id cannot collide");
+        self.identifiers.insert(
+            id,
+            Identifier::new(id, self.config.identify.clone(), self.config.sketch),
+        );
+        id
+    }
+
+    /// Remove a source together with its snippets and stories. Returns
+    /// how many snippets were evicted. Previously computed alignment is
+    /// invalidated incrementally (§2.4: sources can disappear).
+    pub fn remove_source(&mut self, id: SourceId) -> Result<usize> {
+        let ident = self.identifiers.remove(&id).ok_or(Error::UnknownSource(id))?;
+        for story in ident.story_ids() {
+            self.dirty.insert(story);
+        }
+        let evicted = self.store.remove_source(id)?;
+        Ok(evicted.len())
+    }
+
+    /// Registered sources, ordered by id.
+    pub fn sources(&self) -> Vec<&Source> {
+        self.store.sources().collect()
+    }
+
+    // ---- id allocation helpers ----------------------------------------
+
+    /// Allocate a fresh snippet id (callers may also manage their own).
+    pub fn fresh_snippet_id(&mut self) -> SnippetId {
+        self.snippet_ids.next_id()
+    }
+
+    /// Allocate a fresh document id.
+    pub fn fresh_doc_id(&mut self) -> DocId {
+        self.doc_ids.next_id()
+    }
+
+    // ---- ingestion ------------------------------------------------------
+
+    /// Ingest one snippet: store it, identify its story within its
+    /// source, and mark the touched story dirty for incremental
+    /// re-alignment. Returns the per-source story it joined.
+    pub fn ingest(&mut self, snippet: Snippet) -> Result<StoryId> {
+        Ok(self.ingest_detailed(snippet)?.story)
+    }
+
+    /// Like [`StoryPivot::ingest`] but returns the full identification
+    /// decision (creation flag, best score, merges, comparison count).
+    pub fn ingest_detailed(&mut self, snippet: Snippet) -> Result<IdentifyDecision> {
+        let source = snippet.source;
+        let ident = self
+            .identifiers
+            .get_mut(&source)
+            .ok_or(Error::UnknownSource(source))?;
+        self.store.insert(snippet.clone())?;
+        let decision = ident.assign(&snippet, &self.store);
+        self.dirty.insert(decision.story);
+        for &m in &decision.merged {
+            self.dirty.insert(m);
+        }
+        if ident.maintenance_due() {
+            let report = ident.maintain(&self.store);
+            for (orig, fragments) in report.splits {
+                self.dirty.insert(orig);
+                self.dirty.extend(fragments);
+            }
+        }
+        Ok(decision)
+    }
+
+    /// Ingest a batch sequentially (in the given order).
+    pub fn ingest_batch<I: IntoIterator<Item = Snippet>>(
+        &mut self,
+        snippets: I,
+    ) -> Result<Vec<IdentifyDecision>> {
+        snippets.into_iter().map(|s| self.ingest_detailed(s)).collect()
+    }
+
+    /// Ingest a batch with **parallel per-source identification**:
+    /// snippets are stored first, then each source's identifier runs on
+    /// its own thread (sources are independent by construction, §2.1).
+    ///
+    /// Within each source, snippets are processed in `(timestamp, id)`
+    /// order. Returns the number of snippets ingested.
+    pub fn ingest_batch_parallel(&mut self, snippets: Vec<Snippet>) -> Result<usize> {
+        let mut by_source: HashMap<SourceId, Vec<Snippet>> = HashMap::new();
+        for s in snippets {
+            if !self.identifiers.contains_key(&s.source) {
+                return Err(Error::UnknownSource(s.source));
+            }
+            by_source.entry(s.source).or_default().push(s);
+        }
+        let mut total = 0usize;
+        for batch in by_source.values_mut() {
+            batch.sort_by_key(|s| (s.timestamp, s.id));
+            for s in batch.iter() {
+                self.store.insert(s.clone())?;
+            }
+            total += batch.len();
+        }
+
+        let store = &self.store;
+        let mut touched: Vec<Vec<StoryId>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (source, ident) in self.identifiers.iter_mut() {
+                let Some(batch) = by_source.remove(source) else { continue };
+                handles.push(scope.spawn(move || {
+                    let mut touched = Vec::with_capacity(batch.len());
+                    for s in &batch {
+                        let d = ident.assign(s, store);
+                        touched.push(d.story);
+                        touched.extend(d.merged);
+                    }
+                    let report = ident.maintain(store);
+                    for (orig, fragments) in report.splits {
+                        touched.push(orig);
+                        touched.extend(fragments);
+                    }
+                    touched
+                }));
+            }
+            for h in handles {
+                touched.push(h.join().expect("identification thread panicked"));
+            }
+        });
+        for t in touched.into_iter().flatten() {
+            self.dirty.insert(t);
+        }
+        Ok(total)
+    }
+
+    // ---- removal ---------------------------------------------------------
+
+    /// Remove one snippet (store + story), marking its story dirty.
+    pub fn remove_snippet(&mut self, id: SnippetId) -> Result<()> {
+        let snippet = self.store.remove(id)?;
+        if let Some(ident) = self.identifiers.get_mut(&snippet.source) {
+            if let Some(story) = ident.remove_snippet(&snippet, &self.store) {
+                self.dirty.insert(story);
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a whole document (the demo's remove-document interaction,
+    /// §4.2.1). Returns how many snippets were evicted.
+    pub fn remove_document(&mut self, doc: DocId) -> Result<usize> {
+        let ids = self.store.snippets_of_doc(doc);
+        if ids.is_empty() {
+            return Err(Error::UnknownDocument(doc));
+        }
+        let n = ids.len();
+        for id in ids {
+            self.remove_snippet(id)?;
+        }
+        Ok(n)
+    }
+
+    /// Forcibly reassign a snippet to another story of its source (a
+    /// what-if/error-injection hook used by the demo's interactive
+    /// exploration and by the refinement experiments). The target story
+    /// is created when it does not exist; pass
+    /// [`StoryPivot::fresh_story_id_for`] output to open a new one.
+    pub fn reassign_snippet(&mut self, id: SnippetId, story: StoryId) -> Result<()> {
+        let snippet = self.store.get_or_err(id)?.clone();
+        let ident = self
+            .identifiers
+            .get_mut(&snippet.source)
+            .ok_or(Error::UnknownSource(snippet.source))?;
+        if let Some(old) = ident.remove_snippet(&snippet, &self.store) {
+            self.dirty.insert(old);
+        }
+        ident.force_assign(&snippet, story);
+        self.dirty.insert(story);
+        Ok(())
+    }
+
+    /// Allocate a fresh story id in `source` (for
+    /// [`StoryPivot::reassign_snippet`]).
+    pub fn fresh_story_id_for(&mut self, source: SourceId) -> Result<StoryId> {
+        self.identifiers
+            .get_mut(&source)
+            .map(Identifier::fresh_story_id)
+            .ok_or(Error::UnknownSource(source))
+    }
+
+    /// Run the merge/split maintenance pass over every source now
+    /// (ordinarily it runs automatically every
+    /// `identify.maintenance_every` ingests). Returns all splits as
+    /// `(original story, fragment ids)`; affected stories are marked
+    /// dirty for incremental re-alignment.
+    pub fn run_maintenance(&mut self) -> Vec<(StoryId, Vec<StoryId>)> {
+        let mut splits = Vec::new();
+        let mut sources: Vec<SourceId> = self.identifiers.keys().copied().collect();
+        sources.sort_unstable();
+        for source in sources {
+            let ident = self.identifiers.get_mut(&source).expect("listed source");
+            let report = ident.maintain(&self.store);
+            for (orig, fragments) in report.splits {
+                self.dirty.insert(orig);
+                self.dirty.extend(fragments.iter().copied());
+                splits.push((orig, fragments));
+            }
+        }
+        splits
+    }
+
+    // ---- alignment ----------------------------------------------------------
+
+    fn collect_states(&self) -> Vec<&StoryState> {
+        let mut ids: Vec<SourceId> = self.identifiers.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .flat_map(|id| {
+                let ident = &self.identifiers[id];
+                ident
+                    .story_ids()
+                    .into_iter()
+                    .map(move |sid| ident.story(sid).expect("listed story exists"))
+            })
+            .collect()
+    }
+
+    /// Run story alignment from scratch and return the outcome.
+    pub fn align(&mut self) -> &AlignOutcome {
+        let outcome = self.aligner.align(&self.collect_states(), &self.store);
+        self.dirty.clear();
+        self.outcome = Some(outcome);
+        self.outcome.as_ref().expect("just set")
+    }
+
+    /// Run alignment incrementally: only story pairs touching a dirty
+    /// story are rescored; everything else reuses the previous outcome.
+    /// Falls back to a full pass when no previous outcome exists.
+    pub fn align_incremental(&mut self) -> &AlignOutcome {
+        let outcome = match &self.outcome {
+            Some(prev) => self.aligner.align_incremental(
+                &self.collect_states(),
+                &self.store,
+                prev,
+                &self.dirty,
+            ),
+            None => self.aligner.align(&self.collect_states(), &self.store),
+        };
+        self.dirty.clear();
+        self.outcome = Some(outcome);
+        self.outcome.as_ref().expect("just set")
+    }
+
+    /// Number of stories currently marked dirty (ingested/changed since
+    /// the last alignment).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Run story refinement (Figure 1d): repeatedly move snippets whose
+    /// cross-source cohesion contradicts their assignment, re-aligning
+    /// between rounds, until a round makes no move or the configured
+    /// round budget is exhausted.
+    pub fn refine(&mut self) -> RefineReport {
+        let mut report = RefineReport::default();
+        for _ in 0..self.config.refine.max_rounds {
+            if self.outcome.is_none() || !self.dirty.is_empty() {
+                self.align_incremental();
+            }
+            let outcome = self.outcome.as_ref().expect("aligned above").clone();
+            let moves = refine_once(
+                &self.store,
+                &mut self.identifiers,
+                &outcome,
+                &self.config.refine,
+                &self.config.identify.weights,
+            );
+            report.rounds += 1;
+            if moves.is_empty() {
+                break;
+            }
+            for m in &moves {
+                self.dirty.insert(m.from_story);
+                self.dirty.insert(m.to_story);
+            }
+            report.moves.extend(moves);
+            self.align_incremental();
+        }
+        report
+    }
+
+    // ---- inspection ------------------------------------------------------------
+
+    /// The integrated global stories from the most recent alignment
+    /// (empty before the first [`StoryPivot::align`] call).
+    pub fn global_stories(&self) -> &[GlobalStory] {
+        self.outcome
+            .as_ref()
+            .map(|o| o.global_stories.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The full outcome of the most recent alignment.
+    pub fn alignment(&self) -> Option<&AlignOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// The per-source story a snippet belongs to.
+    pub fn story_of(&self, snippet: SnippetId) -> Option<StoryId> {
+        let source = self.store.get(snippet)?.source;
+        self.identifiers.get(&source)?.story_of(snippet)
+    }
+
+    /// The global story a snippet belongs to (after alignment).
+    pub fn global_of(&self, snippet: SnippetId) -> Option<GlobalStoryId> {
+        self.outcome.as_ref()?.snippet_to_global.get(&snippet).copied()
+    }
+
+    /// All story states of one source, ordered by story id.
+    pub fn stories_of_source(&self, source: SourceId) -> Vec<&StoryState> {
+        match self.identifiers.get(&source) {
+            Some(ident) => ident
+                .story_ids()
+                .into_iter()
+                .map(|id| ident.story(id).expect("listed story exists"))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// One story's state, looked up across sources.
+    pub fn story(&self, id: StoryId) -> Option<&StoryState> {
+        self.identifiers
+            .get(&crate::refine::story_source(id))
+            .and_then(|ident| ident.story(id))
+    }
+
+    /// Total number of per-source stories.
+    pub fn story_count(&self) -> usize {
+        self.identifiers.values().map(Identifier::story_count).sum()
+    }
+
+    /// Verify the engine's internal invariants, returning a description
+    /// of the first violation found. Intended for tests and debugging;
+    /// cost is linear in the corpus.
+    ///
+    /// Checked invariants:
+    /// 1. every stored snippet is assigned to exactly one story of its
+    ///    source, and every story member is a stored snippet;
+    /// 2. story lifespans cover their members' timestamps;
+    /// 3. when an alignment outcome exists, its global stories partition
+    ///    the per-source stories (modulo stories changed since).
+    pub fn check_invariants(&self) -> Result<()> {
+        let fail = |msg: String| Err(Error::Invariant(msg));
+
+        // (1) + (2)
+        let mut assigned = std::collections::HashSet::new();
+        for (source, ident) in &self.identifiers {
+            for story_id in ident.story_ids() {
+                let state = ident.story(story_id).expect("listed story exists");
+                if state.is_empty() {
+                    return fail(format!("story {story_id} is empty but alive"));
+                }
+                for &m in &state.story.members {
+                    let Some(sn) = self.store.get(m) else {
+                        return fail(format!("story {story_id} references missing snippet {m}"));
+                    };
+                    if sn.source != *source {
+                        return fail(format!("snippet {m} of {} in story of {source}", sn.source));
+                    }
+                    if ident.story_of(m) != Some(story_id) {
+                        return fail(format!("assignment map disagrees for {m}"));
+                    }
+                    if !state.lifespan().contains(sn.timestamp) {
+                        return fail(format!(
+                            "snippet {m} at {} outside story {story_id} lifespan {}",
+                            sn.timestamp,
+                            state.lifespan()
+                        ));
+                    }
+                    if !assigned.insert(m) {
+                        return fail(format!("snippet {m} belongs to two stories"));
+                    }
+                }
+            }
+        }
+        for sn in self.store.iter() {
+            if !assigned.contains(&sn.id) {
+                return fail(format!("stored snippet {} is unassigned", sn.id));
+            }
+        }
+
+        // (3) — only meaningful right after alignment (dirty == 0).
+        if let Some(outcome) = &self.outcome {
+            if self.dirty.is_empty() {
+                let mut covered = std::collections::HashSet::new();
+                for g in &outcome.global_stories {
+                    for &s in &g.member_stories {
+                        if !covered.insert(s) {
+                            return fail(format!("story {s} in two global stories"));
+                        }
+                    }
+                }
+                for ident in self.identifiers.values() {
+                    for story_id in ident.story_ids() {
+                        if !covered.contains(&story_id) {
+                            return fail(format!("story {story_id} missing from alignment"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_types::{EntityId, EventType, TermId, Timestamp, DAY};
+
+    fn snip(pivot: &mut StoryPivot, source: SourceId, day: i64, entities: &[u32], terms: &[u32]) -> SnippetId {
+        let id = pivot.fresh_snippet_id();
+        let mut b = Snippet::builder(id, source, Timestamp::from_secs(day * DAY))
+            .event_type(EventType::Accident);
+        for &e in entities {
+            b = b.entity(EntityId::new(e), 1.0);
+        }
+        for &t in terms {
+            b = b.term(TermId::new(t), 1.0);
+        }
+        pivot.ingest(b.build()).unwrap();
+        id
+    }
+
+    #[test]
+    fn end_to_end_two_sources() {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let a = pivot.add_source("NYT", SourceKind::Newspaper);
+        let b = pivot.add_source("WSJ", SourceKind::Newspaper);
+        for day in 0..5 {
+            snip(&mut pivot, a, day, &[1, 2], &[10, 11]);
+            snip(&mut pivot, b, day, &[1, 2], &[10, 11]);
+        }
+        assert_eq!(pivot.story_count(), 2);
+        pivot.align();
+        assert_eq!(pivot.global_stories().len(), 1);
+        assert!(pivot.global_stories()[0].is_cross_source());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = PivotConfig::default();
+        cfg.identify.match_threshold = 7.0;
+        assert!(StoryPivot::try_new(cfg).is_err());
+    }
+
+    #[test]
+    fn unknown_source_ingest_fails() {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let s = Snippet::builder(SnippetId::new(0), SourceId::new(9), Timestamp::EPOCH).build();
+        assert!(matches!(pivot.ingest(s), Err(Error::UnknownSource(_))));
+    }
+
+    #[test]
+    fn dirty_tracking_and_incremental_alignment() {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let a = pivot.add_source("a", SourceKind::Newspaper);
+        let b = pivot.add_source("b", SourceKind::Newspaper);
+        for day in 0..3 {
+            snip(&mut pivot, a, day, &[1, 2], &[10]);
+            snip(&mut pivot, b, day, &[1, 2], &[10]);
+        }
+        assert!(pivot.dirty_count() > 0);
+        pivot.align();
+        assert_eq!(pivot.dirty_count(), 0);
+        snip(&mut pivot, a, 3, &[1, 2], &[10]);
+        assert_eq!(pivot.dirty_count(), 1);
+        pivot.align_incremental();
+        assert_eq!(pivot.global_stories().len(), 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let build = |parallel: bool| -> Vec<Vec<SnippetId>> {
+            let mut pivot = StoryPivot::new(PivotConfig::default());
+            let a = pivot.add_source("a", SourceKind::Newspaper);
+            let b = pivot.add_source("b", SourceKind::Newspaper);
+            let mut batch = Vec::new();
+            for day in 0..10i64 {
+                for (src, ent) in [(a, day % 3), (b, day % 3)] {
+                    let id = pivot.fresh_snippet_id();
+                    let e = ent as u32 * 10;
+                    batch.push(
+                        Snippet::builder(id, src, Timestamp::from_secs(day * DAY))
+                            .entity(EntityId::new(e), 1.0)
+                            .entity(EntityId::new(e + 1), 1.0)
+                            .term(TermId::new(e), 1.0)
+                            .build(),
+                    );
+                }
+            }
+            if parallel {
+                pivot.ingest_batch_parallel(batch).unwrap();
+            } else {
+                // Sequential per-source in (timestamp, id) order mirrors
+                // what the parallel path does per source.
+                let mut sorted = batch;
+                sorted.sort_by_key(|s| (s.source, s.timestamp, s.id));
+                pivot.ingest_batch(sorted).unwrap();
+            }
+            pivot.align();
+            let mut partitions: Vec<Vec<SnippetId>> = pivot
+                .global_stories()
+                .iter()
+                .map(|g| g.members.iter().map(|&(m, _)| m).collect())
+                .collect();
+            partitions.sort();
+            partitions
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn document_removal_updates_stories() {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let a = pivot.add_source("a", SourceKind::Newspaper);
+        let doc = pivot.fresh_doc_id();
+        let id0 = pivot.fresh_snippet_id();
+        pivot
+            .ingest(
+                Snippet::builder(id0, a, Timestamp::EPOCH)
+                    .doc(doc)
+                    .entity(EntityId::new(1), 1.0)
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(pivot.story_count(), 1);
+        assert_eq!(pivot.remove_document(doc).unwrap(), 1);
+        assert_eq!(pivot.story_count(), 0);
+        assert!(pivot.remove_document(doc).is_err());
+    }
+
+    #[test]
+    fn source_removal_prunes_everything() {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let a = pivot.add_source("a", SourceKind::Newspaper);
+        let b = pivot.add_source("b", SourceKind::Newspaper);
+        snip(&mut pivot, a, 0, &[1], &[1]);
+        snip(&mut pivot, b, 0, &[1], &[1]);
+        pivot.align();
+        assert_eq!(pivot.remove_source(a).unwrap(), 1);
+        pivot.align_incremental();
+        assert_eq!(pivot.global_stories().len(), 1);
+        assert_eq!(pivot.global_stories()[0].sources, vec![b]);
+    }
+
+    #[test]
+    fn refine_fixes_injected_error() {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let a = pivot.add_source("a", SourceKind::Newspaper);
+        let b = pivot.add_source("b", SourceKind::Newspaper);
+        // Two clear stories in both sources.
+        let mut crash_snips = Vec::new();
+        for day in 0..3 {
+            crash_snips.push(snip(&mut pivot, a, day, &[1, 2], &[10, 11]));
+            snip(&mut pivot, a, day, &[7, 8], &[20, 21]);
+            snip(&mut pivot, b, day, &[1, 2], &[10, 11]);
+            snip(&mut pivot, b, day, &[7, 8], &[20, 21]);
+        }
+        // Inject an error: force the last crash snippet into the sports
+        // story of source a.
+        let victim_id = crash_snips[2];
+        let victim = pivot.store().get(victim_id).unwrap().clone();
+        let sports_story = pivot
+            .stories_of_source(a)
+            .iter()
+            .map(|s| s.id())
+            .find(|&sid| sid != pivot.story_of(victim_id).unwrap())
+            .unwrap();
+        let right_story = pivot.story_of(victim_id).unwrap();
+        {
+            let ident = pivot.identifiers.get_mut(&a).unwrap();
+            ident.remove_snippet(&victim, &pivot.store);
+            ident.force_assign(&victim, sports_story);
+        }
+        pivot.dirty.insert(sports_story);
+        pivot.dirty.insert(right_story);
+
+        let report = pivot.refine();
+        assert!(report.move_count() >= 1, "refinement must correct the error");
+        assert_eq!(pivot.story_of(victim_id), Some(right_story));
+    }
+
+    #[test]
+    fn global_stories_empty_before_alignment() {
+        let pivot = StoryPivot::new(PivotConfig::default());
+        assert!(pivot.global_stories().is_empty());
+        assert!(pivot.alignment().is_none());
+    }
+}

@@ -1,0 +1,332 @@
+//! Story refinement (paper §2.3, Figure 1d).
+//!
+//! Alignment reveals identification mistakes: in the paper's running
+//! example, `v¹₄` was wrongly assigned to story `c¹₁`, and correlating
+//! events across sources exposes the irregularity. Refinement moves such
+//! snippets to the global story where they are most *cohesive* and
+//! propagates the decision back into the per-source story sets.
+//!
+//! The rule is conservative (hysteresis): a snippet only moves when its
+//! cohesion in the best competing global story exceeds cohesion in its
+//! current one by a configurable margin.
+
+use std::collections::HashMap;
+
+use storypivot_store::EventStore;
+use storypivot_types::{GlobalStoryId, SnippetId, SourceId, StoryId};
+
+use crate::align::AlignOutcome;
+use crate::config::RefineConfig;
+use crate::identify::{Identifier, STORY_ID_STRIDE};
+use crate::sim::SimWeights;
+
+/// One corrective move performed by refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineMove {
+    /// The snippet that moved.
+    pub snippet: SnippetId,
+    /// Its per-source story before the move.
+    pub from_story: StoryId,
+    /// Its per-source story after the move (possibly freshly created).
+    pub to_story: StoryId,
+    /// The global story it left.
+    pub from_global: GlobalStoryId,
+    /// The global story it joined.
+    pub to_global: GlobalStoryId,
+}
+
+/// Summary of a [`crate::pivot::StoryPivot::refine`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RefineReport {
+    /// All moves across all rounds, in application order.
+    pub moves: Vec<RefineMove>,
+    /// Number of rounds executed (each followed by re-alignment).
+    pub rounds: usize,
+}
+
+impl RefineReport {
+    /// Number of snippets moved.
+    pub fn move_count(&self) -> usize {
+        self.moves.len()
+    }
+}
+
+/// The source owning a story id (story ids are partitioned by source,
+/// see [`STORY_ID_STRIDE`]).
+#[inline]
+pub fn story_source(story: StoryId) -> SourceId {
+    SourceId::new(story.raw() / STORY_ID_STRIDE)
+}
+
+/// Cohesion of snippet `v` with a set of member snippets: the maximum
+/// content similarity to any *other* member (single-link, mirroring the
+/// identification criterion).
+fn cohesion(
+    v: &storypivot_types::Snippet,
+    members: &[SnippetId],
+    store: &EventStore,
+    weights: &SimWeights,
+) -> f64 {
+    let mut best = 0.0f64;
+    for &m in members {
+        if m == v.id {
+            continue;
+        }
+        if let Some(other) = store.get(m) {
+            let s = weights.snippet_sim(v, other);
+            if s > best {
+                best = s;
+            }
+        }
+    }
+    best
+}
+
+/// One refinement sweep against a fixed alignment outcome. Returns the
+/// moves applied to `identifiers` (callers re-align afterwards).
+pub fn refine_once(
+    store: &EventStore,
+    identifiers: &mut HashMap<SourceId, Identifier>,
+    outcome: &AlignOutcome,
+    cfg: &RefineConfig,
+    weights: &SimWeights,
+) -> Vec<RefineMove> {
+    // Member snippet lists per global story.
+    let mut members_of: HashMap<GlobalStoryId, Vec<SnippetId>> = HashMap::new();
+    for g in &outcome.global_stories {
+        members_of.insert(g.id, g.members.iter().map(|&(id, _)| id).collect());
+    }
+
+    // ---- plan moves on the frozen state ---------------------------
+    let mut planned: Vec<RefineMove> = Vec::new();
+    for g in &outcome.global_stories {
+        for &(snippet_id, _) in &g.members {
+            let Some(v) = store.get(snippet_id) else { continue };
+            let current = cohesion(v, &members_of[&g.id], store, weights);
+
+            // Candidate alternative global stories: wherever snippets
+            // sharing entities with v live.
+            let mut seen: Vec<GlobalStoryId> = Vec::new();
+            let mut best_alt: Option<(GlobalStoryId, f64)> = None;
+            for (cand, _overlap) in store.candidates_by_entities(v.entities().keys()) {
+                if cand == v.id {
+                    continue;
+                }
+                let Some(&alt_g) = outcome.snippet_to_global.get(&cand) else { continue };
+                if alt_g == g.id || seen.contains(&alt_g) {
+                    continue;
+                }
+                seen.push(alt_g);
+                if seen.len() > 8 {
+                    break; // cap candidate evaluation
+                }
+                let score = cohesion(v, &members_of[&alt_g], store, weights);
+                if best_alt.is_none_or(|(_, s)| score > s) {
+                    best_alt = Some((alt_g, score));
+                }
+            }
+
+            if let Some((to_global, alt_score)) = best_alt {
+                if alt_score >= cfg.min_target_cohesion && alt_score - current > cfg.move_margin {
+                    let Some(from_story) = identifiers
+                        .get(&v.source)
+                        .and_then(|i| i.story_of(v.id))
+                    else {
+                        continue;
+                    };
+                    planned.push(RefineMove {
+                        snippet: v.id,
+                        from_story,
+                        to_story: from_story, // fixed up at apply time
+                        from_global: g.id,
+                        to_global,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- apply ------------------------------------------------------
+    let mut applied = Vec::with_capacity(planned.len());
+    for mut mv in planned {
+        let Some(v) = store.get(mv.snippet).cloned() else { continue };
+        let Some(ident) = identifiers.get_mut(&v.source) else { continue };
+        if ident.story_of(v.id) != Some(mv.from_story) {
+            continue; // a previous move already touched this story
+        }
+        // Target per-source story: the target global story's member
+        // story in v's source, or a fresh story.
+        let target_global = outcome
+            .global_stories
+            .iter()
+            .find(|g| g.id == mv.to_global)
+            .expect("global story exists");
+        let to_story = target_global
+            .member_stories
+            .iter()
+            .copied()
+            .find(|&s| story_source(s) == v.source)
+            .unwrap_or_else(|| {
+                identifiers
+                    .get_mut(&v.source)
+                    .expect("identifier exists")
+                    .fresh_story_id()
+            });
+        let ident = identifiers.get_mut(&v.source).expect("identifier exists");
+        ident.remove_snippet(&v, store);
+        ident.force_assign(&v, to_story);
+        mv.to_story = to_story;
+        applied.push(mv);
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::Aligner;
+    use crate::config::{AlignConfig, IdentifyConfig, MatchMode, SketchConfig};
+    use storypivot_types::{
+        EntityId, EventType, Snippet, Source, SourceKind, TermId, Timestamp, DAY,
+    };
+
+    fn snip(id: u32, source: u32, day: i64, entities: &[u32], terms: &[u32]) -> Snippet {
+        let mut b = Snippet::builder(
+            SnippetId::new(id),
+            SourceId::new(source),
+            Timestamp::from_secs(day * DAY),
+        )
+        .event_type(EventType::Accident);
+        for &e in entities {
+            b = b.entity(EntityId::new(e), 1.0);
+        }
+        for &t in terms {
+            b = b.term(TermId::new(t), 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn story_source_inverts_partitioning() {
+        let mut ident = Identifier::new(
+            SourceId::new(3),
+            IdentifyConfig::default(),
+            SketchConfig::default(),
+        );
+        let id = ident.fresh_story_id();
+        assert_eq!(story_source(id), SourceId::new(3));
+    }
+
+    /// Reproduce Figure 1d: a snippet misassigned within its source is
+    /// pulled to the right global story by cross-source evidence.
+    #[test]
+    fn misassigned_snippet_is_corrected() {
+        let mut store = EventStore::new();
+        let mut identifiers: HashMap<SourceId, Identifier> = HashMap::new();
+        for i in 0..2u32 {
+            store
+                .register_source(Source::new(SourceId::new(i), format!("s{i}"), SourceKind::Newspaper))
+                .unwrap();
+            identifiers.insert(
+                SourceId::new(i),
+                Identifier::new(
+                    SourceId::new(i),
+                    IdentifyConfig {
+                        mode: MatchMode::Temporal { omega: 7 * DAY },
+                        maintenance_every: 0,
+                        ..IdentifyConfig::default()
+                    },
+                    SketchConfig::default(),
+                ),
+            );
+        }
+
+        let ingest = |s: Snippet, store: &mut EventStore, idents: &mut HashMap<SourceId, Identifier>| {
+            store.insert(s.clone()).unwrap();
+            idents.get_mut(&s.source).unwrap().assign(&s, store);
+        };
+
+        // Source 0: story A (plane crash) and story B (unrelated sports).
+        for (i, day) in [(0u32, 0i64), (1, 1), (2, 2)] {
+            ingest(snip(i, 0, day, &[1, 2], &[10, 11]), &mut store, &mut identifiers);
+        }
+        for (i, day) in [(10u32, 0i64), (11, 1), (12, 2)] {
+            ingest(snip(i, 0, day, &[7, 8], &[20, 21]), &mut store, &mut identifiers);
+        }
+        // Source 1 mirrors both stories.
+        for (i, day) in [(20u32, 0i64), (21, 1), (22, 2)] {
+            ingest(snip(i, 1, day, &[1, 2], &[10, 11]), &mut store, &mut identifiers);
+        }
+        for (i, day) in [(30u32, 0i64), (31, 1), (32, 2)] {
+            ingest(snip(i, 1, day, &[7, 8], &[20, 21]), &mut store, &mut identifiers);
+        }
+
+        // Inject the identification error: move snippet 2 (crash story)
+        // into source 0's sports story, Figure 1's wrong `v¹₄`.
+        let victim = store.get(SnippetId::new(2)).unwrap().clone();
+        let wrong_story = identifiers[&SourceId::new(0)]
+            .story_of(SnippetId::new(10))
+            .unwrap();
+        let right_story = identifiers[&SourceId::new(0)]
+            .story_of(SnippetId::new(0))
+            .unwrap();
+        {
+            let ident = identifiers.get_mut(&SourceId::new(0)).unwrap();
+            ident.remove_snippet(&victim, &store);
+            ident.force_assign(&victim, wrong_story);
+        }
+
+        let aligner = Aligner::new(AlignConfig::default(), SimWeights::default());
+        let states: Vec<&crate::state::StoryState> =
+            identifiers.values().flat_map(|i| i.stories()).collect();
+        let outcome = aligner.align(&states, &store);
+
+        let moves = refine_once(
+            &store,
+            &mut identifiers,
+            &outcome,
+            &RefineConfig::default(),
+            &SimWeights::default(),
+        );
+
+        assert!(
+            moves.iter().any(|m| m.snippet == SnippetId::new(2)),
+            "the misassigned snippet must move; moves: {moves:?}"
+        );
+        assert_eq!(
+            identifiers[&SourceId::new(0)].story_of(SnippetId::new(2)),
+            Some(right_story),
+            "snippet must return to the crash story"
+        );
+    }
+
+    #[test]
+    fn well_assigned_snippets_stay_put() {
+        let mut store = EventStore::new();
+        let mut identifiers: HashMap<SourceId, Identifier> = HashMap::new();
+        store
+            .register_source(Source::new(SourceId::new(0), "s0", SourceKind::Newspaper))
+            .unwrap();
+        identifiers.insert(
+            SourceId::new(0),
+            Identifier::new(SourceId::new(0), IdentifyConfig::default(), SketchConfig::default()),
+        );
+        for (i, day) in [(0u32, 0i64), (1, 1), (2, 2)] {
+            let s = snip(i, 0, day, &[1, 2], &[10, 11]);
+            store.insert(s.clone()).unwrap();
+            identifiers.get_mut(&SourceId::new(0)).unwrap().assign(&s, &store);
+        }
+        let aligner = Aligner::new(AlignConfig::default(), SimWeights::default());
+        let states: Vec<&crate::state::StoryState> =
+            identifiers.values().flat_map(|i| i.stories()).collect();
+        let outcome = aligner.align(&states, &store);
+        let moves = refine_once(
+            &store,
+            &mut identifiers,
+            &outcome,
+            &RefineConfig::default(),
+            &SimWeights::default(),
+        );
+        assert!(moves.is_empty(), "no spurious moves: {moves:?}");
+    }
+}

@@ -1,0 +1,360 @@
+//! Per-story aggregate state.
+//!
+//! A [`StoryState`] carries everything the matching phases need to know
+//! about one per-source story without touching its member snippets:
+//! centroid entity/term vectors, a MinHash sketch, a temporal evolution
+//! signature, heavy-hitter digests, and the event-type histogram. All of
+//! it updates incrementally in `O(content + k)` per added snippet — the
+//! "sketch" abstraction of paper §2.4.
+
+use storypivot_sketch::{HashFamily, MinHash, TemporalSignature, TopK};
+use storypivot_types::{
+    EntityId, EventType, Snippet, SourceId, SparseVec, StoryId, TermId, TimeRange,
+};
+
+use crate::config::SketchConfig;
+
+/// Map an entity id into the shared 64-bit sketch item space.
+#[inline]
+pub fn entity_item(e: EntityId) -> u64 {
+    (1u64 << 32) | e.raw() as u64
+}
+
+/// Map a term id into the shared 64-bit sketch item space.
+#[inline]
+pub fn term_item(t: TermId) -> u64 {
+    (2u64 << 32) | t.raw() as u64
+}
+
+/// Aggregate state of one per-source story.
+#[derive(Debug, Clone)]
+pub struct StoryState {
+    /// The story's membership and lifespan.
+    pub story: storypivot_types::Story,
+    /// Summed entity weights over all member snippets (centroid × n).
+    pub entities: SparseVec<EntityId>,
+    /// Summed term weights over all member snippets.
+    pub terms: SparseVec<TermId>,
+    /// MinHash sketch of the union of member entity/term sets.
+    pub sketch: MinHash,
+    /// Bucketed activity curve of the story's evolution.
+    pub signature: TemporalSignature,
+    /// Heavy-hitter entity digest (`{UKR,5}; {NTH,2}; …` in Figure 4).
+    pub entity_counts: TopK,
+    /// Heavy-hitter description-term digest.
+    pub term_counts: TopK,
+    /// Histogram of member event types.
+    pub event_types: [u32; EventType::COUNT],
+}
+
+impl StoryState {
+    /// A new empty story in `source`.
+    pub fn new(id: StoryId, source: SourceId, family: &HashFamily, cfg: &SketchConfig, bucket_width: i64) -> Self {
+        StoryState {
+            story: storypivot_types::Story::new(id, source),
+            entities: SparseVec::new(),
+            terms: SparseVec::new(),
+            sketch: MinHash::empty(family.len()),
+            signature: TemporalSignature::new(bucket_width),
+            entity_counts: TopK::new(cfg.topk_capacity),
+            term_counts: TopK::new(cfg.topk_capacity),
+            event_types: [0; EventType::COUNT],
+        }
+    }
+
+    /// Story id.
+    #[inline]
+    pub fn id(&self) -> StoryId {
+        self.story.id
+    }
+
+    /// Owning source.
+    #[inline]
+    pub fn source(&self) -> SourceId {
+        self.story.source
+    }
+
+    /// Number of member snippets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.story.len()
+    }
+
+    /// Whether the story has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.story.is_empty()
+    }
+
+    /// Story lifespan.
+    #[inline]
+    pub fn lifespan(&self) -> TimeRange {
+        self.story.lifespan
+    }
+
+    /// Fold a snippet into every aggregate.
+    pub fn add_snippet(&mut self, snippet: &Snippet, family: &HashFamily) {
+        debug_assert_eq!(snippet.source, self.story.source, "cross-source story member");
+        self.story.add_member(snippet.id, snippet.timestamp);
+        self.entities.merge_add(snippet.entities());
+        self.terms.merge_add(snippet.terms());
+        for e in snippet.entities().keys() {
+            self.sketch.insert(family, entity_item(e));
+            self.entity_counts.add(e.raw() as u64, 1);
+        }
+        for t in snippet.terms().keys() {
+            self.sketch.insert(family, term_item(t));
+            self.term_counts.add(t.raw() as u64, 1);
+        }
+        self.signature.add(snippet.timestamp, 1.0);
+        self.event_types[snippet.content.event_type.code() as usize] += 1;
+    }
+
+    /// Remove a snippet from the *subtractable* aggregates. MinHash and
+    /// TopK cannot subtract; callers that need them tight after removal
+    /// rebuild via [`StoryState::rebuild`]. Returns whether the snippet
+    /// was a member.
+    pub fn remove_snippet(&mut self, snippet: &Snippet) -> bool {
+        if !self.story.remove_member(snippet.id) {
+            return false;
+        }
+        self.entities.merge_sub(snippet.entities());
+        self.terms.merge_sub(snippet.terms());
+        self.signature.remove(snippet.timestamp, 1.0);
+        let ty = snippet.content.event_type.code() as usize;
+        self.event_types[ty] = self.event_types[ty].saturating_sub(1);
+        true
+    }
+
+    /// Rebuild every aggregate exactly from the given member snippets
+    /// (used after removals and splits). The membership list is replaced
+    /// by the snippets passed in.
+    pub fn rebuild<'a, I>(&mut self, members: I, family: &HashFamily, cfg: &SketchConfig)
+    where
+        I: IntoIterator<Item = &'a Snippet>,
+    {
+        let id = self.story.id;
+        let source = self.story.source;
+        let bucket_width = self.signature.bucket_width();
+        *self = StoryState::new(id, source, family, cfg, bucket_width);
+        for s in members {
+            self.add_snippet(s, family);
+        }
+    }
+
+    /// Absorb all aggregates of `other` (story merge). Membership and
+    /// lifespan merge too; `other` should be discarded afterwards.
+    pub fn absorb(&mut self, other: &StoryState) {
+        for &m in &other.story.members {
+            if let Err(pos) = self.story.members.binary_search(&m) {
+                self.story.members.insert(pos, m);
+            }
+        }
+        self.story.lifespan = self.story.lifespan.cover(other.story.lifespan);
+        self.entities.merge_add(&other.entities);
+        self.terms.merge_add(&other.terms);
+        self.sketch.merge(&other.sketch);
+        self.signature.merge(&other.signature);
+        self.entity_counts.merge(&other.entity_counts);
+        self.term_counts.merge(&other.term_counts);
+        for (a, &b) in self.event_types.iter_mut().zip(&other.event_types) {
+            *a += b;
+        }
+    }
+
+    /// The story's dominant event type (ties break by discriminant).
+    pub fn dominant_event_type(&self) -> EventType {
+        let mut best = EventType::Other;
+        let mut best_count = 0u32;
+        for (i, &c) in self.event_types.iter().enumerate() {
+            if c > best_count {
+                best_count = c;
+                best = EventType::ALL[i];
+            }
+        }
+        best
+    }
+
+    /// Centroid-normalized entity vector (weights divided by member
+    /// count) — used for cohesion scoring.
+    pub fn entity_centroid(&self) -> SparseVec<EntityId> {
+        let mut v = self.entities.clone();
+        if !self.is_empty() {
+            v.scale(1.0 / self.len() as f32);
+        }
+        v
+    }
+
+    /// Exact content similarity between two stories: weighted Jaccard of
+    /// entity mass plus cosine of term mass, averaged.
+    pub fn content_sim_exact(&self, other: &StoryState) -> f64 {
+        let e = self.entities.weighted_jaccard(&other.entities);
+        let t = self.terms.cosine(&other.terms);
+        0.6 * e + 0.4 * t
+    }
+
+    /// Sketched content similarity: MinHash Jaccard estimate over the
+    /// union item sets (entities + terms).
+    pub fn content_sim_sketch(&self, other: &StoryState) -> f64 {
+        self.sketch.estimate_jaccard(&other.sketch)
+    }
+
+    /// Top `n` entities with (approximate) occurrence counts.
+    pub fn top_entities(&self, n: usize) -> Vec<(EntityId, u64)> {
+        self.entity_counts
+            .top(n)
+            .into_iter()
+            .map(|(item, c)| (EntityId::new(item as u32), c))
+            .collect()
+    }
+
+    /// Top `n` description terms with (approximate) occurrence counts.
+    pub fn top_terms(&self, n: usize) -> Vec<(TermId, u64)> {
+        self.term_counts
+            .top(n)
+            .into_iter()
+            .map(|(item, c)| (TermId::new(item as u32), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_types::{SnippetId, Timestamp, DAY};
+
+    fn family() -> HashFamily {
+        HashFamily::new(SketchConfig::default().seed, 64)
+    }
+
+    fn state() -> StoryState {
+        StoryState::new(StoryId::new(0), SourceId::new(0), &family(), &SketchConfig::default(), DAY)
+    }
+
+    fn snip(id: u32, day: i64, entities: &[u32], terms: &[u32]) -> Snippet {
+        let mut b = Snippet::builder(
+            SnippetId::new(id),
+            SourceId::new(0),
+            Timestamp::from_secs(day * DAY),
+        );
+        for &e in entities {
+            b = b.entity(EntityId::new(e), 1.0);
+        }
+        for &t in terms {
+            b = b.term(TermId::new(t), 1.0);
+        }
+        b.event_type(EventType::Accident).build()
+    }
+
+    #[test]
+    fn add_updates_all_aggregates() {
+        let f = family();
+        let mut s = state();
+        s.add_snippet(&snip(0, 0, &[1, 2], &[10]), &f);
+        s.add_snippet(&snip(1, 2, &[1], &[10, 11]), &f);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.entities.get(&EntityId::new(1)), Some(2.0));
+        assert_eq!(s.terms.get(&TermId::new(10)), Some(2.0));
+        assert!(!s.sketch.is_empty());
+        assert_eq!(s.signature.total(), 2.0);
+        assert_eq!(s.dominant_event_type(), EventType::Accident);
+        assert_eq!(s.top_entities(1), vec![(EntityId::new(1), 2)]);
+        assert_eq!(
+            s.lifespan(),
+            TimeRange::new(Timestamp::from_secs(0), Timestamp::from_secs(2 * DAY))
+        );
+    }
+
+    #[test]
+    fn remove_subtracts() {
+        let f = family();
+        let mut s = state();
+        let a = snip(0, 0, &[1, 2], &[10]);
+        let b = snip(1, 1, &[1], &[11]);
+        s.add_snippet(&a, &f);
+        s.add_snippet(&b, &f);
+        assert!(s.remove_snippet(&a));
+        assert!(!s.remove_snippet(&a), "second removal is a no-op");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entities.get(&EntityId::new(2)), None);
+        assert_eq!(s.entities.get(&EntityId::new(1)), Some(1.0));
+        assert_eq!(s.signature.total(), 1.0);
+    }
+
+    #[test]
+    fn rebuild_restores_exact_state() {
+        let f = family();
+        let cfg = SketchConfig::default();
+        let mut s = state();
+        let a = snip(0, 0, &[1], &[10]);
+        let b = snip(1, 1, &[2], &[11]);
+        s.add_snippet(&a, &f);
+        s.add_snippet(&b, &f);
+        s.remove_snippet(&a);
+        // Sketch is stale (still contains a's items); rebuild fixes it.
+        s.rebuild([&b], &f, &cfg);
+        let mut fresh = state();
+        fresh.add_snippet(&b, &f);
+        assert_eq!(s.sketch, fresh.sketch);
+        assert_eq!(s.entities, fresh.entities);
+        assert_eq!(s.story.members, fresh.story.members);
+        assert_eq!(s.lifespan(), fresh.lifespan());
+    }
+
+    #[test]
+    fn absorb_merges_everything() {
+        let f = family();
+        let mut a = state();
+        a.add_snippet(&snip(0, 0, &[1], &[10]), &f);
+        let mut b = StoryState::new(StoryId::new(1), SourceId::new(0), &f, &SketchConfig::default(), DAY);
+        b.add_snippet(&snip(1, 5, &[2], &[11]), &f);
+        a.absorb(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.story.contains(SnippetId::new(1)));
+        assert_eq!(a.entities.len(), 2);
+        assert_eq!(a.signature.total(), 2.0);
+        assert_eq!(
+            a.lifespan(),
+            TimeRange::new(Timestamp::from_secs(0), Timestamp::from_secs(5 * DAY))
+        );
+    }
+
+    #[test]
+    fn similar_stories_have_high_content_sim() {
+        let f = family();
+        let mut a = state();
+        let mut b = StoryState::new(StoryId::new(1), SourceId::new(1), &f, &SketchConfig::default(), DAY);
+        for i in 0..5 {
+            a.add_snippet(&snip(i, i as i64, &[1, 2, 3], &[10, 11]), &f);
+        }
+        for i in 5..10 {
+            let mut s = snip(i, (i - 5) as i64, &[1, 2, 3], &[10, 11]);
+            s.source = SourceId::new(1);
+            b.add_snippet(&s, &f);
+        }
+        assert!(a.content_sim_exact(&b) > 0.8);
+        assert!(a.content_sim_sketch(&b) > 0.8);
+
+        let mut c = StoryState::new(StoryId::new(2), SourceId::new(1), &f, &SketchConfig::default(), DAY);
+        let mut s = snip(20, 0, &[7, 8], &[20]);
+        s.source = SourceId::new(1);
+        c.add_snippet(&s, &f);
+        assert!(a.content_sim_exact(&c) < 0.1);
+        assert!(a.content_sim_sketch(&c) < 0.2);
+    }
+
+    #[test]
+    fn centroid_divides_by_member_count() {
+        let f = family();
+        let mut s = state();
+        s.add_snippet(&snip(0, 0, &[1], &[]), &f);
+        s.add_snippet(&snip(1, 0, &[1], &[]), &f);
+        let c = s.entity_centroid();
+        assert!((c.get(&EntityId::new(1)).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn item_spaces_do_not_collide() {
+        assert_ne!(entity_item(EntityId::new(5)), term_item(TermId::new(5)));
+    }
+}

@@ -1,0 +1,29 @@
+use storypivot_core::sim::SimWeights;
+use storypivot_demo::mh17::Mh17Demo;
+
+fn main() {
+    let demo = Mh17Demo::build();
+    let w = SimWeights::default();
+    let store = demo.pivot.store();
+    let n = demo.len();
+    println!("assignments:");
+    for i in 0..n {
+        let sid = demo.snippet_of_doc(i).unwrap();
+        let sn = store.get(sid).unwrap();
+        println!("  doc{i:<2} {sid} story={:?} global={:?} type={} title={}",
+            demo.pivot.story_of(sid), demo.pivot.global_of(sid), sn.content.event_type, demo.documents[i].title);
+    }
+    println!("pairwise sims (x10, row=doc, col=doc):");
+    print!("     ");
+    for j in 0..n { print!("{j:>4}"); }
+    println!();
+    for i in 0..n {
+        print!("{i:>4}:");
+        let a = store.get(demo.snippet_of_doc(i).unwrap()).unwrap();
+        for j in 0..n {
+            let b = store.get(demo.snippet_of_doc(j).unwrap()).unwrap();
+            print!("{:>4.0}", w.snippet_sim(a, b) * 100.0);
+        }
+        println!();
+    }
+}

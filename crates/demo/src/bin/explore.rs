@@ -1,0 +1,253 @@
+//! Interactive StoryPivot exploration shell — the scriptable equivalent
+//! of the paper's demo UI, over either the curated MH17 corpus
+//! (§4.2.1, with document add/remove) or a large generated GDELT-like
+//! corpus (§4.2.2, fixed dataset, query-only).
+//!
+//! ```text
+//! cargo run -p storypivot-demo --bin explore                      # MH17
+//! cargo run -p storypivot-demo --bin explore -- --generated 4000 # large-scale
+//! echo -e "overview\nstory 0\nquit" | cargo run -p storypivot-demo --bin explore
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! docs                 document selection module (Figure 3; MH17 only)
+//! overview             story overview module (Figure 4)
+//! source <id>          stories per source (Figure 5)
+//! story <id>           snippets per story (Figure 6)
+//! snippet <id>         one snippet's extraction record
+//! why <id>             explain a snippet's assignment (§4.2.1)
+//! find <entity name>   stories mentioning an entity (§4.2 queries)
+//! add <doc> / remove <doc>   interactive document exploration (MH17 only)
+//! stats                dataset statistics
+//! help / quit
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use storypivot_core::config::PivotConfig;
+use storypivot_core::pivot::StoryPivot;
+use storypivot_core::query::{query_stories, StoryQuery};
+use storypivot_demo::mh17::Mh17Demo;
+use storypivot_demo::modules;
+use storypivot_demo::names::{CorpusNames, NameSource, PipelineNames};
+use storypivot_gen::{Corpus, CorpusBuilder, GenConfig};
+use storypivot_text::tokenize;
+use storypivot_types::{EntityId, GlobalStoryId, SnippetId, SourceId, DAY};
+
+/// The two demo worlds of §4.2.
+enum World {
+    /// Curated MH17 corpus with interactive document add/remove.
+    Mh17(Box<Mh17Demo>, Vec<bool>),
+    /// Pre-computed large-scale run over a generated corpus.
+    Generated(Box<StoryPivot>, Box<Corpus>),
+}
+
+impl World {
+    fn pivot(&self) -> &StoryPivot {
+        match self {
+            World::Mh17(demo, _) => &demo.pivot,
+            World::Generated(pivot, _) => pivot,
+        }
+    }
+
+    fn with_names<T>(&self, f: impl FnOnce(&dyn NameSource) -> T) -> T {
+        match self {
+            World::Mh17(demo, _) => f(&PipelineNames(&demo.pipeline)),
+            World::Generated(_, corpus) => f(&CorpusNames(corpus)),
+        }
+    }
+
+    /// Resolve an entity by display name.
+    fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        match self {
+            World::Mh17(demo, _) => {
+                let tokens = tokenize(name);
+                demo.pipeline
+                    .annotator()
+                    .gazetteer()
+                    .recognize(&tokens)
+                    .first()
+                    .map(|m| m.entity)
+            }
+            World::Generated(_, corpus) => corpus
+                .entity_names
+                .iter()
+                .position(|n| n.eq_ignore_ascii_case(name))
+                .map(|i| EntityId::new(i as u32)),
+        }
+    }
+}
+
+fn build_world() -> World {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--generated") {
+        let target: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2_000);
+        eprintln!("generating a GDELT-like corpus (~{target} snippets) and detecting stories …");
+        let corpus = CorpusBuilder::new(
+            GenConfig::default()
+                .with_sources(10)
+                .with_target_snippets(target),
+        )
+        .build();
+        let mut pivot = StoryPivot::new(PivotConfig::temporal(14 * DAY));
+        for s in &corpus.sources {
+            pivot.add_source_with_lag(s.name.clone(), s.kind, s.typical_lag);
+        }
+        for s in &corpus.snippets {
+            pivot.ingest(s.clone()).expect("valid corpus snippet");
+        }
+        pivot.align();
+        eprintln!(
+            "done: {} snippets → {} per-source stories → {} global stories",
+            corpus.len(),
+            pivot.story_count(),
+            pivot.global_stories().len()
+        );
+        World::Generated(Box::new(pivot), Box::new(corpus))
+    } else {
+        World::Mh17(Box::new(Mh17Demo::build()), vec![true; 12])
+    }
+}
+
+fn main() {
+    let mut world = build_world();
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+
+    println!(
+        "StoryPivot explorer — {} snippets loaded. Type `help` for commands.",
+        world.pivot().store().len()
+    );
+    print!("> ");
+    out.flush().ok();
+
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let arg = parts.collect::<Vec<_>>().join(" ");
+        match cmd {
+            "" => {}
+            "help" => println!(
+                "commands: docs | overview | source <id> | story <id> | snippet <id> | \
+                 why <id> | find <entity> | add <doc> | remove <doc> | stats | quit"
+            ),
+            "docs" => match &world {
+                World::Mh17(demo, ingested) => print!(
+                    "{}",
+                    modules::document_selection(&demo.pivot, &demo.documents, ingested)
+                ),
+                World::Generated(..) => {
+                    println!("document selection is part of the curated demo (run without --generated)")
+                }
+            },
+            "overview" => {
+                let view = world.with_names(|n| modules::story_overview(world.pivot(), n));
+                print!("{view}");
+            }
+            "source" => match arg.parse::<u32>() {
+                Ok(id) => {
+                    let view = world.with_names(|n| {
+                        modules::stories_per_source(world.pivot(), SourceId::new(id), n)
+                    });
+                    print!("{view}");
+                }
+                Err(_) => println!("usage: source <numeric id>"),
+            },
+            "story" => match arg.parse::<u32>() {
+                Ok(id) => {
+                    let view = world.with_names(|n| {
+                        modules::snippets_per_story(world.pivot(), GlobalStoryId::new(id), n)
+                    });
+                    print!("{view}");
+                }
+                Err(_) => println!("usage: story <numeric global story id>"),
+            },
+            "why" => match arg.parse::<u32>() {
+                Ok(id) => {
+                    let view = world
+                        .with_names(|n| modules::why_snippet(world.pivot(), SnippetId::new(id), n));
+                    print!("{view}");
+                }
+                Err(_) => println!("usage: why <numeric snippet id>"),
+            },
+            "snippet" => match arg.parse::<u32>() {
+                Ok(id) => {
+                    let view = world.with_names(|n| {
+                        modules::snippet_information(world.pivot(), SnippetId::new(id), n)
+                    });
+                    print!("{view}");
+                }
+                Err(_) => println!("usage: snippet <numeric id>"),
+            },
+            "find" => match world.entity_by_name(&arg) {
+                None => println!("unknown entity {arg:?}"),
+                Some(e) => {
+                    let hits = query_stories(world.pivot(), &StoryQuery::entity(e));
+                    if hits.is_empty() {
+                        println!("no stories mention {arg}");
+                    }
+                    for hit in hits.into_iter().take(10) {
+                        let view = world
+                            .with_names(|n| modules::story_information(world.pivot(), hit.story, n));
+                        print!("{view}");
+                    }
+                }
+            },
+            "add" | "remove" => match &mut world {
+                World::Generated(..) => {
+                    println!("the large-scale dataset is fixed (§4.2.2); document editing is in the curated demo")
+                }
+                World::Mh17(demo, ingested) => match arg.parse::<usize>() {
+                    Ok(i) if i < demo.len() => {
+                        let result = if cmd == "add" {
+                            demo.add_document(i)
+                        } else {
+                            demo.remove_document(i)
+                        };
+                        match result {
+                            Ok(()) => {
+                                ingested[i] = cmd == "add";
+                                demo.recompute();
+                                let verb = if cmd == "add" { "added" } else { "removed" };
+                                println!(
+                                    "{verb} document {i}; now {} global stories",
+                                    demo.pivot.global_stories().len()
+                                );
+                            }
+                            Err(e) => println!("cannot {cmd} document {i}: {e}"),
+                        }
+                    }
+                    _ => println!("usage: {cmd} <document index 0..{}>", demo.len() - 1),
+                },
+            },
+            "stats" => {
+                let s = world.pivot().store().stats();
+                println!(
+                    "sources {} | snippets {} | entities {} | documents {} | coverage {}",
+                    s.source_count, s.snippet_count, s.entity_count, s.document_count, s.coverage
+                );
+                println!(
+                    "stories: {} per-source, {} global ({} cross-source)",
+                    world.pivot().story_count(),
+                    world.pivot().global_stories().len(),
+                    world
+                        .pivot()
+                        .alignment()
+                        .map(|o| o.cross_source_stories().count())
+                        .unwrap_or(0),
+                );
+            }
+            "quit" | "exit" => break,
+            other => println!("unknown command {other:?}; type `help`"),
+        }
+        print!("> ");
+        out.flush().ok();
+    }
+    println!("bye");
+}

@@ -1,0 +1,175 @@
+//! `pivot-tsv` — run StoryPivot over an event-tuple TSV file.
+//!
+//! The input format is the paper's tuple (§1), one per line:
+//!
+//! ```text
+//! source \t event_type \t entity;entity;… \t description words \t timestamp \t headline
+//! ```
+//!
+//! ```text
+//! cargo run -p storypivot-demo --bin pivot-tsv -- events.tsv
+//! cat events.tsv | cargo run -p storypivot-demo --bin pivot-tsv -- - --complete --refine
+//! pivot-tsv events.tsv --omega 30 --story 0
+//! pivot-tsv events.tsv --find "Ukraine"
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use storypivot_core::config::PivotConfig;
+use storypivot_core::pivot::StoryPivot;
+use storypivot_core::query::{query_stories, StoryQuery};
+use storypivot_demo::modules;
+use storypivot_demo::names::CatalogNames;
+use storypivot_extract::TupleReader;
+use storypivot_types::{GlobalStoryId, DAY};
+
+struct Args {
+    path: String,
+    complete: bool,
+    omega_days: i64,
+    refine: bool,
+    story: Option<u32>,
+    find: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: String::new(),
+        complete: false,
+        omega_days: 14,
+        refine: false,
+        story: None,
+        find: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--complete" => args.complete = true,
+            "--refine" => args.refine = true,
+            "--omega" => {
+                args.omega_days = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--omega needs a number of days")?;
+            }
+            "--story" => {
+                args.story = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--story needs a numeric id")?,
+                );
+            }
+            "--find" => {
+                args.find = Some(it.next().ok_or("--find needs an entity name")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: pivot-tsv <file.tsv|-> [--complete] [--omega DAYS] \
+                            [--refine] [--story N] [--find ENTITY]"
+                    .into())
+            }
+            other if args.path.is_empty() => args.path = other.to_string(),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if args.path.is_empty() {
+        return Err("missing input file (use `-` for stdin); see --help".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // ---- read tuples -------------------------------------------------
+    let text = if args.path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&args.path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("reading {}: {e}", args.path);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let mut reader = TupleReader::new();
+    let (sources, snippets) = match reader.read_str(&text) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("parsing tuples: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "read {} snippets from {} sources",
+        snippets.len(),
+        sources.len()
+    );
+
+    // ---- detect stories -------------------------------------------------
+    let config = if args.complete {
+        PivotConfig::complete()
+    } else {
+        PivotConfig::temporal(args.omega_days * DAY)
+    };
+    let mut pivot = StoryPivot::new(config);
+    for s in &sources {
+        pivot.add_source(s.name.clone(), s.kind);
+    }
+    for s in snippets {
+        if let Err(e) = pivot.ingest(s) {
+            eprintln!("ingest: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    pivot.align();
+    if args.refine {
+        let report = pivot.refine();
+        eprintln!("refinement moved {} snippets", report.move_count());
+    }
+
+    // ---- render ------------------------------------------------------------
+    let names = CatalogNames(&reader.catalog);
+    if let Some(entity_name) = &args.find {
+        match reader.catalog.entities.get(entity_name) {
+            None => {
+                eprintln!("entity {entity_name:?} does not occur in the input");
+                return ExitCode::FAILURE;
+            }
+            Some(e) => {
+                for hit in query_stories(&pivot, &StoryQuery::entity(e)) {
+                    print!("{}", modules::story_information(&pivot, hit.story, &names));
+                }
+            }
+        }
+    } else if let Some(id) = args.story {
+        print!(
+            "{}",
+            modules::snippets_per_story(&pivot, GlobalStoryId::new(id), &names)
+        );
+    } else {
+        print!("{}", modules::story_overview(&pivot, &names));
+        eprintln!(
+            "\n{} per-source stories, {} global stories ({} cross-source)",
+            pivot.story_count(),
+            pivot.global_stories().len(),
+            pivot
+                .alignment()
+                .map(|o| o.cross_source_stories().count())
+                .unwrap_or(0),
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,320 @@
+//! The story-evolution walkthrough (paper §2.1).
+//!
+//! "It is possible for stories to split into multiple substories or to
+//! merge into a bigger story. For example political and economic events
+//! were interwoven during the height of the Ukraine crisis while they
+//! started to separate after the situation had (temporarily)
+//! stabilized." This module scripts exactly that dynamic against the
+//! engine:
+//!
+//! 1. a **political** thread drifts through three phases (protests →
+//!    escalation → armed conflict) — temporal identification chains the
+//!    phases into *one* story even though the first and last phase share
+//!    almost nothing;
+//! 2. an **economic** thread (sanctions, markets) runs concurrently as a
+//!    *separate* story despite sharing the Ukraine entity;
+//! 3. a **bridge** snippet reporting both at once (sanctions over the
+//!    shelling) *merges* the two stories — incremental merge evidence;
+//! 4. removing the bridge and running maintenance *splits* them again.
+
+use storypivot_core::config::{MatchMode, PivotConfig};
+use storypivot_core::pivot::StoryPivot;
+use storypivot_types::{
+    EntityId, EventType, Snippet, SnippetId, SourceId, SourceKind, StoryId, TermId, Timestamp, DAY,
+};
+
+/// Entity catalog of the walkthrough.
+pub mod entities {
+    use storypivot_types::EntityId;
+    /// Ukraine.
+    pub const UKRAINE: EntityId = EntityId(0);
+    /// Kyiv (the protest phase).
+    pub const KYIV: EntityId = EntityId(1);
+    /// Russia (the escalation/conflict phases).
+    pub const RUSSIA: EntityId = EntityId(2);
+    /// Donetsk (the conflict phase).
+    pub const DONETSK: EntityId = EntityId(3);
+    /// European Union (the economic thread).
+    pub const EU: EntityId = EntityId(4);
+    /// Markets/exchanges actor (the economic thread).
+    pub const MARKETS: EntityId = EntityId(5);
+}
+
+/// Term vocabulary of the walkthrough.
+pub mod terms {
+    use storypivot_types::TermId;
+    /// protest
+    pub const PROTEST: TermId = TermId(0);
+    /// square
+    pub const SQUARE: TermId = TermId(1);
+    /// demonstration
+    pub const DEMONSTRATION: TermId = TermId(2);
+    /// troops
+    pub const TROOPS: TermId = TermId(3);
+    /// escalation
+    pub const ESCALATION: TermId = TermId(4);
+    /// shelling
+    pub const SHELLING: TermId = TermId(5);
+    /// front
+    pub const FRONT: TermId = TermId(6);
+    /// sanctions
+    pub const SANCTIONS: TermId = TermId(7);
+    /// exports
+    pub const EXPORTS: TermId = TermId(8);
+    /// markets
+    pub const MARKETS_T: TermId = TermId(9);
+}
+
+/// Display names for the walkthrough's ids (index = id).
+pub fn entity_names() -> Vec<String> {
+    ["Ukraine", "Kyiv", "Russia", "Donetsk", "European Union", "Markets"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Display names for the walkthrough's terms (index = id).
+pub fn term_names() -> Vec<String> {
+    [
+        "protest", "square", "demonstration", "troops", "escalation", "shelling", "front",
+        "sanctions", "exports", "markets",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// The scripted engine plus the ids the walkthrough needs to refer to.
+pub struct EvolutionDemo {
+    /// The engine.
+    pub pivot: StoryPivot,
+    /// The single source used (evolution is an identification-phase
+    /// phenomenon; one source keeps the walkthrough crisp).
+    pub source: SourceId,
+    /// Snippets of the political thread, in phase order.
+    pub political: Vec<SnippetId>,
+    /// Snippets of the economic thread.
+    pub economic: Vec<SnippetId>,
+    /// The bridge snippet (None until [`EvolutionDemo::add_bridge`]).
+    pub bridge: Option<SnippetId>,
+}
+
+impl EvolutionDemo {
+    /// Walkthrough configuration: a 10-day window (shorter than the
+    /// political thread's 24-day span, so chaining is doing real work)
+    /// and a merge threshold the bridge snippet can reach.
+    pub fn config() -> PivotConfig {
+        let mut cfg = PivotConfig::default();
+        cfg.identify.mode = MatchMode::Temporal { omega: 10 * DAY };
+        cfg.identify.match_threshold = 0.35;
+        cfg.identify.merge_threshold = 0.50;
+        cfg.identify.split_threshold = 0.30;
+        cfg.identify.maintenance_every = 0; // maintenance runs on demand
+        cfg
+    }
+
+    fn snippet(
+        pivot: &mut StoryPivot,
+        source: SourceId,
+        day: i64,
+        es: &[EntityId],
+        ts: &[TermId],
+        ty: EventType,
+        headline: &str,
+    ) -> Snippet {
+        let id = pivot.fresh_snippet_id();
+        let mut b = Snippet::builder(id, source, Timestamp::from_secs(day * DAY))
+            .doc(pivot.fresh_doc_id())
+            .event_type(ty)
+            .headline(headline);
+        for &e in es {
+            b = b.entity(e, 1.0);
+        }
+        for &t in ts {
+            b = b.term(t, 1.0);
+        }
+        b.build()
+    }
+
+    /// Build the two threads (no bridge yet).
+    pub fn new() -> Self {
+        use entities::*;
+        use terms::*;
+        let mut pivot = StoryPivot::new(Self::config());
+        let source = pivot.add_source("The Kyiv Dispatch", SourceKind::Newspaper);
+
+        // Political thread: three drifting phases. Adjacent phases share
+        // an entity and a term; phase 1 and phase 3 share almost nothing.
+        let phases: [(&[_], &[_], EventType, &str, &[i64]); 3] = [
+            (
+                &[UKRAINE, KYIV][..],
+                &[PROTEST, SQUARE, DEMONSTRATION][..],
+                EventType::Protest,
+                "Protests fill the square",
+                &[0, 2, 4, 6][..],
+            ),
+            (
+                &[UKRAINE, KYIV, RUSSIA][..],
+                &[PROTEST, TROOPS, ESCALATION][..],
+                EventType::Conflict,
+                "Escalation as troops respond",
+                &[9, 11, 13][..],
+            ),
+            (
+                &[UKRAINE, RUSSIA, DONETSK][..],
+                &[TROOPS, SHELLING, FRONT][..],
+                EventType::Conflict,
+                "Shelling along the front",
+                &[16, 19, 22, 24][..],
+            ),
+        ];
+        let mut political = Vec::new();
+        for (es, ts, ty, headline, days) in phases {
+            for &day in days {
+                let s = Self::snippet(&mut pivot, source, day, es, ts, ty, headline);
+                political.push(s.id);
+                pivot.ingest(s).unwrap();
+            }
+        }
+
+        // Economic thread, concurrent with phases 2-3; shares only the
+        // Ukraine entity with the political thread.
+        let mut economic = Vec::new();
+        for &day in &[10i64, 13, 17, 21] {
+            let s = Self::snippet(
+                &mut pivot,
+                source,
+                day,
+                &[UKRAINE, EU, MARKETS],
+                &[SANCTIONS, EXPORTS, MARKETS_T],
+                EventType::Economy,
+                "Sanctions weigh on exports",
+            );
+            economic.push(s.id);
+            pivot.ingest(s).unwrap();
+        }
+
+        EvolutionDemo {
+            pivot,
+            source,
+            political,
+            economic,
+            bridge: None,
+        }
+    }
+
+    /// The story currently containing the political thread's first
+    /// snippet.
+    pub fn political_story(&self) -> Option<StoryId> {
+        self.pivot.story_of(self.political[0])
+    }
+
+    /// The story currently containing the economic thread's first
+    /// snippet.
+    pub fn economic_story(&self) -> Option<StoryId> {
+        self.pivot.story_of(self.economic[0])
+    }
+
+    /// Ingest the interweaving bridge snippet (day 18: sanctions imposed
+    /// *over the shelling*). Returns whether a merge happened.
+    pub fn add_bridge(&mut self) -> bool {
+        use entities::*;
+        use terms::*;
+        let s = Self::snippet(
+            &mut self.pivot,
+            self.source,
+            18,
+            &[UKRAINE, RUSSIA, DONETSK, EU, MARKETS],
+            &[TROOPS, SHELLING, FRONT, SANCTIONS, EXPORTS, MARKETS_T],
+            EventType::Diplomacy,
+            "New sanctions over the shelling; markets slide",
+        );
+        let id = s.id;
+        let decision = self.pivot.ingest_detailed(s).unwrap();
+        self.bridge = Some(id);
+        !decision.merged.is_empty()
+    }
+
+    /// Remove the bridge and run maintenance; returns whether a split
+    /// happened.
+    pub fn remove_bridge_and_split(&mut self) -> bool {
+        let Some(bridge) = self.bridge.take() else {
+            return false;
+        };
+        self.pivot.remove_snippet(bridge).unwrap();
+        let report = self.pivot.run_maintenance();
+        !report.is_empty()
+    }
+}
+
+impl Default for EvolutionDemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_core::sim::SimWeights;
+
+    #[test]
+    fn drifting_phases_chain_into_one_story() {
+        let demo = EvolutionDemo::new();
+        let story = demo.political_story().unwrap();
+        for &s in &demo.political {
+            assert_eq!(
+                demo.pivot.story_of(s),
+                Some(story),
+                "all political phases belong to one story"
+            );
+        }
+        // Yet the first and last phases are *not* directly similar — the
+        // chain is doing the work (the paper's story-evolution argument).
+        let w = SimWeights::default();
+        let first = demo.pivot.store().get(demo.political[0]).unwrap();
+        let last = demo.pivot.store().get(*demo.political.last().unwrap()).unwrap();
+        let sim = w.snippet_sim(first, last);
+        assert!(
+            sim < demo.pivot.config().identify.match_threshold,
+            "phase 1 vs phase 3 sim {sim} should be below the match threshold"
+        );
+    }
+
+    #[test]
+    fn economic_thread_stays_separate() {
+        let demo = EvolutionDemo::new();
+        assert_ne!(demo.political_story(), demo.economic_story());
+        let econ = demo.economic_story().unwrap();
+        for &s in &demo.economic {
+            assert_eq!(demo.pivot.story_of(s), Some(econ));
+        }
+        assert_eq!(demo.pivot.story_count(), 2);
+    }
+
+    #[test]
+    fn bridge_merges_and_removal_splits() {
+        let mut demo = EvolutionDemo::new();
+        assert_eq!(demo.pivot.story_count(), 2);
+
+        // Interweaving: the bridge merges politics and economics.
+        assert!(demo.add_bridge(), "bridge must trigger a merge");
+        assert_eq!(demo.pivot.story_count(), 1);
+        assert_eq!(demo.political_story(), demo.economic_story());
+
+        // Stabilization: removing the bridge splits them again.
+        assert!(demo.remove_bridge_and_split(), "removal must trigger a split");
+        assert_eq!(demo.pivot.story_count(), 2);
+        assert_ne!(demo.political_story(), demo.economic_story());
+        // Thread membership is intact after the round trip.
+        let pol = demo.political_story().unwrap();
+        for &s in &demo.political {
+            assert_eq!(demo.pivot.story_of(s), Some(pol));
+        }
+        let econ = demo.economic_story().unwrap();
+        for &s in &demo.economic {
+            assert_eq!(demo.pivot.story_of(s), Some(econ));
+        }
+        demo.pivot.check_invariants().unwrap();
+    }
+}

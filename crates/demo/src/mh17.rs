@@ -1,0 +1,407 @@
+//! The paper's running example as a curated corpus.
+//!
+//! Twelve articles from two newspaper-style sources covering July–
+//! September 2014, mirroring the documents visible in the paper's
+//! Figures 3–6: the downing of Malaysia Airlines Flight 17 and its
+//! investigation (the main cross-source story), expanded sanctions, a
+//! same-window Israel/UN investigation story (the paper's confusable
+//! `v¹₄`), a medical-shortage story, and the unrelated Google/Yelp
+//! complaint that appears in Figure 3's selection list.
+
+use storypivot_core::config::{MatchMode, PivotConfig};
+use storypivot_core::pivot::StoryPivot;
+use storypivot_extract::{Annotator, Document, ExtractionPipeline, PipelineConfig};
+use storypivot_text::GazetteerBuilder;
+use storypivot_types::{
+    DocId, Result, SnippetId, SourceId, SourceKind, Timestamp, DAY,
+};
+
+/// Entity ids of the curated gazetteer.
+pub mod entities {
+    use storypivot_types::EntityId;
+    /// Ukraine.
+    pub const UKRAINE: EntityId = EntityId(0);
+    /// Russia.
+    pub const RUSSIA: EntityId = EntityId(1);
+    /// Malaysia Airlines (Flight 17).
+    pub const MALAYSIA_AIRLINES: EntityId = EntityId(2);
+    /// United Nations.
+    pub const UNITED_NATIONS: EntityId = EntityId(3);
+    /// Netherlands.
+    pub const NETHERLANDS: EntityId = EntityId(4);
+    /// European Union.
+    pub const EUROPEAN_UNION: EntityId = EntityId(5);
+    /// United States.
+    pub const UNITED_STATES: EntityId = EntityId(6);
+    /// Israel.
+    pub const ISRAEL: EntityId = EntityId(7);
+    /// Palestine.
+    pub const PALESTINE: EntityId = EntityId(8);
+    /// Google Inc.
+    pub const GOOGLE: EntityId = EntityId(9);
+    /// Yelp Inc.
+    pub const YELP: EntityId = EntityId(10);
+    /// Boeing.
+    pub const BOEING: EntityId = EntityId(11);
+}
+
+/// Build the curated gazetteer (canonical names + aliases).
+pub fn gazetteer() -> storypivot_text::Gazetteer {
+    use entities::*;
+    let mut b = GazetteerBuilder::new();
+    b.add_entity(UKRAINE, "Ukraine", &["UKR", "Ukrainian government"]);
+    b.add_entity(RUSSIA, "Russia", &["RUS", "Russian Federation", "pro-Russia"]);
+    b.add_entity(
+        MALAYSIA_AIRLINES,
+        "Malaysia Airlines",
+        &["MH17", "Flight 17", "Malaysia Airlines Flight 17", "Malaysian airplane"],
+    );
+    b.add_entity(UNITED_NATIONS, "United Nations", &["UN", "U.N."]);
+    b.add_entity(NETHERLANDS, "Netherlands", &["NTH", "Dutch", "Amsterdam"]);
+    b.add_entity(EUROPEAN_UNION, "European Union", &["EU", "E.U."]);
+    b.add_entity(UNITED_STATES, "United States", &["US", "U.S.", "United States government"]);
+    b.add_entity(ISRAEL, "Israel", &["ISL", "Israeli"]);
+    b.add_entity(PALESTINE, "Palestine", &["PAL", "Gaza"]);
+    b.add_entity(GOOGLE, "Google", &["Google Inc"]);
+    b.add_entity(YELP, "Yelp", &["Yelp Inc"]);
+    b.add_entity(BOEING, "Boeing", &["Boeing 777"]);
+    b.build()
+}
+
+/// One curated article: `(source index, url, title, body, date)`.
+type RawDoc = (usize, &'static str, &'static str, &'static str, (i32, u32, u32));
+
+const RAW_DOCS: &[RawDoc] = &[
+    // ---- the MH17 story, New York Times perspective -------------------
+    (0, "http://nytimes.com/doc0.html",
+     "Jetliner Explodes Over Ukraine",
+     "A Malaysian airplane with 298 people aboard exploded, crashed and burned over eastern \
+      Ukraine on Thursday. The plane was flying over territory controlled by pro-Russia \
+      separatists when it was blown out of the sky, apparently shot down by a missile. \
+      Investigators said the crash of the plane would be investigated with Ukraine.",
+     (2014, 7, 17)),
+    (0, "http://nytimes.com/doc1.html",
+     "Ukraine Asks U.N. to Help Crash Investigation",
+     "Ukraine asked the United Nations civil aviation authority to support the investigation \
+      into the crash of the Malaysian airplane. Investigators said the plane was likely shot \
+      down by a missile, and access to the crash site remained difficult. The plane crashed \
+      over territory held by pro-Russia separatists.",
+     (2014, 7, 18)),
+    (0, "http://nytimes.com/doc2.html",
+     "Evidence of Russian Links to Jet's Downing",
+     "The investigation into the crash of Flight 17 turned up evidence linking the missile \
+      that shot down the plane to Russia. Investigators for Ukraine said the plane crashed \
+      after the missile exploded, and asked the United Nations to review the crash findings.",
+     (2014, 7, 22)),
+    (0, "http://nytimes.com/doc3.html",
+     "Expanded Sanctions Against Russia Announced",
+     "The European Union and the United States announced expanded sanctions against Russia \
+      over the conflict in Ukraine. Officials said the sanctions target finance, energy and \
+      exports, and that further sanctions against Russia remain possible.",
+     (2014, 7, 29)),
+    (0, "http://nytimes.com/doc4.html",
+     "Preliminary Report on Flight 17 Released",
+     "Dutch investigators released a preliminary report on the crash of Malaysia Airlines \
+      Flight 17, concluding the plane broke up in the air after being shot, consistent with \
+      a missile. The investigation report, published in Amsterdam, said the plane crashed \
+      over Ukraine and the crash investigation continues.",
+     (2014, 9, 12)),
+    // ---- the confusable same-window story (Figure 5's v¹₄) -------------
+    (0, "http://nytimes.com/doc5.html",
+     "U.N. Calls for Investigation in Gaza",
+     "The United Nations called for an investigation into strikes in Gaza as the conflict \
+      between Israel and Palestine escalated. Human rights officials said possible war \
+      crimes by Israel and Palestine must be examined, and hostilities in Gaza continued.",
+     (2014, 7, 20)),
+    // ---- medical shortage story (Figure 4's c'3) ------------------------
+    (0, "http://nytimes.com/doc11.html",
+     "Doctors Warn of Medical Shortage in Eastern Ukraine",
+     "Doctors in eastern Ukraine warned of a growing medical shortage as hospitals ran low \
+      on supplies. Aid groups from the Netherlands said the shortage of medicine was acute \
+      and that doctors and hospitals needed medical supplies urgently.",
+     (2014, 8, 2)),
+    // ---- the MH17 story, Wall Street Journal perspective ------------------
+    (1, "http://online.wsj.com/doc6.html",
+     "Malaysia Airlines Jet Crashes in Ukraine",
+     "A Malaysia Airlines plane with 298 people aboard exploded, crashed and burned over \
+      eastern Ukraine. United States officials said the plane was shot down by a missile \
+      fired from territory held by pro-Russia separatists, and investigators would examine \
+      the crash.",
+     (2014, 7, 17)),
+    (1, "http://online.wsj.com/doc7.html",
+     "Criminal Investigation Into Crash of Flight 17",
+     "Officials leading the criminal investigation into the crash of Malaysia Airlines \
+      Flight 17 said Friday that the plane was shot down by a missile. Investigators from \
+      the Netherlands and Ukraine said the plane crashed over separatist territory and the \
+      investigation continues.",
+     (2014, 7, 19)),
+    (1, "http://online.wsj.com/doc8.html",
+     "Sanctions on Russia Widen",
+     "The European Union and the United States widened sanctions on Russia, citing the \
+      continuing conflict in Ukraine. The sanctions target finance, energy and exports, \
+      officials said, and Russia denounced the expanded sanctions.",
+     (2014, 7, 30)),
+    (1, "http://online.wsj.com/doc9.html",
+     "Dutch Report: Jet Broke Up After Being Hit",
+     "Investigators in the Netherlands reported that Malaysia Airlines Flight 17 broke up \
+      in the air after being shot, consistent with a missile. The investigation report said \
+      the plane crashed over Ukraine; investigators will continue the crash investigation \
+      of the plane with international partners.",
+     (2014, 9, 12)),
+    // ---- unrelated business story (Figure 3's last row) --------------------
+    (1, "http://online.wsj.com/doc10.html",
+     "Google Battles Yelp Complaint Over Search",
+     "Google Inc rival Yelp Inc says the search giant is promoting its own content at the \
+      expense of users, as Google battles antitrust complaints in the European Union. Yelp \
+      filed its complaint over search results and ranking practices.",
+     (2014, 7, 24)),
+];
+
+/// The assembled demo: a pivot, the extraction pipeline, and the curated
+/// documents, with add/remove interaction (paper §4.2.1).
+pub struct Mh17Demo {
+    /// The story detection engine.
+    pub pivot: StoryPivot,
+    /// The extraction pipeline (documents → snippets).
+    pub pipeline: ExtractionPipeline,
+    /// All curated documents (ingested or not).
+    pub documents: Vec<Document>,
+    /// Snippets produced per document index (empty when not ingested).
+    pub extracted: Vec<Vec<SnippetId>>,
+    /// The New York Times-like source.
+    pub nyt: SourceId,
+    /// The Wall Street Journal-like source.
+    pub wsj: SourceId,
+}
+
+impl Mh17Demo {
+    /// Demo-specific configuration: a wide window (60 days) so the
+    /// September investigation report chains onto the July story, as in
+    /// the paper's Figure 6 (story c'₁ spans July 17 – Sep 12).
+    pub fn config() -> PivotConfig {
+        let mut cfg = PivotConfig::default();
+        cfg.identify.mode = MatchMode::Temporal { omega: 60 * DAY };
+        cfg.identify.match_threshold = 0.30;
+        cfg.align.counterpart_lag = 5 * DAY;
+        cfg
+    }
+
+    /// Set up sources, pipeline, and documents without ingesting.
+    pub fn new() -> Self {
+        let mut pivot = StoryPivot::new(Self::config());
+        let nyt = pivot.add_source("New York Times", SourceKind::Newspaper);
+        let wsj = pivot.add_source("Wall Street Journal", SourceKind::Newspaper);
+        let sources = [nyt, wsj];
+        let documents: Vec<Document> = RAW_DOCS
+            .iter()
+            .enumerate()
+            .map(|(i, &(src, url, title, body, (y, m, d)))| {
+                Document::new(
+                    DocId::new(i as u32),
+                    sources[src],
+                    url,
+                    title,
+                    body,
+                    Timestamp::from_ymd(y, m, d),
+                )
+            })
+            .collect();
+        let extracted = vec![Vec::new(); documents.len()];
+        Mh17Demo {
+            pivot,
+            pipeline: ExtractionPipeline::new(Annotator::new(gazetteer()), PipelineConfig::default()),
+            documents,
+            extracted,
+            nyt,
+            wsj,
+        }
+    }
+
+    /// Number of curated documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the demo has no documents (never true).
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Ingest one curated document by index (extract → identify).
+    pub fn add_document(&mut self, index: usize) -> Result<()> {
+        let doc = self.documents[index].clone();
+        let snippets = self.pipeline.extract(&doc)?;
+        let mut ids = Vec::with_capacity(snippets.len());
+        for s in snippets {
+            ids.push(s.id);
+            self.pivot.ingest(s)?;
+        }
+        self.extracted[index] = ids;
+        Ok(())
+    }
+
+    /// Remove a previously ingested document (§4.2.1: users can remove
+    /// documents "to explore how missing information affects the
+    /// displayed stories").
+    pub fn remove_document(&mut self, index: usize) -> Result<()> {
+        let doc_id = self.documents[index].id;
+        self.pipeline.retract(doc_id)?;
+        self.pivot.remove_document(doc_id)?;
+        self.extracted[index].clear();
+        Ok(())
+    }
+
+    /// Ingest every curated document, align, and refine.
+    pub fn build() -> Self {
+        let mut demo = Self::new();
+        for i in 0..demo.len() {
+            demo.add_document(i).expect("curated docs are valid");
+        }
+        demo.pivot.align();
+        demo.pivot.refine();
+        demo
+    }
+
+    /// Re-align and refine after interactive changes.
+    pub fn recompute(&mut self) {
+        self.pivot.align_incremental();
+        self.pivot.refine();
+    }
+
+    /// The first snippet extracted from document `index`, if ingested.
+    pub fn snippet_of_doc(&self, index: usize) -> Option<SnippetId> {
+        self.extracted[index].first().copied()
+    }
+
+    /// Convenience: id of the crash snippet in the NYT (document 0).
+    pub fn crash_snippet(&self) -> Option<SnippetId> {
+        self.snippet_of_doc(0)
+    }
+}
+
+impl Default for Mh17Demo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The entity id catalog size (for tests).
+pub const ENTITY_COUNT: u32 = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_types::SnippetRole;
+
+    #[test]
+    fn full_demo_builds_and_aligns_the_crash_story() {
+        let demo = Mh17Demo::build();
+        // Crash snippets of both sources share one global story.
+        let nyt_crash = demo.snippet_of_doc(0).unwrap();
+        let wsj_crash = demo.snippet_of_doc(7).unwrap();
+        let g_nyt = demo.pivot.global_of(nyt_crash).unwrap();
+        let g_wsj = demo.pivot.global_of(wsj_crash).unwrap();
+        assert_eq!(g_nyt, g_wsj, "the MH17 story must align across sources");
+        let g = demo
+            .pivot
+            .alignment()
+            .unwrap()
+            .global_story(g_nyt)
+            .unwrap()
+            .clone();
+        assert!(g.is_cross_source());
+        // The story spans the crash through the September report (Fig 6).
+        let report = demo.snippet_of_doc(4).unwrap();
+        assert_eq!(demo.pivot.global_of(report), Some(g_nyt), "Sep report joins the story");
+        assert_eq!(g.lifespan.start, Timestamp::from_ymd(2014, 7, 17));
+        assert_eq!(g.lifespan.end, Timestamp::from_ymd(2014, 9, 12));
+    }
+
+    #[test]
+    fn google_yelp_story_stays_single_source() {
+        let demo = Mh17Demo::build();
+        let yelp = demo.snippet_of_doc(11).unwrap();
+        let g = demo.pivot.global_of(yelp).unwrap();
+        let crash_g = demo.pivot.global_of(demo.crash_snippet().unwrap()).unwrap();
+        assert_ne!(g, crash_g, "business story must not join the crash story");
+        let gs = demo.pivot.alignment().unwrap().global_story(g).unwrap();
+        assert!(!gs.is_cross_source());
+        assert_eq!(gs.role_of(yelp), Some(SnippetRole::Enriching));
+    }
+
+    #[test]
+    fn israel_story_is_separate_despite_shared_window_and_un() {
+        let demo = Mh17Demo::build();
+        let gaza = demo.snippet_of_doc(5).unwrap();
+        let crash = demo.crash_snippet().unwrap();
+        assert_ne!(
+            demo.pivot.global_of(gaza),
+            demo.pivot.global_of(crash),
+            "the Gaza investigation story must stay separate (the v¹₄ trap)"
+        );
+    }
+
+    #[test]
+    fn crash_snippets_align_as_counterparts() {
+        let demo = Mh17Demo::build();
+        let crash = demo.crash_snippet().unwrap();
+        let g = demo.pivot.global_of(crash).unwrap();
+        let gs = demo.pivot.alignment().unwrap().global_story(g).unwrap();
+        assert_eq!(
+            gs.role_of(crash),
+            Some(SnippetRole::Aligning),
+            "same-day cross-source crash reports are counterparts"
+        );
+    }
+
+    #[test]
+    fn entities_are_recognized_in_the_crash_doc() {
+        let demo = Mh17Demo::build();
+        let crash = demo.pivot.store().get(demo.crash_snippet().unwrap()).unwrap();
+        assert!(crash.entities().contains(&entities::UKRAINE));
+        assert!(crash.entities().contains(&entities::MALAYSIA_AIRLINES));
+        assert!(crash.entities().contains(&entities::RUSSIA));
+        assert_eq!(crash.content.event_type, storypivot_types::EventType::Accident);
+    }
+
+    #[test]
+    fn document_removal_and_readdition_round_trips() {
+        let mut demo = Mh17Demo::build();
+        let before = demo.pivot.global_stories().len();
+        demo.remove_document(11).unwrap(); // Google/Yelp
+        demo.recompute();
+        assert_eq!(demo.pivot.global_stories().len(), before - 1);
+        demo.add_document(11).unwrap();
+        demo.recompute();
+        assert_eq!(demo.pivot.global_stories().len(), before);
+    }
+
+    #[test]
+    fn incremental_build_preserves_the_key_story_structure() {
+        // Add documents one by one with recomputes in between. Exact
+        // partitions may differ from the batch build (refinement is
+        // order-dependent), but the demo's semantic structure must hold.
+        let mut inc = Mh17Demo::new();
+        for i in 0..inc.len() {
+            inc.add_document(i).unwrap();
+            inc.recompute();
+        }
+        // Crash snippets of both sources share one global story.
+        let crash_nyt = inc.snippet_of_doc(0).unwrap();
+        let crash_wsj = inc.snippet_of_doc(7).unwrap();
+        assert_eq!(inc.pivot.global_of(crash_nyt), inc.pivot.global_of(crash_wsj));
+        // The sanctions stories align across sources.
+        assert_eq!(
+            inc.pivot.global_of(inc.snippet_of_doc(3).unwrap()),
+            inc.pivot.global_of(inc.snippet_of_doc(9).unwrap())
+        );
+        // Gaza and Google stay out of the crash story.
+        for other in [5usize, 11] {
+            assert_ne!(
+                inc.pivot.global_of(inc.snippet_of_doc(other).unwrap()),
+                inc.pivot.global_of(crash_nyt),
+                "doc {other} must not join the crash story"
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Display-name resolution for the demo modules.
+
+use storypivot_extract::ExtractionPipeline;
+use storypivot_gen::Corpus;
+use storypivot_types::{EntityId, TermId};
+
+/// Resolves ids to display strings for rendering.
+pub trait NameSource {
+    /// Display name of an entity (falls back to the raw id).
+    fn entity_name(&self, e: EntityId) -> String;
+    /// Display name of a term.
+    fn term_name(&self, t: TermId) -> String;
+    /// Short uppercase code of an entity, GDELT-actor style: single-word
+    /// names take their first three letters (`UKR` for Ukraine, as in
+    /// the paper's figures); multi-word names take initials (`UN` for
+    /// United Nations, `US` for United States) so that names sharing a
+    /// first word do not collide.
+    fn entity_code(&self, e: EntityId) -> String {
+        let name = self.entity_name(e);
+        let words: Vec<&str> = name.split_whitespace().collect();
+        if words.len() >= 2 {
+            words
+                .iter()
+                .filter_map(|w| w.chars().find(|c| c.is_alphanumeric()))
+                .take(3)
+                .flat_map(char::to_uppercase)
+                .collect()
+        } else {
+            name.chars()
+                .filter(|c| c.is_alphanumeric())
+                .take(3)
+                .flat_map(char::to_uppercase)
+                .collect()
+        }
+    }
+}
+
+/// Name source backed by a generated [`Corpus`]' catalogs.
+pub struct CorpusNames<'a>(pub &'a Corpus);
+
+impl NameSource for CorpusNames<'_> {
+    fn entity_name(&self, e: EntityId) -> String {
+        self.0
+            .entity_names
+            .get(e.index())
+            .cloned()
+            .unwrap_or_else(|| e.to_string())
+    }
+
+    fn term_name(&self, t: TermId) -> String {
+        self.0
+            .term_names
+            .get(t.index())
+            .cloned()
+            .unwrap_or_else(|| t.to_string())
+    }
+}
+
+/// Name source backed by a [`storypivot_extract::TupleCatalog`] (names
+/// interned while reading a tuple TSV file).
+pub struct CatalogNames<'a>(pub &'a storypivot_extract::TupleCatalog);
+
+impl NameSource for CatalogNames<'_> {
+    fn entity_name(&self, e: EntityId) -> String {
+        self.0
+            .entities
+            .resolve(e)
+            .map(str::to_string)
+            .unwrap_or_else(|| e.to_string())
+    }
+
+    fn term_name(&self, t: TermId) -> String {
+        self.0
+            .terms
+            .resolve(t)
+            .map(str::to_string)
+            .unwrap_or_else(|| t.to_string())
+    }
+}
+
+/// Name source backed by an [`ExtractionPipeline`]'s gazetteer and term
+/// interner.
+pub struct PipelineNames<'a>(pub &'a ExtractionPipeline);
+
+impl NameSource for PipelineNames<'_> {
+    fn entity_name(&self, e: EntityId) -> String {
+        self.0
+            .annotator()
+            .gazetteer()
+            .canonical_name(e)
+            .map(str::to_string)
+            .unwrap_or_else(|| e.to_string())
+    }
+
+    fn term_name(&self, t: TermId) -> String {
+        self.0
+            .annotator()
+            .term_name(t)
+            .map(str::to_string)
+            .unwrap_or_else(|| t.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl NameSource for Fixed {
+        fn entity_name(&self, e: EntityId) -> String {
+            match e.raw() {
+                0 => "Ukraine".into(),
+                1 => "Malaysia Airlines".into(),
+                _ => e.to_string(),
+            }
+        }
+        fn term_name(&self, t: TermId) -> String {
+            t.to_string()
+        }
+    }
+
+    #[test]
+    fn single_word_codes_take_three_letters() {
+        let f = Fixed;
+        assert_eq!(f.entity_code(EntityId::new(0)), "UKR");
+    }
+
+    #[test]
+    fn multi_word_codes_take_initials() {
+        let f = Fixed;
+        // "Malaysia Airlines" -> initials, avoiding collisions between
+        // names sharing a first word (United Nations vs United States).
+        assert_eq!(f.entity_code(EntityId::new(1)), "MA");
+    }
+
+    #[test]
+    fn unknown_ids_fall_back_to_display() {
+        let f = Fixed;
+        assert_eq!(f.entity_name(EntityId::new(9)), "e9");
+    }
+}

@@ -1,0 +1,27 @@
+//! Quick shape check: the three headline Figure-7 comparisons at three
+//! corpus sizes (temporal vs complete cost and quality, refinement
+//! delta). Faster than the full harness; used while tuning defaults.
+//!
+//! ```text
+//! cargo run --release -p storypivot-eval --example shape_check
+//! ```
+
+use storypivot_core::config::PivotConfig;
+use storypivot_eval::run::{run, RunOptions};
+use storypivot_gen::{CorpusBuilder, GenConfig};
+use storypivot_types::DAY;
+
+fn main() {
+    for n in [1000usize, 4000, 16000] {
+        let c = CorpusBuilder::new(GenConfig::default().with_target_snippets(n)).build();
+        let t = run(&c, PivotConfig::temporal(14 * DAY), RunOptions::default());
+        let comp = run(&c, PivotConfig::complete(), RunOptions::default());
+        let t_r = run(&c, PivotConfig::temporal(14 * DAY), RunOptions { refine: true, ..RunOptions::default() });
+        println!(
+            "n={:6} | temporal: {:>8.0}ns/ev siF1={:.3} saF1={:.3} | complete: {:>8.0}ns/ev siF1={:.3} saF1={:.3} | +refine saF1={:.3} moves={}",
+            c.len(), t.per_event_nanos, t.si_f1(), t.sa_f1(),
+            comp.per_event_nanos, comp.si_f1(), comp.sa_f1(),
+            t_r.sa_f1(), t_r.refine_moves
+        );
+    }
+}

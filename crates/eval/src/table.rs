@@ -1,0 +1,142 @@
+//! Plain-text result tables (markdown-compatible) for the experiment
+//! harness and EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header width).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch — a malformed experiment table is
+    /// a bug, not a runtime condition.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (w, cell) in widths.iter().zip(cells) {
+                let _ = write!(out, " {cell:<w$} |");
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<width$}|", "", width = w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a nanosecond count as a human-readable duration.
+pub fn fmt_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.0}ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.1}µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2}ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = Table::new(["method", "f1"]);
+        t.row(["temporal", "0.91"]);
+        t.row(["complete", "0.72"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| method"));
+        assert!(md.contains("| temporal | 0.91 |"));
+        assert_eq!(md.lines().count(), 4);
+        // Separator row present.
+        assert!(md.lines().nth(1).unwrap().starts_with("|--"));
+    }
+
+    #[test]
+    fn csv_renders_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt_nanos_scales() {
+        assert_eq!(fmt_nanos(500.0), "500ns");
+        assert_eq!(fmt_nanos(1_500.0), "1.5µs");
+        assert_eq!(fmt_nanos(2_500_000.0), "2.50ms");
+        assert_eq!(fmt_nanos(3_200_000_000.0), "3.20s");
+    }
+}

@@ -1,0 +1,145 @@
+//! Latency recording for the performance experiments.
+
+use std::time::{Duration, Instant};
+
+/// Records a sequence of durations and summarizes them.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    nanos: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Duration) {
+        self.nanos.push(d.as_nanos() as u64);
+    }
+
+    /// Time `f` and record its duration; returns `f`'s result.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.nanos.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nanos.is_empty()
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.nanos.is_empty() {
+            0.0
+        } else {
+            self.total_nanos() as f64 / self.nanos.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) in nanoseconds, by nearest-rank.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.nanos.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.nanos.clone();
+        sorted.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    /// Median in nanoseconds.
+    pub fn p50_nanos(&self) -> u64 {
+        self.quantile_nanos(0.5)
+    }
+
+    /// 95th percentile in nanoseconds.
+    pub fn p95_nanos(&self) -> u64 {
+        self.quantile_nanos(0.95)
+    }
+
+    /// Maximum sample in nanoseconds.
+    pub fn max_nanos(&self) -> u64 {
+        self.nanos.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Samples per second implied by the total time (0 when empty).
+    pub fn throughput_per_sec(&self) -> f64 {
+        let total = self.total_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            self.nanos.len() as f64 * 1e9 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder_with(ms: &[u64]) -> LatencyRecorder {
+        let mut r = LatencyRecorder::new();
+        for &m in ms {
+            r.record(Duration::from_millis(m));
+        }
+        r
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let r = recorder_with(&[1, 2, 3, 4, 100]);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.total_nanos(), 110_000_000);
+        assert_eq!(r.mean_nanos(), 22_000_000.0);
+        assert_eq!(r.p50_nanos(), 3_000_000);
+        assert_eq!(r.max_nanos(), 100_000_000);
+    }
+
+    #[test]
+    fn quantiles_are_order_insensitive() {
+        let a = recorder_with(&[5, 1, 3, 2, 4]);
+        let b = recorder_with(&[1, 2, 3, 4, 5]);
+        assert_eq!(a.p50_nanos(), b.p50_nanos());
+        assert_eq!(a.quantile_nanos(1.0), 5_000_000);
+        assert_eq!(a.quantile_nanos(0.0), 1_000_000);
+    }
+
+    #[test]
+    fn empty_recorder_is_calm() {
+        let r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean_nanos(), 0.0);
+        assert_eq!(r.p95_nanos(), 0);
+        assert_eq!(r.throughput_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn time_records_and_returns() {
+        let mut r = LatencyRecorder::new();
+        let out = r.time(|| 21 * 2);
+        assert_eq!(out, 42);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn throughput_is_positive() {
+        let r = recorder_with(&[10, 10]);
+        // 2 samples in 20ms → 100/s.
+        assert!((r.throughput_per_sec() - 100.0).abs() < 1e-6);
+    }
+}

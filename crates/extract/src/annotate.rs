@@ -1,0 +1,252 @@
+//! Text annotation: entities, keywords, event type.
+//!
+//! The OpenCalais stand-in. Given raw text, the annotator produces the
+//! same kinds of annotations the paper's pipeline consumed: recognized
+//! entities (via gazetteer NER), salient description terms (stemmed,
+//! stopword-filtered), and a coarse event type (keyword voting rules).
+
+use std::collections::HashMap;
+
+use storypivot_text::{is_stopword, porter_stem, tokenize, Gazetteer, Interner};
+use storypivot_types::{EntityId, EventType, TermId};
+
+/// Keyword → event-type voting rules (keywords are Porter stems).
+const EVENT_RULES: &[(&str, EventType)] = &[
+    ("crash", EventType::Accident),
+    ("collid", EventType::Accident),
+    ("accid", EventType::Accident),
+    ("explod", EventType::Accident),
+    ("derail", EventType::Accident),
+    ("attack", EventType::Conflict),
+    ("war", EventType::Conflict),
+    ("troop", EventType::Conflict),
+    ("militari", EventType::Conflict),
+    ("clash", EventType::Conflict),
+    ("fight", EventType::Conflict),
+    ("missil", EventType::Conflict),
+    ("shell", EventType::Conflict),
+    ("protest", EventType::Protest),
+    ("demonstr", EventType::Protest),
+    ("ralli", EventType::Protest),
+    ("march", EventType::Protest),
+    ("unrest", EventType::Protest),
+    ("sanction", EventType::Diplomacy),
+    ("negoti", EventType::Diplomacy),
+    ("treati", EventType::Diplomacy),
+    ("ambassador", EventType::Diplomacy),
+    ("diplomat", EventType::Diplomacy),
+    ("summit", EventType::Diplomacy),
+    ("market", EventType::Economy),
+    ("trade", EventType::Economy),
+    ("econom", EventType::Economy),
+    ("bank", EventType::Economy),
+    ("stock", EventType::Economy),
+    ("export", EventType::Economy),
+    ("elect", EventType::Politics),
+    ("vote", EventType::Politics),
+    ("parliament", EventType::Politics),
+    ("legisl", EventType::Politics),
+    ("presid", EventType::Politics),
+    ("earthquak", EventType::Disaster),
+    ("flood", EventType::Disaster),
+    ("hurrican", EventType::Disaster),
+    ("wildfir", EventType::Disaster),
+    ("arrest", EventType::Crime),
+    ("court", EventType::Crime),
+    ("trial", EventType::Crime),
+    ("murder", EventType::Crime),
+    ("diseas", EventType::Health),
+    ("outbreak", EventType::Health),
+    ("vaccin", EventType::Health),
+    ("hospit", EventType::Health),
+    ("virus", EventType::Health),
+    ("tournament", EventType::Sports),
+    ("championship", EventType::Sports),
+    ("goal", EventType::Sports),
+    ("leagu", EventType::Sports),
+    ("research", EventType::Science),
+    ("scienc", EventType::Science),
+    ("satellit", EventType::Science),
+    ("launch", EventType::Science),
+];
+
+/// The annotations recovered from one text excerpt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// Recognized entities with mention counts.
+    pub entities: Vec<(EntityId, u32)>,
+    /// Stemmed description terms with occurrence counts (entity mentions
+    /// excluded — they are entities, not description).
+    pub term_counts: Vec<(TermId, u32)>,
+    /// Rule-voted event type (`Other` when no rule fires).
+    pub event_type: EventType,
+}
+
+/// Gazetteer-backed annotator with a shared term interner.
+#[derive(Debug, Clone)]
+pub struct Annotator {
+    gazetteer: Gazetteer,
+    terms: Interner<TermId>,
+}
+
+impl Annotator {
+    /// Build an annotator around a compiled gazetteer.
+    pub fn new(gazetteer: Gazetteer) -> Self {
+        Annotator {
+            gazetteer,
+            terms: Interner::new(),
+        }
+    }
+
+    /// The gazetteer in use.
+    pub fn gazetteer(&self) -> &Gazetteer {
+        &self.gazetteer
+    }
+
+    /// The term interner (grows as new terms are seen).
+    pub fn terms(&self) -> &Interner<TermId> {
+        &self.terms
+    }
+
+    /// Resolve a term id back to its display string.
+    pub fn term_name(&self, id: TermId) -> Option<&str> {
+        self.terms.resolve(id)
+    }
+
+    /// Annotate one text excerpt.
+    pub fn annotate(&mut self, text: &str) -> Annotation {
+        let tokens = tokenize(text);
+        let mentions = self.gazetteer.recognize(&tokens);
+
+        // Entity mention counts; remember which token indexes are
+        // covered by entities so they do not double as terms.
+        let mut entity_counts: HashMap<EntityId, u32> = HashMap::new();
+        let mut covered = vec![false; tokens.len()];
+        for m in &mentions {
+            *entity_counts.entry(m.entity).or_insert(0) += 1;
+            for c in covered.iter_mut().take(m.token_end).skip(m.token_start) {
+                *c = true;
+            }
+        }
+
+        // Description terms: stem the uncovered, non-stopword tokens.
+        let mut term_counts: HashMap<TermId, u32> = HashMap::new();
+        let mut votes: HashMap<EventType, u32> = HashMap::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            if covered[i] || is_stopword(&tok.norm) || tok.norm.len() < 3 {
+                continue;
+            }
+            let stem = porter_stem(&tok.norm);
+            for &(kw, ty) in EVENT_RULES {
+                if stem == kw {
+                    *votes.entry(ty).or_insert(0) += 1;
+                }
+            }
+            let id = self.terms.get_or_intern(&stem);
+            *term_counts.entry(id).or_insert(0) += 1;
+        }
+
+        let event_type = votes
+            .into_iter()
+            .max_by_key(|&(ty, c)| (c, std::cmp::Reverse(ty.code())))
+            .map(|(ty, _)| ty)
+            .unwrap_or(EventType::Other);
+
+        let mut entities: Vec<(EntityId, u32)> = entity_counts.into_iter().collect();
+        entities.sort_unstable();
+        let mut term_counts: Vec<(TermId, u32)> = term_counts.into_iter().collect();
+        term_counts.sort_unstable();
+
+        Annotation {
+            entities,
+            term_counts,
+            event_type,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_text::GazetteerBuilder;
+
+    fn annotator() -> Annotator {
+        let mut g = GazetteerBuilder::new();
+        g.add_entity(EntityId::new(0), "Ukraine", &["UKR"]);
+        g.add_entity(EntityId::new(1), "Malaysia Airlines", &["MH17"]);
+        g.add_entity(EntityId::new(2), "Russia", &["RUS"]);
+        Annotator::new(g.build())
+    }
+
+    #[test]
+    fn entities_and_terms_are_separated() {
+        let mut a = annotator();
+        let ann = a.annotate("A Malaysia Airlines jet crashed over Ukraine; Ukraine blamed separatists.");
+        assert_eq!(ann.entities.len(), 2);
+        assert_eq!(ann.entities[0], (EntityId::new(0), 2)); // Ukraine twice
+        assert_eq!(ann.entities[1], (EntityId::new(1), 1));
+        // "malaysia"/"airlines"/"ukraine" must not appear as terms.
+        let names: Vec<&str> = ann
+            .term_counts
+            .iter()
+            .filter_map(|&(t, _)| a.term_name(t))
+            .collect();
+        assert!(names.contains(&"jet"));
+        assert!(names.contains(&"crash"));
+        assert!(!names.contains(&"ukrain"));
+        assert!(!names.contains(&"malaysia"));
+    }
+
+    #[test]
+    fn event_type_voting() {
+        let mut a = annotator();
+        assert_eq!(
+            a.annotate("The jet crashed and exploded near the border").event_type,
+            EventType::Accident
+        );
+        assert_eq!(
+            a.annotate("Protests and demonstrations swept the capital").event_type,
+            EventType::Protest
+        );
+        assert_eq!(
+            a.annotate("Sanctions were negotiated at the summit").event_type,
+            EventType::Diplomacy
+        );
+        assert_eq!(a.annotate("A quiet afternoon by the lake").event_type, EventType::Other);
+    }
+
+    #[test]
+    fn stemming_conflates_inflections() {
+        let mut a = annotator();
+        let ann = a.annotate("investigators investigate the investigation");
+        // All three inflections share one stem and one term id.
+        assert_eq!(ann.term_counts.len(), 1);
+        assert_eq!(ann.term_counts[0].1, 3);
+    }
+
+    #[test]
+    fn stopwords_and_short_tokens_dropped() {
+        let mut a = annotator();
+        let ann = a.annotate("it is of to go on at");
+        assert!(ann.term_counts.is_empty());
+    }
+
+    #[test]
+    fn interner_is_shared_across_calls() {
+        let mut a = annotator();
+        let first = a.annotate("missile strike reported");
+        let second = a.annotate("another missile strike");
+        let missile_first = first.term_counts.iter().find(|&&(t, _)| a.term_name(t) == Some("missil"));
+        let missile_second = second.term_counts.iter().find(|&&(t, _)| a.term_name(t) == Some("missil"));
+        assert_eq!(missile_first.map(|x| x.0), missile_second.map(|x| x.0));
+    }
+
+    #[test]
+    fn empty_text_annotates_empty() {
+        let mut a = annotator();
+        let ann = a.annotate("");
+        assert!(ann.entities.is_empty());
+        assert!(ann.term_counts.is_empty());
+        assert_eq!(ann.event_type, EventType::Other);
+    }
+}

@@ -1,0 +1,85 @@
+//! The document model.
+
+use storypivot_types::{DocId, SourceId, Timestamp};
+
+/// A fetched article/blog post/report, before extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Unique document id.
+    pub id: DocId,
+    /// The data source that published it.
+    pub source: SourceId,
+    /// Origin URL (display only).
+    pub url: String,
+    /// Title.
+    pub title: String,
+    /// Full body text; blank lines separate paragraphs.
+    pub body: String,
+    /// When the described event occurred (the extraction timestamp of
+    /// the paper's tuple format).
+    pub timestamp: Timestamp,
+}
+
+impl Document {
+    /// Create a document.
+    pub fn new<U, T, B>(
+        id: DocId,
+        source: SourceId,
+        url: U,
+        title: T,
+        body: B,
+        timestamp: Timestamp,
+    ) -> Self
+    where
+        U: Into<String>,
+        T: Into<String>,
+        B: Into<String>,
+    {
+        Document {
+            id,
+            source,
+            url: url.into(),
+            title: title.into(),
+            body: body.into(),
+            timestamp,
+        }
+    }
+
+    /// The document's paragraphs: blank-line separated, trimmed,
+    /// non-empty.
+    pub fn paragraphs(&self) -> Vec<&str> {
+        self.body
+            .split("\n\n")
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paragraph_splitting() {
+        let d = Document::new(
+            DocId::new(0),
+            SourceId::new(0),
+            "http://example.com/a",
+            "Title",
+            "First paragraph.\n\nSecond paragraph,\nwith a soft break.\n\n\n\nThird.",
+            Timestamp::EPOCH,
+        );
+        let ps = d.paragraphs();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0], "First paragraph.");
+        assert!(ps[1].contains("soft break"));
+        assert_eq!(ps[2], "Third.");
+    }
+
+    #[test]
+    fn empty_body_has_no_paragraphs() {
+        let d = Document::new(DocId::new(0), SourceId::new(0), "", "T", "  \n\n  ", Timestamp::EPOCH);
+        assert!(d.paragraphs().is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Document-to-snippet extraction.
+//!
+//! Paper §2.1: *"our extraction pipeline works as follows: It first
+//! collects textual excerpts from documents found on EventRegistry,
+//! i.e., it extracts the documents and breaks their text down based on
+//! paragraphs, title, etc. These excerpts are then forwarded to Open
+//! Calais [...] This tool provides additional information if available,
+//! for example on entities or keywords associated with the excerpt."*
+//!
+//! EventRegistry and OpenCalais are closed services; this crate is the
+//! functional stand-in built on the `storypivot-text` substrate:
+//!
+//! * [`Document`] — a fetched article (source, url, title, body,
+//!   publication time);
+//! * [`Annotator`] — gazetteer NER for entities, stemmed + stopword-
+//!   filtered TF-IDF keywords, and a rule-based event-type tagger;
+//! * [`ExtractionPipeline`] — documents in, [`storypivot_types::Snippet`]s out, with
+//!   incremental corpus statistics that also *unlearn* on document
+//!   removal (the demo's add/remove interaction, §4.2.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod document;
+pub mod pipeline;
+pub mod tuples;
+
+pub use annotate::{Annotation, Annotator};
+pub use document::Document;
+pub use pipeline::{ExtractionPipeline, PipelineConfig};
+pub use tuples::{write_tsv, TupleCatalog, TupleReader};

@@ -1,0 +1,268 @@
+//! The extraction pipeline: documents in, snippets out.
+
+use std::collections::HashMap;
+
+use storypivot_text::{CorpusStats, TfIdf};
+use storypivot_types::ids::IdGen;
+use storypivot_types::{DocId, Error, Result, Snippet, SnippetId, TermId};
+
+use crate::annotate::Annotator;
+use crate::document::Document;
+
+/// Pipeline behaviour knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Emit one snippet per paragraph (`true`) or one per document
+    /// (`false`). Paragraph mode mirrors the paper's "breaks their text
+    /// down based on paragraphs, title, etc.".
+    pub split_paragraphs: bool,
+    /// Minimum token count for a paragraph to become its own snippet
+    /// (shorter ones fold into the previous snippet's text).
+    pub min_tokens: usize,
+    /// Keep at most this many top-weighted terms per snippet.
+    pub max_terms: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            split_paragraphs: false,
+            min_tokens: 5,
+            max_terms: 24,
+        }
+    }
+}
+
+/// Stateful extraction pipeline with incremental TF-IDF statistics.
+#[derive(Debug, Clone)]
+pub struct ExtractionPipeline {
+    annotator: Annotator,
+    cfg: PipelineConfig,
+    stats: CorpusStats,
+    weigher: TfIdf,
+    ids: IdGen<SnippetId>,
+    /// Distinct terms folded into `stats` per document (for retraction).
+    doc_terms: HashMap<DocId, Vec<TermId>>,
+}
+
+impl ExtractionPipeline {
+    /// Build a pipeline around an annotator.
+    pub fn new(annotator: Annotator, cfg: PipelineConfig) -> Self {
+        ExtractionPipeline {
+            annotator,
+            cfg,
+            stats: CorpusStats::new(),
+            weigher: TfIdf::default(),
+            ids: IdGen::new(),
+            doc_terms: HashMap::new(),
+        }
+    }
+
+    /// The annotator (for name lookups).
+    pub fn annotator(&self) -> &Annotator {
+        &self.annotator
+    }
+
+    /// Corpus statistics accumulated so far.
+    pub fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+
+    /// Extract snippets from a document. Fails on duplicate document id
+    /// (extract the removal first if re-adding).
+    pub fn extract(&mut self, doc: &Document) -> Result<Vec<Snippet>> {
+        if self.doc_terms.contains_key(&doc.id) {
+            return Err(Error::Duplicate(format!("document {}", doc.id)));
+        }
+
+        // Assemble excerpts: title is prepended to the first excerpt.
+        let paragraphs = doc.paragraphs();
+        let excerpts: Vec<String> = if self.cfg.split_paragraphs && paragraphs.len() > 1 {
+            let mut out: Vec<String> = Vec::new();
+            for p in paragraphs {
+                let tokens = storypivot_text::tokenize(p).len();
+                match out.last_mut() {
+                    Some(last) if tokens < self.cfg.min_tokens => {
+                        last.push(' ');
+                        last.push_str(p);
+                    }
+                    _ => out.push(p.to_string()),
+                }
+            }
+            if let Some(first) = out.first_mut() {
+                *first = format!("{} {first}", doc.title);
+            } else {
+                out.push(doc.title.clone());
+            }
+            out
+        } else {
+            vec![format!("{} {}", doc.title, doc.body)]
+        };
+
+        // Annotate all excerpts, then fold the document's distinct terms
+        // into the corpus stats *once*, then weigh.
+        let annotations: Vec<_> = excerpts.iter().map(|e| self.annotator.annotate(e)).collect();
+        let mut distinct: Vec<TermId> = annotations
+            .iter()
+            .flat_map(|a| a.term_counts.iter().map(|&(t, _)| t))
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        self.stats.add_document(distinct.iter().copied());
+        self.doc_terms.insert(doc.id, distinct);
+
+        let snippets = annotations
+            .into_iter()
+            .map(|ann| {
+                let mut terms = self.weigher.weigh(&ann.term_counts, &self.stats);
+                if terms.len() > self.cfg.max_terms {
+                    terms = storypivot_types::SparseVec::from_pairs(terms.top_k(self.cfg.max_terms));
+                }
+                let mut b = Snippet::builder(self.ids.next_id(), doc.source, doc.timestamp)
+                    .doc(doc.id)
+                    .event_type(ann.event_type)
+                    .headline(doc.title.clone());
+                for (e, c) in ann.entities {
+                    b = b.entity(e, c as f32);
+                }
+                let mut s = b.build();
+                s.content.terms = terms;
+                s
+            })
+            .collect();
+        Ok(snippets)
+    }
+
+    /// Retract a previously extracted document from the corpus
+    /// statistics (the demo's remove-document interaction).
+    pub fn retract(&mut self, doc: DocId) -> Result<()> {
+        let terms = self
+            .doc_terms
+            .remove(&doc)
+            .ok_or(Error::UnknownDocument(doc))?;
+        self.stats.remove_document(terms);
+        Ok(())
+    }
+
+    /// Number of documents currently folded into the statistics.
+    pub fn document_count(&self) -> u64 {
+        self.stats.doc_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_text::GazetteerBuilder;
+    use storypivot_types::{EntityId, EventType, SourceId, Timestamp};
+
+    fn pipeline(cfg: PipelineConfig) -> ExtractionPipeline {
+        let mut g = GazetteerBuilder::new();
+        g.add_entity(EntityId::new(0), "Ukraine", &["UKR"]);
+        g.add_entity(EntityId::new(1), "Malaysia Airlines", &["MH17"]);
+        g.add_entity(EntityId::new(2), "Russia", &["RUS"]);
+        ExtractionPipeline::new(Annotator::new(g.build()), cfg)
+    }
+
+    fn mh17_doc(id: u32) -> Document {
+        Document::new(
+            DocId::new(id),
+            SourceId::new(0),
+            "http://nytimes.com/doc1.html",
+            "Jetliner Explodes over Ukraine",
+            "A Malaysia Airlines Boeing 777 with 298 people aboard exploded, crashed and burned \
+             over eastern Ukraine.\n\nUkraine accused pro-Russia separatists; Russia denied any \
+             involvement in the crash.",
+            Timestamp::from_ymd(2014, 7, 17),
+        )
+    }
+
+    #[test]
+    fn whole_document_mode_yields_one_snippet() {
+        let mut p = pipeline(PipelineConfig::default());
+        let snippets = p.extract(&mh17_doc(0)).unwrap();
+        assert_eq!(snippets.len(), 1);
+        let s = &snippets[0];
+        assert_eq!(s.doc, DocId::new(0));
+        assert_eq!(s.timestamp, Timestamp::from_ymd(2014, 7, 17));
+        assert_eq!(s.content.event_type, EventType::Accident);
+        // Ukraine (×3), Malaysia Airlines, Russia (×2) recognized.
+        assert_eq!(s.entities().len(), 3);
+        assert!(s.entities().get(&EntityId::new(0)).unwrap() >= 2.0);
+        assert!(!s.terms().is_empty());
+        assert_eq!(s.content.headline, "Jetliner Explodes over Ukraine");
+    }
+
+    #[test]
+    fn paragraph_mode_yields_snippet_per_paragraph() {
+        let mut p = pipeline(PipelineConfig {
+            split_paragraphs: true,
+            ..PipelineConfig::default()
+        });
+        let snippets = p.extract(&mh17_doc(0)).unwrap();
+        assert_eq!(snippets.len(), 2);
+        assert_ne!(snippets[0].id, snippets[1].id);
+        assert!(snippets.iter().all(|s| s.doc == DocId::new(0)));
+    }
+
+    #[test]
+    fn duplicate_document_rejected() {
+        let mut p = pipeline(PipelineConfig::default());
+        p.extract(&mh17_doc(0)).unwrap();
+        assert!(matches!(p.extract(&mh17_doc(0)), Err(Error::Duplicate(_))));
+    }
+
+    #[test]
+    fn retract_reverses_stats() {
+        let mut p = pipeline(PipelineConfig::default());
+        p.extract(&mh17_doc(0)).unwrap();
+        assert_eq!(p.document_count(), 1);
+        let vocab = p.stats().vocabulary_size();
+        assert!(vocab > 0);
+        p.retract(DocId::new(0)).unwrap();
+        assert_eq!(p.document_count(), 0);
+        assert_eq!(p.stats().vocabulary_size(), 0);
+        assert!(p.retract(DocId::new(0)).is_err());
+        // Re-adding after retraction works.
+        p.extract(&mh17_doc(0)).unwrap();
+        assert_eq!(p.document_count(), 1);
+    }
+
+    #[test]
+    fn term_cap_is_enforced() {
+        let mut p = pipeline(PipelineConfig {
+            max_terms: 3,
+            ..PipelineConfig::default()
+        });
+        let snippets = p.extract(&mh17_doc(0)).unwrap();
+        assert!(snippets[0].terms().len() <= 3);
+    }
+
+    #[test]
+    fn snippet_ids_are_unique_across_documents() {
+        let mut p = pipeline(PipelineConfig::default());
+        let a = p.extract(&mh17_doc(0)).unwrap();
+        let b = p.extract(&mh17_doc(1)).unwrap();
+        assert_ne!(a[0].id, b[0].id);
+    }
+
+    #[test]
+    fn similar_documents_produce_similar_snippets() {
+        let mut p = pipeline(PipelineConfig::default());
+        let a = p.extract(&mh17_doc(0)).unwrap().remove(0);
+        let other = Document::new(
+            DocId::new(1),
+            SourceId::new(1),
+            "http://wsj.com/doc3.html",
+            "Jet Crashes over Ukraine",
+            "The Malaysia Airlines jet crashed over eastern Ukraine, and pro-Russia separatists \
+             were blamed for the explosion.",
+            Timestamp::from_ymd(2014, 7, 17),
+        );
+        let b = p.extract(&other).unwrap().remove(0);
+        let sim_e = a.entities().jaccard(b.entities());
+        assert!(sim_e > 0.5, "entity overlap {sim_e}");
+        let sim_t = a.terms().cosine(b.terms());
+        assert!(sim_t > 0.2, "term cosine {sim_t}");
+    }
+}

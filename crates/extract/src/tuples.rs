@@ -1,0 +1,282 @@
+//! Reading and writing the paper's event-tuple format.
+//!
+//! Paper §1: extracted data is "stored in a tuple format containing
+//! information about its origin, the type of the corresponding
+//! real-world event, the entities associated with the corresponding
+//! activity, a short description and a timestamp", e.g.
+//! `<New York Times, Accident, {Ukraine, Malaysian Airlines}, "Plane
+//! Crash", 07/17/2014>`.
+//!
+//! This module serializes snippets to a line-oriented TSV rendering of
+//! that tuple and parses it back, interning source/entity/term names on
+//! the fly — the interchange path for feeding real GDELT-style
+//! extractions into StoryPivot:
+//!
+//! ```text
+//! source \t event_type \t entity;entity;… \t description words \t timestamp \t headline
+//! ```
+
+use storypivot_text::Interner;
+use storypivot_types::ids::IdGen;
+use storypivot_types::{
+    DocId, EntityId, Error, EventType, Result, Snippet, SnippetId, Source, SourceId, SourceKind,
+    TermId, Timestamp,
+};
+
+/// Interners shared across a tuple stream: names seen in any line map
+/// to stable dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct TupleCatalog {
+    /// Source-name interner.
+    pub sources: Interner<SourceId>,
+    /// Entity-name interner.
+    pub entities: Interner<EntityId>,
+    /// Description-term interner.
+    pub terms: Interner<TermId>,
+}
+
+/// Streaming tuple parser: each line becomes one snippet (and one
+/// document).
+///
+/// ```
+/// use storypivot_extract::TupleReader;
+/// use storypivot_types::{EventType, Timestamp};
+///
+/// let mut reader = TupleReader::new();
+/// let snippet = reader
+///     .parse_line("New York Times\taccident\tUkraine;Malaysian Airlines\tplane crash\t07/17/2014\tPlane Crash")
+///     .unwrap()
+///     .unwrap();
+/// assert_eq!(snippet.content.event_type, EventType::Accident);
+/// assert_eq!(snippet.timestamp, Timestamp::from_ymd(2014, 7, 17));
+/// assert_eq!(reader.catalog.entities.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TupleReader {
+    /// Name catalogs built up while reading.
+    pub catalog: TupleCatalog,
+    snippet_ids: IdGen<SnippetId>,
+    doc_ids: IdGen<DocId>,
+}
+
+impl TupleReader {
+    /// A fresh reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse one tuple line. Empty lines and `#` comments yield
+    /// `Ok(None)`.
+    pub fn parse_line(&mut self, line: &str) -> Result<Option<Snippet>> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            return Ok(None);
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 5 {
+            return Err(Error::Parse(format!(
+                "tuple needs ≥5 tab-separated fields (source, type, entities, description, timestamp), got {}",
+                fields.len()
+            )));
+        }
+        let source = self.catalog.sources.get_or_intern(fields[0].trim());
+        let event_type: EventType = fields[1].trim().parse()?;
+        let entities: Vec<EntityId> = fields[2]
+            .split(';')
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+            .map(|e| self.catalog.entities.get_or_intern(e))
+            .collect();
+        let terms: Vec<TermId> = fields[3]
+            .split_whitespace()
+            .map(|t| self.catalog.terms.get_or_intern(&t.to_ascii_lowercase()))
+            .collect();
+        let timestamp = Timestamp::parse(fields[4])?;
+        let headline = fields.get(5).map(|h| h.trim()).unwrap_or("").to_string();
+
+        let snippet = Snippet::builder(self.snippet_ids.next_id(), source, timestamp)
+            .doc(self.doc_ids.next_id())
+            .entities(entities)
+            .terms(terms)
+            .event_type(event_type)
+            .headline(headline)
+            .build();
+        Ok(Some(snippet))
+    }
+
+    /// Parse a whole tuple document. Returns the registered sources (in
+    /// id order) and the snippets (in line order). Fails on the first
+    /// malformed line, reporting its 1-based number.
+    pub fn read_str(&mut self, text: &str) -> Result<(Vec<Source>, Vec<Snippet>)> {
+        let mut snippets = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            match self.parse_line(line) {
+                Ok(Some(s)) => snippets.push(s),
+                Ok(None) => {}
+                Err(e) => return Err(Error::Parse(format!("line {}: {e}", no + 1))),
+            }
+        }
+        let sources = self
+            .catalog
+            .sources
+            .iter()
+            .map(|(id, name)| Source::new(id, name, SourceKind::Newspaper))
+            .collect();
+        Ok((sources, snippets))
+    }
+}
+
+/// Serialize snippets to the tuple TSV format, resolving ids through the
+/// provided name lookups (ids without a name render as `e7`-style
+/// fallbacks so the output is always parseable).
+pub fn write_tsv<'a, I>(
+    snippets: I,
+    source_name: &dyn Fn(SourceId) -> String,
+    entity_name: &dyn Fn(EntityId) -> String,
+    term_name: &dyn Fn(TermId) -> String,
+) -> String
+where
+    I: IntoIterator<Item = &'a Snippet>,
+{
+    let mut out = String::new();
+    out.push_str("# source\tevent_type\tentities\tdescription\ttimestamp\theadline\n");
+    for s in snippets {
+        let entities = s
+            .entities()
+            .keys()
+            .map(entity_name)
+            .collect::<Vec<_>>()
+            .join(";");
+        let terms = s
+            .terms()
+            .keys()
+            .map(term_name)
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Tabs/newlines inside names would corrupt the framing; strip.
+        let clean = |x: String| x.replace(['\t', '\n'], " ");
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            clean(source_name(s.source)),
+            s.content.event_type,
+            clean(entities),
+            clean(terms),
+            s.timestamp,
+            clean(s.content.headline.clone()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_TUPLE: &str =
+        "New York Times\taccident\tUkraine;Malaysian Airlines\tplane crash\t07/17/2014\tPlane Crash";
+
+    #[test]
+    fn parses_the_papers_example_tuple() {
+        let mut r = TupleReader::new();
+        let s = r.parse_line(PAPER_TUPLE).unwrap().unwrap();
+        assert_eq!(s.source, SourceId::new(0));
+        assert_eq!(s.content.event_type, EventType::Accident);
+        assert_eq!(s.entities().len(), 2);
+        assert_eq!(s.terms().len(), 2);
+        assert_eq!(s.timestamp, Timestamp::from_ymd(2014, 7, 17));
+        assert_eq!(s.content.headline, "Plane Crash");
+        assert_eq!(r.catalog.entities.resolve(EntityId::new(0)), Some("Ukraine"));
+    }
+
+    #[test]
+    fn names_intern_consistently_across_lines() {
+        let mut r = TupleReader::new();
+        let a = r.parse_line(PAPER_TUPLE).unwrap().unwrap();
+        let b = r
+            .parse_line("Wall Street Journal\taccident\tUkraine\tcrash jet\t2014-07-17\t")
+            .unwrap()
+            .unwrap();
+        assert_ne!(a.source, b.source);
+        // "Ukraine" resolves to the same entity id in both.
+        let ukr = r.catalog.entities.get("ukraine").unwrap();
+        assert!(a.entities().contains(&ukr));
+        assert!(b.entities().contains(&ukr));
+        // "crash" term shared.
+        let crash = r.catalog.terms.get("crash").unwrap();
+        assert!(a.terms().contains(&crash));
+        assert!(b.terms().contains(&crash));
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let mut r = TupleReader::new();
+        let text = format!("# header\n\n{PAPER_TUPLE}\n   \n");
+        let (sources, snippets) = r.read_str(&text).unwrap();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(snippets.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_their_number() {
+        let mut r = TupleReader::new();
+        let text = format!("{PAPER_TUPLE}\nnot a tuple\n");
+        let err = r.read_str(&text).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn bad_event_type_and_timestamp_fail() {
+        let mut r = TupleReader::new();
+        assert!(r
+            .parse_line("NYT\tavalanche-party\tU\tx\t2014-07-17\t")
+            .is_err());
+        assert!(r.parse_line("NYT\taccident\tU\tx\tlast tuesday\t").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_tsv() {
+        let mut r = TupleReader::new();
+        let text = format!(
+            "{PAPER_TUPLE}\nWall Street Journal\tdiplomacy\tRussia;European Union\tsanctions trade\t2014-07-29 10:30:00\tSanctions Widen\n"
+        );
+        let (_, original) = r.read_str(&text).unwrap();
+
+        let catalog = r.catalog.clone();
+        let rendered = write_tsv(
+            original.iter(),
+            &|s| catalog.sources.resolve(s).unwrap_or("?").to_string(),
+            &|e| catalog.entities.resolve(e).unwrap_or("?").to_string(),
+            &|t| catalog.terms.resolve(t).unwrap_or("?").to_string(),
+        );
+
+        let mut r2 = TupleReader::new();
+        let (_, reparsed) = r2.read_str(&rendered).unwrap();
+        assert_eq!(reparsed.len(), original.len());
+        for (a, b) in original.iter().zip(&reparsed) {
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.content.event_type, b.content.event_type);
+            assert_eq!(a.entities().len(), b.entities().len());
+            assert_eq!(a.terms().len(), b.terms().len());
+            assert_eq!(a.content.headline, b.content.headline);
+        }
+    }
+
+    #[test]
+    fn unnamed_ids_render_parseable_fallbacks() {
+        let s = Snippet::builder(SnippetId::new(0), SourceId::new(3), Timestamp::from_ymd(2020, 1, 1))
+            .entity(EntityId::new(9), 1.0)
+            .term(TermId::new(4), 1.0)
+            .event_type(EventType::Other)
+            .build();
+        let rendered = write_tsv(
+            [&s],
+            &|s| s.to_string(),
+            &|e| e.to_string(),
+            &|t| t.to_string(),
+        );
+        let mut r = TupleReader::new();
+        let (_, snippets) = r.read_str(&rendered).unwrap();
+        assert_eq!(snippets.len(), 1);
+    }
+}

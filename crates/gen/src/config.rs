@@ -1,0 +1,162 @@
+//! Generator configuration.
+
+use storypivot_types::{Timestamp, DAY, HOUR};
+
+/// Parameters of the synthetic corpus (defaults mirror the dataset panel
+/// of the paper's Figure 7: 50 sources, 500 entities, Jun–Dec 2014 —
+/// scaled to a requested snippet budget).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// RNG seed; every corpus is fully determined by its config.
+    pub seed: u64,
+    /// Number of data sources.
+    pub sources: u32,
+    /// Entity catalog size.
+    pub entities: u32,
+    /// Term vocabulary size.
+    pub terms: u32,
+    /// Number of ground-truth stories.
+    pub stories: u32,
+    /// Mean number of real-world events per story.
+    pub events_per_story: f64,
+    /// Corpus start instant.
+    pub start: Timestamp,
+    /// Corpus duration in days.
+    pub duration_days: i64,
+    /// Story lifespan range in days `(min, max)`.
+    pub story_duration_days: (i64, i64),
+    /// Core entity-set size per story.
+    pub entities_per_story: usize,
+    /// Topic term-pool size per story.
+    pub terms_per_story: usize,
+    /// Entities mentioned per snippet `(min, max)`.
+    pub entities_per_snippet: (usize, usize),
+    /// Terms mentioned per snippet `(min, max)`.
+    pub terms_per_snippet: (usize, usize),
+    /// Probability that a source covers a story at all.
+    pub coverage: f64,
+    /// Probability that a covering source reports any given event.
+    pub report_prob: f64,
+    /// Per-event probability that the story's active entity set and term
+    /// pool mutate (story drift/evolution).
+    pub drift: f64,
+    /// Probability that a snippet drops one of its entities (annotation
+    /// noise).
+    pub entity_dropout: f64,
+    /// Probability that a snippet picks up one random off-topic term.
+    pub term_noise: f64,
+    /// Mean publication lag (seconds) added on top of the source's
+    /// typical lag. Publication lag drives *delivery order*, producing
+    /// out-of-order arrival.
+    pub mean_pub_lag: i64,
+    /// Maximum timestamp jitter (seconds): sources estimate the event
+    /// time imperfectly.
+    pub timestamp_jitter: i64,
+    /// Zipf exponent for entity/term popularity.
+    pub zipf_exponent: f64,
+    /// Probability that a story **splits**: when it ends, two successor
+    /// stories begin, each inheriting part of its content (paper §2.1:
+    /// "it is possible for stories to split into multiple substories").
+    /// Successors carry *new* ground-truth labels.
+    pub split_prob: f64,
+    /// Probability that a story **merges** with another concurrently
+    /// ending story into one successor inheriting content from both.
+    pub merge_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 42,
+            sources: 10,
+            entities: 500,
+            terms: 2_000,
+            stories: 40,
+            events_per_story: 12.0,
+            start: Timestamp::from_ymd(2014, 6, 1),
+            duration_days: 183, // Jun 1 – Dec 1, as in Figure 7
+            story_duration_days: (7, 60),
+            entities_per_story: 4,
+            terms_per_story: 12,
+            entities_per_snippet: (2, 4),
+            terms_per_snippet: (4, 7),
+            coverage: 0.7,
+            report_prob: 0.8,
+            drift: 0.25,
+            entity_dropout: 0.15,
+            term_noise: 0.25,
+            mean_pub_lag: 6 * HOUR,
+            timestamp_jitter: 4 * HOUR,
+            zipf_exponent: 0.9,
+            split_prob: 0.15,
+            merge_prob: 0.10,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Scale the story count so the corpus lands near `target` snippets
+    /// (expected value; the actual count varies with the seed).
+    pub fn with_target_snippets(mut self, target: usize) -> Self {
+        let per_story =
+            self.events_per_story * self.sources as f64 * self.coverage * self.report_prob;
+        self.stories = ((target as f64 / per_story).ceil() as u32).max(1);
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style source-count override.
+    pub fn with_sources(mut self, sources: u32) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    /// The corpus end instant.
+    pub fn end(&self) -> Timestamp {
+        self.start + self.duration_days * DAY
+    }
+
+    /// Expected snippet count implied by the parameters.
+    pub fn expected_snippets(&self) -> usize {
+        (self.stories as f64
+            * self.events_per_story
+            * self.sources as f64
+            * self.coverage
+            * self.report_prob) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = GenConfig::default();
+        assert!(c.sources > 0 && c.entities > 0 && c.stories > 0);
+        assert!(c.end() > c.start);
+        assert!(c.expected_snippets() > 0);
+    }
+
+    #[test]
+    fn target_snippets_scales_stories() {
+        let small = GenConfig::default().with_target_snippets(500);
+        let large = GenConfig::default().with_target_snippets(50_000);
+        assert!(large.stories > small.stories * 50);
+        // Expected count should be within 2x of the target.
+        let exp = large.expected_snippets() as f64;
+        assert!(exp > 25_000.0 && exp < 100_000.0, "expected {exp}");
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = GenConfig::default().with_seed(7).with_sources(50);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.sources, 50);
+    }
+}

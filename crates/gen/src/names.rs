@@ -1,0 +1,132 @@
+//! Deterministic pseudo-name generation.
+//!
+//! Entities and description terms need printable names so that (a) the
+//! demo modules render readable digests and (b) the document renderer
+//! can produce text the extraction pipeline re-annotates. Names are
+//! syllable compositions, deterministic per `(seed, index)`.
+
+use storypivot_sketch::mix64;
+
+const ONSETS: &[&str] = &[
+    "b", "br", "d", "dr", "f", "g", "gr", "k", "kr", "l", "m", "n", "p", "pr", "r", "s", "st",
+    "t", "tr", "v", "z", "sh", "ch", "th",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ia", "ea", "ou"];
+const CODAS: &[&str] = &["", "n", "r", "l", "s", "m", "nd", "rk", "st", "x"];
+
+fn syllable(mut h: u64) -> (String, u64) {
+    let onset = ONSETS[(h % ONSETS.len() as u64) as usize];
+    h = mix64(h);
+    let vowel = VOWELS[(h % VOWELS.len() as u64) as usize];
+    h = mix64(h);
+    let coda = CODAS[(h % CODAS.len() as u64) as usize];
+    h = mix64(h);
+    (format!("{onset}{vowel}{coda}"), h)
+}
+
+/// A pronounceable lowercase pseudo-word of 2–3 syllables for
+/// `(seed, index)`.
+pub fn pseudo_word(seed: u64, index: u64) -> String {
+    let mut h = mix64(seed ^ mix64(index).rotate_left(17));
+    let syllables = 2 + (h % 2) as usize;
+    h = mix64(h);
+    let mut word = String::new();
+    for _ in 0..syllables {
+        let (s, nh) = syllable(h);
+        word.push_str(&s);
+        h = nh;
+    }
+    word
+}
+
+/// A capitalized entity name (1–2 words) for `(seed, index)`; e.g.
+/// "Velonia" or "Kamara Front".
+pub fn entity_name(seed: u64, index: u64) -> String {
+    let mut h = mix64(seed.wrapping_add(0xE27) ^ mix64(index));
+    let capitalize = |w: String| -> String {
+        let mut c = w.chars();
+        match c.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+            None => w,
+        }
+    };
+    let first = capitalize(pseudo_word(seed ^ 0xE1, index));
+    h = mix64(h);
+    if h.is_multiple_of(4) {
+        let second = capitalize(pseudo_word(seed ^ 0xE2, index));
+        format!("{first} {second}")
+    } else {
+        first
+    }
+}
+
+/// A short uppercase alias (3 letters) for an entity, GDELT-actor-code
+/// style: "VEL" for "Velonia".
+pub fn entity_code(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_alphabetic())
+        .take(3)
+        .flat_map(char::to_uppercase)
+        .collect()
+}
+
+/// A source name for `index`: `The <Word> <Kind>`.
+pub fn source_name(seed: u64, index: u64, kind: &str) -> String {
+    let w = pseudo_word(seed ^ 0x50CE, index);
+    let mut c = w.chars();
+    let cap = match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => w,
+    };
+    format!("The {cap} {kind}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(pseudo_word(1, 5), pseudo_word(1, 5));
+        assert_eq!(entity_name(1, 5), entity_name(1, 5));
+    }
+
+    #[test]
+    fn different_indices_differ_mostly() {
+        let names: std::collections::HashSet<String> =
+            (0..500).map(|i| entity_name(42, i)).collect();
+        // Collisions are possible but must be rare.
+        assert!(names.len() > 450, "only {} distinct names", names.len());
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        for i in 0..100 {
+            let w = pseudo_word(7, i);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(w.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn entity_names_are_capitalized() {
+        for i in 0..50 {
+            let n = entity_name(7, i);
+            assert!(n.chars().next().unwrap().is_uppercase(), "{n}");
+        }
+    }
+
+    #[test]
+    fn codes_are_three_uppercase_letters() {
+        assert_eq!(entity_code("Velonia"), "VEL");
+        assert_eq!(entity_code("Kamara Front"), "KAM");
+        assert_eq!(entity_code("ab"), "AB");
+    }
+
+    #[test]
+    fn source_names_have_kind() {
+        let n = source_name(1, 0, "Times");
+        assert!(n.starts_with("The "));
+        assert!(n.ends_with(" Times"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Ground-truth labels for generated corpora.
+
+use std::collections::HashMap;
+
+use storypivot_types::{SnippetId, SourceId};
+
+/// True story labels of a generated corpus: each snippet carries the id
+/// of the real-world story it reports.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    labels: HashMap<SnippetId, u32>,
+    sources: HashMap<SnippetId, SourceId>,
+}
+
+impl GroundTruth {
+    /// Empty truth table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a snippet's true story and source.
+    pub fn record(&mut self, snippet: SnippetId, story: u32, source: SourceId) {
+        self.labels.insert(snippet, story);
+        self.sources.insert(snippet, source);
+    }
+
+    /// The true story of a snippet.
+    pub fn label_of(&self, snippet: SnippetId) -> Option<u32> {
+        self.labels.get(&snippet).copied()
+    }
+
+    /// Number of labelled snippets.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the truth table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct true stories.
+    pub fn story_count(&self) -> usize {
+        let set: std::collections::HashSet<u32> = self.labels.values().copied().collect();
+        set.len()
+    }
+
+    /// All `(snippet, label)` pairs, sorted by snippet id.
+    pub fn pairs(&self) -> Vec<(SnippetId, u32)> {
+        let mut v: Vec<(SnippetId, u32)> = self.labels.iter().map(|(&s, &l)| (s, l)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The truth restricted to one source — the reference clustering for
+    /// *story identification* quality, which is a per-source problem.
+    pub fn restricted_to(&self, source: SourceId) -> GroundTruth {
+        let mut out = GroundTruth::new();
+        for (&s, &l) in &self.labels {
+            if self.sources.get(&s) == Some(&source) {
+                out.record(s, l, source);
+            }
+        }
+        out
+    }
+
+    /// The true clusters: story label → sorted member snippets.
+    pub fn clusters(&self) -> HashMap<u32, Vec<SnippetId>> {
+        let mut out: HashMap<u32, Vec<SnippetId>> = HashMap::new();
+        for (&s, &l) in &self.labels {
+            out.entry(l).or_default().push(s);
+        }
+        for members in out.values_mut() {
+            members.sort_unstable();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = GroundTruth::new();
+        t.record(SnippetId::new(0), 5, SourceId::new(0));
+        t.record(SnippetId::new(1), 5, SourceId::new(1));
+        t.record(SnippetId::new(2), 9, SourceId::new(0));
+        assert_eq!(t.label_of(SnippetId::new(0)), Some(5));
+        assert_eq!(t.label_of(SnippetId::new(7)), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.story_count(), 2);
+    }
+
+    #[test]
+    fn restriction_keeps_only_one_source() {
+        let mut t = GroundTruth::new();
+        t.record(SnippetId::new(0), 5, SourceId::new(0));
+        t.record(SnippetId::new(1), 5, SourceId::new(1));
+        let r = t.restricted_to(SourceId::new(0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.label_of(SnippetId::new(0)), Some(5));
+        assert_eq!(r.label_of(SnippetId::new(1)), None);
+    }
+
+    #[test]
+    fn clusters_group_members() {
+        let mut t = GroundTruth::new();
+        t.record(SnippetId::new(2), 1, SourceId::new(0));
+        t.record(SnippetId::new(0), 1, SourceId::new(0));
+        t.record(SnippetId::new(1), 2, SourceId::new(0));
+        let c = t.clusters();
+        assert_eq!(c[&1], vec![SnippetId::new(0), SnippetId::new(2)]);
+        assert_eq!(c[&2], vec![SnippetId::new(1)]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the corpus generator: every corpus, under any
+//! reasonable parameterization, must satisfy the structural contracts
+//! the rest of the system relies on.
+
+use proptest::prelude::*;
+
+use storypivot_gen::{CorpusBuilder, GenConfig};
+
+fn arb_config() -> impl Strategy<Value = GenConfig> {
+    (
+        any::<u64>(),                 // seed
+        2u32..6,                      // sources
+        20u32..120,                   // entities
+        50u32..300,                   // terms
+        2u32..15,                     // stories
+        3.0f64..10.0,                 // events per story
+        0.0f64..0.5,                  // drift
+        0.3f64..1.0,                  // coverage
+        0.0f64..0.5,                  // split prob
+        0.0f64..0.5,                  // merge prob
+    )
+        .prop_map(
+            |(seed, sources, entities, terms, stories, events, drift, coverage, split, merge)| {
+                GenConfig {
+                    seed,
+                    sources,
+                    entities,
+                    terms,
+                    stories,
+                    events_per_story: events,
+                    drift,
+                    coverage,
+                    split_prob: split,
+                    merge_prob: merge,
+                    ..GenConfig::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn corpora_satisfy_structural_contracts(cfg in arb_config()) {
+        let corpus = CorpusBuilder::new(cfg.clone()).build();
+
+        // Delivery order is monotone in delivery time by construction:
+        // snippet ids are positional.
+        for (i, s) in corpus.snippets.iter().enumerate() {
+            prop_assert_eq!(s.id.raw() as usize, i);
+            // Every snippet references a registered source.
+            prop_assert!(s.source.raw() < cfg.sources);
+            // Every snippet is labelled.
+            prop_assert!(corpus.truth.label_of(s.id).is_some());
+            // Content ids point into the catalogs.
+            for e in s.entities().keys() {
+                prop_assert!(e.raw() < cfg.entities);
+            }
+            for t in s.terms().keys() {
+                prop_assert!(t.raw() < cfg.terms);
+            }
+            // Event timestamps stay near the configured period (jitter
+            // and lineage can spill slightly past the end).
+            prop_assert!(s.timestamp >= cfg.start - cfg.timestamp_jitter);
+            prop_assert!(
+                s.timestamp <= cfg.end() + cfg.timestamp_jitter,
+                "timestamp {} beyond end {}",
+                s.timestamp,
+                cfg.end()
+            );
+        }
+
+        // Determinism.
+        let again = CorpusBuilder::new(cfg).build();
+        prop_assert_eq!(corpus.snippets, again.snippets);
+    }
+
+    #[test]
+    fn truth_clusters_partition_the_corpus(cfg in arb_config()) {
+        let corpus = CorpusBuilder::new(cfg).build();
+        let clusters = corpus.truth.clusters();
+        let total: usize = clusters.values().map(Vec::len).sum();
+        prop_assert_eq!(total, corpus.len());
+        let mut seen = std::collections::HashSet::new();
+        for members in clusters.values() {
+            for &m in members {
+                prop_assert!(seen.insert(m), "snippet {m} in two true clusters");
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Count-Min sketch: approximate frequency counting in fixed space.
+//!
+//! Estimates item counts with one-sided error: the estimate never
+//! undercounts, and overcounts by at most `ε·N` with probability
+//! `1 - δ`, where `width = ⌈e/ε⌉` and `depth = ⌈ln(1/δ)⌉`. Used for
+//! story term-frequency digests when exact per-story counting would not
+//! fit memory at GDELT scale.
+
+use crate::hash::HashFamily;
+
+/// A Count-Min sketch over `u64` items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountMin {
+    width: usize,
+    depth: usize,
+    family: HashFamily,
+    rows: Vec<u64>, // depth × width, row-major
+    total: u64,
+}
+
+impl CountMin {
+    /// Create a sketch with explicit dimensions. `seed` fixes the hash
+    /// family so that sketches with equal parameters can merge.
+    pub fn new(seed: u64, width: usize, depth: usize) -> Self {
+        assert!(width > 0 && depth > 0, "dimensions must be positive");
+        CountMin {
+            width,
+            depth,
+            family: HashFamily::new(seed, depth),
+            rows: vec![0; width * depth],
+            total: 0,
+        }
+    }
+
+    /// Create a sketch sized for error `epsilon` (relative to total
+    /// count) with failure probability `delta`.
+    pub fn with_error(seed: u64, epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(seed, width, depth)
+    }
+
+    /// Sketch width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth (number of rows / hash functions).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total count added across all items.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, item: u64) -> usize {
+        row * self.width + (self.family.hash(row, item) % self.width as u64) as usize
+    }
+
+    /// Add `count` occurrences of `item`.
+    pub fn add(&mut self, item: u64, count: u64) {
+        for row in 0..self.depth {
+            let c = self.cell(row, item);
+            self.rows[c] = self.rows[c].saturating_add(count);
+        }
+        self.total = self.total.saturating_add(count);
+    }
+
+    /// Estimate the count of `item` (never underestimates).
+    pub fn estimate(&self, item: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.rows[self.cell(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Merge another sketch with identical parameters into this one.
+    ///
+    /// # Panics
+    /// Panics if dimensions or hash families differ — merging
+    /// incompatible sketches would silently corrupt estimates.
+    pub fn merge(&mut self, other: &CountMin) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.depth, other.depth, "depth mismatch");
+        assert_eq!(self.family, other.family, "hash family mismatch");
+        for (a, &b) in self.rows.iter_mut().zip(&other.rows) {
+            *a = a.saturating_add(b);
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMin::new(1, 64, 4);
+        for i in 0..200u64 {
+            cm.add(i, i % 7 + 1);
+        }
+        for i in 0..200u64 {
+            assert!(cm.estimate(i) > i % 7, "item {i} underestimated");
+        }
+    }
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut cm = CountMin::new(2, 1024, 4);
+        cm.add(42, 10);
+        cm.add(7, 3);
+        assert_eq!(cm.estimate(42), 10);
+        assert_eq!(cm.estimate(7), 3);
+        assert_eq!(cm.estimate(999), 0);
+        assert_eq!(cm.total(), 13);
+    }
+
+    #[test]
+    fn error_bound_holds_statistically() {
+        // ε = e/width = e/512 ≈ 0.0053; N = 10_000 → max overcount ≈ 53
+        // per row with high probability. Check a generous bound.
+        let mut cm = CountMin::new(3, 512, 5);
+        for i in 0..10_000u64 {
+            cm.add(i % 1000, 1);
+        }
+        for i in 0..1000u64 {
+            let est = cm.estimate(i);
+            assert!(est >= 10);
+            assert!(est <= 10 + 200, "item {i} overcounted: {est}");
+        }
+    }
+
+    #[test]
+    fn with_error_sizes_correctly() {
+        let cm = CountMin::with_error(0, 0.01, 0.01);
+        assert!(cm.width() >= 272); // e/0.01 ≈ 271.8
+        assert!(cm.depth() >= 4); // ln(100) ≈ 4.6
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CountMin::new(9, 128, 4);
+        let mut b = CountMin::new(9, 128, 4);
+        a.add(1, 5);
+        b.add(1, 7);
+        b.add(2, 1);
+        a.merge(&b);
+        assert!(a.estimate(1) >= 12);
+        assert!(a.estimate(2) >= 1);
+        assert_eq!(a.total(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_rejects_incompatible() {
+        let mut a = CountMin::new(1, 64, 4);
+        let b = CountMin::new(1, 128, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_width_rejected() {
+        CountMin::new(0, 0, 4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Seeded 64-bit hashing.
+//!
+//! All sketches need independent hash functions drawn from a family.
+//! We use the SplitMix64 finalizer (`mix64`) — a fast, well-avalanched
+//! bijection on `u64` — combined with per-function seeds.
+
+/// SplitMix64 finalizer: a bijective avalanche mix of a 64-bit value.
+///
+/// Every input bit affects every output bit; consecutive inputs map to
+/// statistically independent-looking outputs.
+#[inline]
+pub const fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash a byte slice with a seed (FNV-1a core + avalanche finish).
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ mix64(seed);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// A family of `k` pairwise-independent-ish hash functions over `u64`
+/// items, derived from one seed.
+///
+/// Function `i` is `h_i(x) = mix64(a_i · mix64(x) + b_i)` with `(a_i,
+/// b_i)` drawn deterministically from the seed, so the same seed always
+/// yields the same family (sketches built on different machines merge
+/// correctly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashFamily {
+    params: Vec<(u64, u64)>,
+}
+
+impl HashFamily {
+    /// Derive `k` hash functions from `seed`.
+    pub fn new(seed: u64, k: usize) -> Self {
+        let mut state = mix64(seed ^ 0x5851_f42d_4c95_7f2d);
+        let mut params = Vec::with_capacity(k);
+        for _ in 0..k {
+            state = mix64(state);
+            let a = state | 1; // odd multiplier: a bijection mod 2^64
+            state = mix64(state);
+            let b = state;
+            params.push((a, b));
+        }
+        HashFamily { params }
+    }
+
+    /// Number of functions in the family.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Apply function `i` to `item`.
+    #[inline]
+    pub fn hash(&self, i: usize, item: u64) -> u64 {
+        let (a, b) = self.params[i];
+        mix64(mix64(item).wrapping_mul(a).wrapping_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(0), mix64(1));
+        // Consecutive inputs should differ in roughly half the bits.
+        let d = (mix64(41) ^ mix64(42)).count_ones();
+        assert!((16..=48).contains(&d), "poor avalanche: {d} differing bits");
+    }
+
+    #[test]
+    fn hash_bytes_depends_on_seed_and_content() {
+        assert_eq!(hash_bytes(1, b"crash"), hash_bytes(1, b"crash"));
+        assert_ne!(hash_bytes(1, b"crash"), hash_bytes(2, b"crash"));
+        assert_ne!(hash_bytes(1, b"crash"), hash_bytes(1, b"plane"));
+        assert_ne!(hash_bytes(1, b""), hash_bytes(2, b""));
+    }
+
+    #[test]
+    fn family_is_reproducible() {
+        let f1 = HashFamily::new(42, 8);
+        let f2 = HashFamily::new(42, 8);
+        assert_eq!(f1, f2);
+        for i in 0..8 {
+            assert_eq!(f1.hash(i, 123), f2.hash(i, 123));
+        }
+    }
+
+    #[test]
+    fn different_functions_disagree() {
+        let f = HashFamily::new(7, 16);
+        let outputs: std::collections::HashSet<u64> = (0..16).map(|i| f.hash(i, 99)).collect();
+        assert_eq!(outputs.len(), 16, "functions must be distinct");
+    }
+
+    #[test]
+    fn different_seeds_give_different_families() {
+        let f1 = HashFamily::new(1, 4);
+        let f2 = HashFamily::new(2, 4);
+        assert!((0..4).any(|i| f1.hash(i, 5) != f2.hash(i, 5)));
+    }
+
+    #[test]
+    fn family_hash_distribution_is_roughly_uniform() {
+        // Bucket 10k hashed items into 16 buckets; each should get a
+        // reasonable share (crude chi-square-free sanity check).
+        let f = HashFamily::new(3, 1);
+        let mut buckets = [0u32; 16];
+        for x in 0..10_000u64 {
+            buckets[(f.hash(0, x) >> 60) as usize] += 1;
+        }
+        for (i, &c) in buckets.iter().enumerate() {
+            assert!((400..=900).contains(&c), "bucket {i} has {c} items");
+        }
+    }
+}

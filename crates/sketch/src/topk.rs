@@ -1,0 +1,180 @@
+//! Space-Saving heavy hitters.
+//!
+//! The demo's story digests (Figures 4–6: `{UKR,5}; {NTH,2}; …`) need the
+//! most frequent entities/terms of a story without storing every
+//! occurrence. The Space-Saving algorithm (Metwally et al.) keeps `k`
+//! counters and guarantees that any item with true count `> N/k` is
+//! present, with counts overestimated by at most the minimum counter.
+
+use std::collections::HashMap;
+
+/// A Space-Saving top-k frequency tracker over `u64` items.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    capacity: usize,
+    /// item → (count, overestimation error at adoption time)
+    counters: HashMap<u64, (u64, u64)>,
+    total: u64,
+}
+
+impl TopK {
+    /// Track at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        TopK {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            total: 0,
+        }
+    }
+
+    /// Number of tracked items (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Total occurrences added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Add `count` occurrences of `item`.
+    pub fn add(&mut self, item: u64, count: u64) {
+        self.total += count;
+        if let Some(entry) = self.counters.get_mut(&item) {
+            entry.0 += count;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, (count, 0));
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as
+        // (potential) overestimation error.
+        let (&min_item, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|&(_, &(c, _))| c)
+            .expect("capacity > 0");
+        self.counters.remove(&min_item);
+        self.counters.insert(item, (min_count + count, min_count));
+    }
+
+    /// Estimated count for `item` (0 if not tracked).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// The tracked items sorted by descending estimated count (ties by
+    /// item id for determinism). Each entry is `(item, estimate)`.
+    pub fn ranked(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counters.iter().map(|(&i, &(c, _))| (i, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The top `n` items by estimated count.
+    pub fn top(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut v = self.ranked();
+        v.truncate(n);
+        v
+    }
+
+    /// Merge another tracker into this one (approximate: adds the other
+    /// tracker's estimates as occurrences).
+    pub fn merge(&mut self, other: &TopK) {
+        for (&item, &(count, _)) in &other.counters {
+            // Keep totals consistent: add() adds to total, so subtract
+            // the double-count first.
+            self.total = self.total.wrapping_sub(0); // no-op for clarity
+            self.add(item, count);
+        }
+        self.total = self.total - other.counters.values().map(|&(c, _)| c).sum::<u64>() + other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut tk = TopK::new(10);
+        tk.add(1, 5);
+        tk.add(2, 3);
+        tk.add(1, 2);
+        assert_eq!(tk.estimate(1), 7);
+        assert_eq!(tk.estimate(2), 3);
+        assert_eq!(tk.estimate(99), 0);
+        assert_eq!(tk.total(), 10);
+        assert_eq!(tk.ranked(), vec![(1, 7), (2, 3)]);
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction() {
+        let mut tk = TopK::new(4);
+        // One dominant item among many one-off items.
+        for i in 0..100u64 {
+            tk.add(1000, 3); // heavy
+            tk.add(i, 1); // noise
+        }
+        let top = tk.top(1);
+        assert_eq!(top[0].0, 1000);
+        assert!(top[0].1 >= 300, "heavy hitter count must not be lost");
+    }
+
+    #[test]
+    fn estimates_never_undercount_tracked_items() {
+        let mut tk = TopK::new(3);
+        for i in 0..50u64 {
+            tk.add(i % 5, 1);
+        }
+        // Each of items 0..5 has true count 10; tracked ones must
+        // estimate >= true count.
+        for (item, est) in tk.ranked() {
+            assert!(est >= 10, "item {item} undercounted: {est}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut tk = TopK::new(2);
+        for i in 0..10u64 {
+            tk.add(i, 1);
+        }
+        assert_eq!(tk.len(), 2);
+    }
+
+    #[test]
+    fn top_n_truncates_deterministically() {
+        let mut tk = TopK::new(8);
+        tk.add(5, 2);
+        tk.add(3, 2);
+        tk.add(9, 1);
+        assert_eq!(tk.top(2), vec![(3, 2), (5, 2)]); // tie broken by id
+    }
+
+    #[test]
+    fn merge_preserves_total() {
+        let mut a = TopK::new(4);
+        let mut b = TopK::new(4);
+        a.add(1, 3);
+        b.add(1, 2);
+        b.add(2, 4);
+        a.merge(&b);
+        assert_eq!(a.total(), 9);
+        assert_eq!(a.estimate(1), 5);
+        assert_eq!(a.estimate(2), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        TopK::new(0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the sketch layer.
+
+use proptest::prelude::*;
+
+use storypivot_sketch::{CountMin, HashFamily, MinHash, TemporalSignature, TopK};
+use storypivot_types::{Timestamp, DAY};
+
+proptest! {
+    // ---- count-min: one-sided error -------------------------------
+    #[test]
+    fn countmin_never_undercounts(
+        adds in proptest::collection::vec((0u64..200, 1u64..20), 1..100),
+    ) {
+        let mut cm = CountMin::new(5, 128, 4);
+        let mut exact = std::collections::HashMap::new();
+        for &(item, count) in &adds {
+            cm.add(item, count);
+            *exact.entry(item).or_insert(0u64) += count;
+        }
+        for (&item, &count) in &exact {
+            prop_assert!(cm.estimate(item) >= count, "item {item}");
+        }
+        prop_assert_eq!(cm.total(), adds.iter().map(|&(_, c)| c).sum::<u64>());
+    }
+
+    #[test]
+    fn countmin_merge_equals_combined_stream(
+        a in proptest::collection::vec((0u64..100, 1u64..10), 0..40),
+        b in proptest::collection::vec((0u64..100, 1u64..10), 0..40),
+    ) {
+        let mut ca = CountMin::new(9, 64, 4);
+        let mut cb = CountMin::new(9, 64, 4);
+        let mut combined = CountMin::new(9, 64, 4);
+        for &(i, c) in &a {
+            ca.add(i, c);
+            combined.add(i, c);
+        }
+        for &(i, c) in &b {
+            cb.add(i, c);
+            combined.add(i, c);
+        }
+        ca.merge(&cb);
+        for item in 0u64..100 {
+            prop_assert_eq!(ca.estimate(item), combined.estimate(item));
+        }
+    }
+
+    // ---- space-saving: heavy hitters survive ------------------------
+    #[test]
+    fn topk_tracked_items_never_undercount(
+        adds in proptest::collection::vec(0u64..30, 1..200),
+    ) {
+        let mut tk = TopK::new(8);
+        let mut exact = std::collections::HashMap::new();
+        for &item in &adds {
+            tk.add(item, 1);
+            *exact.entry(item).or_insert(0u64) += 1;
+        }
+        for (item, est) in tk.ranked() {
+            prop_assert!(est >= exact[&item], "item {item}: {est} < {}", exact[&item]);
+        }
+        prop_assert_eq!(tk.total(), adds.len() as u64);
+    }
+
+    // ---- minhash ------------------------------------------------------
+    #[test]
+    fn minhash_subset_estimate_reflects_containment(
+        base in proptest::collection::hash_set(0u64..300, 10..60),
+    ) {
+        // A set vs itself minus half its elements: jaccard = |half|/|base|.
+        let family = HashFamily::new(3, 256);
+        let half: std::collections::HashSet<u64> =
+            base.iter().copied().take(base.len() / 2).collect();
+        let mb = MinHash::from_items(&family, base.iter().copied());
+        let mh = MinHash::from_items(&family, half.iter().copied());
+        let exact = half.len() as f64 / base.len() as f64;
+        let est = mb.estimate_jaccard(&mh);
+        prop_assert!((est - exact).abs() < 0.25, "est {est} exact {exact}");
+    }
+
+    // ---- temporal signature ----------------------------------------------
+    #[test]
+    fn temporal_add_remove_round_trips(
+        adds in proptest::collection::vec((-100i64..100, 1u32..5), 0..40),
+    ) {
+        let mut sig = TemporalSignature::new(DAY);
+        for &(d, w) in &adds {
+            sig.add(Timestamp::from_secs(d * DAY + 7), w as f32);
+        }
+        let total: f64 = adds.iter().map(|&(_, w)| w as f64).sum();
+        prop_assert!((sig.total() - total).abs() < 1e-3);
+        for &(d, w) in &adds {
+            sig.remove(Timestamp::from_secs(d * DAY + 7), w as f32);
+        }
+        prop_assert!(sig.total() < 1e-3, "residual {}", sig.total());
+    }
+
+    #[test]
+    fn similarities_are_bounded_and_self_is_maximal(
+        a in proptest::collection::vec((-50i64..50, 1u32..4), 1..30),
+        b in proptest::collection::vec((-50i64..50, 1u32..4), 1..30),
+        lag in 0i64..5,
+    ) {
+        let mut sa = TemporalSignature::new(DAY);
+        for &(d, w) in &a {
+            sa.add(Timestamp::from_secs(d * DAY), w as f32);
+        }
+        let mut sb = TemporalSignature::new(DAY);
+        for &(d, w) in &b {
+            sb.add(Timestamp::from_secs(d * DAY), w as f32);
+        }
+        for f in [
+            TemporalSignature::evolution_similarity,
+            TemporalSignature::containment_similarity,
+        ] {
+            let ab = f(&sa, &sb, lag);
+            prop_assert!((0.0..=1.0).contains(&ab), "out of range: {ab}");
+            let self_sim = f(&sa, &sa, lag);
+            prop_assert!((self_sim - 1.0).abs() < 1e-9, "self sim {self_sim}");
+        }
+        // Containment is symmetric (min-normalized); check directly.
+        prop_assert!((sa.containment_similarity(&sb, lag) - sb.containment_similarity(&sa, lag)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_total_is_sum_of_totals(
+        a in proptest::collection::vec((-30i64..30, 1u32..4), 0..20),
+        b in proptest::collection::vec((-30i64..30, 1u32..4), 0..20),
+    ) {
+        let mut sa = TemporalSignature::new(DAY);
+        for &(d, w) in &a {
+            sa.add(Timestamp::from_secs(d * DAY), w as f32);
+        }
+        let mut sb = TemporalSignature::new(DAY);
+        for &(d, w) in &b {
+            sb.add(Timestamp::from_secs(d * DAY), w as f32);
+        }
+        let expected = sa.total() + sb.total();
+        sa.merge(&sb);
+        prop_assert!((sa.total() - expected).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,39 @@
+//! Event storage for StoryPivot.
+//!
+//! Repositories like GDELT and EventRegistry deliver extracted event
+//! tuples continuously (paper §1); StoryPivot needs to retrieve them by
+//! source and time window (story identification, §2.2), by shared entity
+//! (candidate generation for alignment, §2.3), and by document (the
+//! demo's add/remove interaction, §4.2.1). This crate is that storage
+//! layer:
+//!
+//! * [`EventStore`] — the canonical snippet repository with per-source
+//!   temporal indexes, an entity inverted index, and a document index;
+//!   supports out-of-order insertion and removal.
+//! * [`window`] — the per-source sliding-window index.
+//! * [`inverted`] — a generic inverted index with overlap-counted
+//!   candidate retrieval.
+//! * [`codec`] — a hand-rolled length-prefixed binary codec (on
+//!   [`bytes`]) for snippets and whole-store snapshots.
+//! * [`shared`] — a thread-safe shared handle (readers–writer lock) so
+//!   interactive queries can run while ingestion writes;
+//! * [`snapshot`] — durable save/load of an [`EventStore`];
+//! * [`wal`] — a CRC-framed write-ahead log for incremental durability
+//!   between snapshots (torn tails are detected and discarded).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod event_store;
+pub mod inverted;
+pub mod shared;
+pub mod snapshot;
+pub mod wal;
+pub mod window;
+
+pub use event_store::{EventStore, StoreStats};
+pub use shared::SharedEventStore;
+pub use inverted::InvertedIndex;
+pub use wal::{replay, ReplayReport, Wal};
+pub use window::WindowIndex;

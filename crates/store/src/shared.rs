@@ -1,0 +1,155 @@
+//! Concurrent access to an [`EventStore`].
+//!
+//! The demo serves interactive module queries (Figures 4–6) while the
+//! ingestion pipeline keeps writing (§2.4). [`SharedEventStore`] wraps
+//! the store in an [`parking_lot::RwLock`] behind an [`Arc`]: many
+//! concurrent readers, exclusive writers, no poisoning.
+
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use storypivot_types::{Result, Snippet, SnippetId};
+
+use crate::event_store::EventStore;
+
+/// A cloneable, thread-safe handle to an [`EventStore`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedEventStore {
+    inner: Arc<RwLock<EventStore>>,
+}
+
+impl SharedEventStore {
+    /// Wrap an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing store.
+    pub fn from_store(store: EventStore) -> Self {
+        SharedEventStore {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, EventStore> {
+        self.inner.read()
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, EventStore> {
+        self.inner.write()
+    }
+
+    /// Convenience: insert one snippet under a short-lived write lock.
+    pub fn insert(&self, snippet: Snippet) -> Result<()> {
+        self.inner.write().insert(snippet)
+    }
+
+    /// Convenience: remove one snippet under a short-lived write lock.
+    pub fn remove(&self, id: SnippetId) -> Result<Snippet> {
+        self.inner.write().remove(id)
+    }
+
+    /// Convenience: snippet count under a read lock.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Run a closure with read access (keeps the guard scoped).
+    pub fn with_read<T>(&self, f: impl FnOnce(&EventStore) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Run a closure with write access.
+    pub fn with_write<T>(&self, f: impl FnOnce(&mut EventStore) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_types::{EntityId, Source, SourceId, SourceKind, TimeRange, Timestamp};
+
+    fn snip(id: u32, t: i64) -> Snippet {
+        Snippet::builder(SnippetId::new(id), SourceId::new(0), Timestamp::from_secs(t))
+            .entity(EntityId::new(id % 5), 1.0)
+            .build()
+    }
+
+    fn shared() -> SharedEventStore {
+        let mut store = EventStore::new();
+        store
+            .register_source(Source::new(SourceId::new(0), "s0", SourceKind::Wire))
+            .unwrap();
+        SharedEventStore::from_store(store)
+    }
+
+    #[test]
+    fn basic_shared_operations() {
+        let s = shared();
+        assert!(s.is_empty());
+        s.insert(snip(0, 10)).unwrap();
+        assert_eq!(s.len(), 1);
+        let got = s.with_read(|st| st.get(SnippetId::new(0)).cloned());
+        assert!(got.is_some());
+        s.remove(SnippetId::new(0)).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = shared();
+        let b = a.clone();
+        a.insert(snip(1, 5)).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let store = shared();
+        let writers = 4u32;
+        let per_writer = 250u32;
+
+        crossbeam::thread::scope(|scope| {
+            // Writers insert disjoint id ranges.
+            for w in 0..writers {
+                let handle = store.clone();
+                scope.spawn(move |_| {
+                    for i in 0..per_writer {
+                        let id = w * per_writer + i;
+                        handle.insert(snip(id, id as i64)).unwrap();
+                    }
+                });
+            }
+            // Readers continuously run window queries.
+            for _ in 0..4 {
+                let handle = store.clone();
+                scope.spawn(move |_| {
+                    for _ in 0..200 {
+                        let n = handle.with_read(|st| {
+                            st.range(SourceId::new(0), TimeRange::ALL).len()
+                        });
+                        assert!(n <= (writers * per_writer) as usize);
+                    }
+                });
+            }
+        })
+        .expect("no thread panicked");
+
+        assert_eq!(store.len(), (writers * per_writer) as usize);
+        // Every inserted snippet is retrievable and indexed.
+        store.with_read(|st| {
+            for id in 0..writers * per_writer {
+                assert!(st.contains(SnippetId::new(id)), "missing {id}");
+            }
+            assert_eq!(st.stats().snippet_count, (writers * per_writer) as usize);
+        });
+    }
+}

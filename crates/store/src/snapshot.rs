@@ -1,0 +1,99 @@
+//! Durable snapshots of an [`EventStore`].
+//!
+//! Snapshots are written atomically: encode to a temporary file in the
+//! same directory, fsync, then rename over the target. A crash mid-write
+//! therefore never leaves a half-written snapshot under the target name.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+use storypivot_types::{Error, Result};
+
+use crate::codec::{decode_store, encode_store};
+use crate::event_store::EventStore;
+
+/// Write a snapshot of `store` to `path` atomically.
+pub fn save(store: &EventStore, path: &Path) -> Result<()> {
+    let bytes = encode_store(store);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a snapshot from `path`.
+pub fn load(path: &Path) -> Result<EventStore> {
+    let bytes = fs::read(path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+    decode_store(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_types::{
+        EntityId, Snippet, SnippetId, Source, SourceId, SourceKind, Timestamp,
+    };
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("storypivot-snapshot-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut store = EventStore::new();
+        store
+            .register_source(Source::new(SourceId::new(0), "NYT", SourceKind::Newspaper))
+            .unwrap();
+        store
+            .insert(
+                Snippet::builder(SnippetId::new(0), SourceId::new(0), Timestamp::from_ymd(2014, 7, 17))
+                    .entity(EntityId::new(1), 1.0)
+                    .headline("crash")
+                    .build(),
+            )
+            .unwrap();
+
+        let path = tmp_path("roundtrip");
+        save(&store, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.get(SnippetId::new(0)), store.get(SnippetId::new(0)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load(Path::new("/nonexistent/storypivot.snap")).unwrap_err();
+        assert!(matches!(err, Error::Io(_)));
+    }
+
+    #[test]
+    fn load_corrupt_file_is_codec_error() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, b"not a snapshot").unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(matches!(err, Error::Codec(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_overwrites_previous_snapshot() {
+        let path = tmp_path("overwrite");
+        let empty = EventStore::new();
+        save(&empty, &path).unwrap();
+        let mut bigger = EventStore::new();
+        bigger
+            .register_source(Source::new(SourceId::new(0), "WSJ", SourceKind::Newspaper))
+            .unwrap();
+        save(&bigger, &path).unwrap();
+        assert_eq!(load(&path).unwrap().source_count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

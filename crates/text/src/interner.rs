@@ -1,0 +1,129 @@
+//! String interning.
+//!
+//! Entities and description terms appear millions of times across a
+//! corpus; interning maps each distinct (case-folded) string to a dense
+//! integer id once, so all downstream similarity work operates on ids.
+
+use std::collections::HashMap;
+
+/// A generic string interner producing ids of type `Id`.
+///
+/// Strings are case-folded (ASCII lowercase) before interning, so
+/// `"Ukraine"` and `"ukraine"` intern to the same id. The original
+/// *first-seen* spelling is preserved for display.
+///
+/// ```
+/// use storypivot_text::Interner;
+/// use storypivot_types::EntityId;
+/// let mut i = Interner::<EntityId>::new();
+/// let a = i.get_or_intern("Ukraine");
+/// let b = i.get_or_intern("UKRAINE");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), Some("Ukraine"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner<Id> {
+    by_name: HashMap<String, Id>,
+    names: Vec<String>,
+}
+
+impl<Id: Copy + From<u32> + Into<u32>> Interner<Id> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Intern `name`, returning its id (existing or freshly allocated).
+    pub fn get_or_intern(&mut self, name: &str) -> Id {
+        let key = name.to_ascii_lowercase();
+        if let Some(&id) = self.by_name.get(&key) {
+            return id;
+        }
+        let id = Id::from(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(key, id);
+        id
+    }
+
+    /// Look up an already-interned string without allocating an id.
+    pub fn get(&self, name: &str) -> Option<Id> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// The display spelling of `id` (first spelling seen).
+    pub fn resolve(&self, id: Id) -> Option<&str> {
+        self.names.get(id.into() as usize).map(String::as_str)
+    }
+
+    /// Iterate `(id, name)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Id::from(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_types::{EntityId, TermId};
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::<TermId>::new();
+        let a = i.get_or_intern("crash");
+        let b = i.get_or_intern("plane");
+        let c = i.get_or_intern("crash");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(a, TermId::new(0));
+        assert_eq!(b, TermId::new(1));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn case_folding_preserves_first_spelling() {
+        let mut i = Interner::<EntityId>::new();
+        let a = i.get_or_intern("Malaysia Airlines");
+        assert_eq!(i.get_or_intern("MALAYSIA AIRLINES"), a);
+        assert_eq!(i.resolve(a), Some("Malaysia Airlines"));
+    }
+
+    #[test]
+    fn get_does_not_allocate() {
+        let mut i = Interner::<TermId>::new();
+        assert_eq!(i.get("missing"), None);
+        let a = i.get_or_intern("found");
+        assert_eq!(i.get("FOUND"), Some(a));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn resolve_out_of_range_is_none() {
+        let i = Interner::<TermId>::new();
+        assert_eq!(i.resolve(TermId::new(3)), None);
+    }
+
+    #[test]
+    fn iteration_in_allocation_order() {
+        let mut i = Interner::<TermId>::new();
+        i.get_or_intern("a");
+        i.get_or_intern("b");
+        let all: Vec<_> = i.iter().map(|(id, n)| (id.raw(), n)).collect();
+        assert_eq!(all, vec![(0, "a"), (1, "b")]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Text substrate for StoryPivot.
+//!
+//! The paper delegates annotation to EventRegistry + OpenCalais
+//! (paper §2.1, "black box extraction mechanism"). This crate is the
+//! stand-in: a small, deterministic NLP toolkit sufficient to turn raw
+//! article text into the weighted entity/term representation the story
+//! detection algorithms consume.
+//!
+//! Components:
+//!
+//! * [`interner`] — id ⇄ string interning for entities and terms;
+//! * [`mod@tokenize`] — word tokenizer;
+//! * [`stopwords`] — English stopword filter;
+//! * [`stem`] — a full Porter stemmer;
+//! * [`ahocorasick`] — multi-pattern string matching automaton;
+//! * [`gazetteer`] — dictionary-based named entity recognition built on
+//!   the automaton (the OpenCalais stand-in for entities);
+//! * [`tfidf`] — incremental corpus statistics and TF-IDF weighting
+//!   (the stand-in for keyword annotations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ahocorasick;
+pub mod gazetteer;
+pub mod interner;
+pub mod stem;
+pub mod stopwords;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use ahocorasick::{AhoCorasick, AhoCorasickBuilder, Match};
+pub use gazetteer::{Gazetteer, GazetteerBuilder, RecognizedEntity};
+pub use interner::Interner;
+pub use stem::porter_stem;
+pub use stopwords::is_stopword;
+pub use tfidf::{CorpusStats, TfIdf};
+pub use tokenize::{tokenize, Token};

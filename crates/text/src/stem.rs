@@ -1,0 +1,406 @@
+//! The Porter stemming algorithm (Porter, 1980).
+//!
+//! Maps inflected English words to a common stem so that `investigates`,
+//! `investigated`, `investigating`, and `investigation` all compare equal
+//! as description terms. This is the classic rule-based algorithm,
+//! implemented in full (steps 1a–5b) over ASCII; non-ASCII words are
+//! returned unchanged.
+
+/// Stem a lowercase word.
+///
+/// ```
+/// use storypivot_text::porter_stem;
+/// assert_eq!(porter_stem("investigation"), "investig");
+/// assert_eq!(porter_stem("crashed"), "crash");
+/// assert_eq!(porter_stem("flying"), "fly");
+/// assert_eq!(porter_stem("stories"), "stori");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+    };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    // The buffer only ever shrinks or has ASCII appended, so this is valid UTF-8.
+    String::from_utf8(s.b).expect("stemmer preserves ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    /// Whether the letter at `i` is a consonant (Porter's definition:
+    /// `y` is a consonant at position 0 or after a vowel).
+    fn is_cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => i == 0 || !self.is_cons(i - 1),
+            _ => true,
+        }
+    }
+
+    /// The measure `m` of the first `len` letters: the number of
+    /// vowel–consonant sequences in `[C](VC)^m[V]`.
+    fn measure(&self, len: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        while i < len && self.is_cons(i) {
+            i += 1;
+        }
+        loop {
+            // Skip vowels.
+            while i < len && !self.is_cons(i) {
+                i += 1;
+            }
+            if i >= len {
+                return m;
+            }
+            // Skip consonants: one VC sequence completed.
+            while i < len && self.is_cons(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    /// Whether the first `len` letters contain a vowel (`*v*`).
+    fn has_vowel(&self, len: usize) -> bool {
+        (0..len).any(|i| !self.is_cons(i))
+    }
+
+    /// Whether the first `len` letters end with a double consonant (`*d`).
+    fn ends_double_cons(&self, len: usize) -> bool {
+        len >= 2 && self.b[len - 1] == self.b[len - 2] && self.is_cons(len - 1)
+    }
+
+    /// Whether the first `len` letters end consonant–vowel–consonant,
+    /// where the final consonant is not `w`, `x`, or `y` (`*o`).
+    fn ends_cvc(&self, len: usize) -> bool {
+        len >= 3
+            && self.is_cons(len - 3)
+            && !self.is_cons(len - 2)
+            && self.is_cons(len - 1)
+            && !matches!(self.b[len - 1], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &str) -> bool {
+        self.b.ends_with(suffix.as_bytes())
+    }
+
+    /// Length of the stem when `suffix` is removed.
+    fn stem_len(&self, suffix: &str) -> usize {
+        self.b.len() - suffix.len()
+    }
+
+    /// Replace `suffix` with `replacement` unconditionally (caller has
+    /// already checked `ends_with`).
+    fn set_suffix(&mut self, suffix: &str, replacement: &str) {
+        let keep = self.b.len() - suffix.len();
+        self.b.truncate(keep);
+        self.b.extend_from_slice(replacement.as_bytes());
+    }
+
+    /// If the word ends with `suffix` and the remaining stem has
+    /// `measure > threshold`, replace the suffix. Returns whether the
+    /// suffix *matched* (even if the condition failed), which ends rule
+    /// scanning for the current step.
+    fn replace_if_m(&mut self, suffix: &str, replacement: &str, threshold: usize) -> bool {
+        if !self.ends_with(suffix) {
+            return false;
+        }
+        let stem = self.stem_len(suffix);
+        if self.measure(stem) > threshold {
+            self.set_suffix(suffix, replacement);
+        }
+        true
+    }
+
+    /// Step 1a: plurals. `sses→ss`, `ies→i`, `ss→ss`, `s→∅`.
+    fn step1a(&mut self) {
+        if self.ends_with("sses") {
+            self.set_suffix("sses", "ss");
+        } else if self.ends_with("ies") {
+            self.set_suffix("ies", "i");
+        } else if self.ends_with("ss") {
+            // keep
+        } else if self.ends_with("s") {
+            self.set_suffix("s", "");
+        }
+    }
+
+    /// Step 1b: `-ed` / `-ing`, with cleanup of the exposed stem.
+    fn step1b(&mut self) {
+        if self.ends_with("eed") {
+            if self.measure(self.stem_len("eed")) > 0 {
+                self.set_suffix("eed", "ee");
+            }
+            return;
+        }
+        let removed = if self.ends_with("ed") && self.has_vowel(self.stem_len("ed")) {
+            self.set_suffix("ed", "");
+            true
+        } else if self.ends_with("ing") && self.has_vowel(self.stem_len("ing")) {
+            self.set_suffix("ing", "");
+            true
+        } else {
+            false
+        };
+        if !removed {
+            return;
+        }
+        if self.ends_with("at") {
+            self.set_suffix("at", "ate");
+        } else if self.ends_with("bl") {
+            self.set_suffix("bl", "ble");
+        } else if self.ends_with("iz") {
+            self.set_suffix("iz", "ize");
+        } else if self.ends_double_cons(self.b.len())
+            && !matches!(self.b[self.b.len() - 1], b'l' | b's' | b'z')
+        {
+            self.b.pop();
+        } else if self.measure(self.b.len()) == 1 && self.ends_cvc(self.b.len()) {
+            self.b.push(b'e');
+        }
+    }
+
+    /// Step 1c: terminal `y` → `i` when the stem has a vowel.
+    fn step1c(&mut self) {
+        if self.ends_with("y") && self.has_vowel(self.stem_len("y")) {
+            self.set_suffix("y", "i");
+        }
+    }
+
+    /// Step 2: double suffixes, `m > 0`.
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+            ("logi", "log"),
+        ];
+        for &(suffix, replacement) in RULES {
+            if self.replace_if_m(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 3: `-ic-`, `-full`, `-ness` etc., `m > 0`.
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for &(suffix, replacement) in RULES {
+            if self.replace_if_m(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 4: bare suffixes removed when `m > 1`.
+    fn step4(&mut self) {
+        const RULES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        for &suffix in RULES {
+            if !self.ends_with(suffix) {
+                continue;
+            }
+            let stem = self.stem_len(suffix);
+            // "ion" only deletes when the stem ends in s or t.
+            if suffix == "ion" && !(stem > 0 && matches!(self.b[stem - 1], b's' | b't')) {
+                return;
+            }
+            if self.measure(stem) > 1 {
+                self.set_suffix(suffix, "");
+            }
+            return;
+        }
+    }
+
+    /// Step 5a: drop terminal `e` when `m > 1`, or when `m == 1` and the
+    /// stem does not end in `cvc`.
+    fn step5a(&mut self) {
+        if !self.ends_with("e") {
+            return;
+        }
+        let stem = self.stem_len("e");
+        let m = self.measure(stem);
+        if m > 1 || (m == 1 && !self.ends_cvc(stem)) {
+            self.b.pop();
+        }
+    }
+
+    /// Step 5b: `ll` → `l` when `m > 1`.
+    fn step5b(&mut self) {
+        if self.measure(self.b.len()) > 1
+            && self.ends_double_cons(self.b.len())
+            && self.b[self.b.len() - 1] == b'l'
+        {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vectors from Porter's paper and the reference vocabulary.
+    #[test]
+    fn reference_vectors() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn news_domain_words_conflate() {
+        assert_eq!(porter_stem("investigation"), porter_stem("investigate"));
+        assert_eq!(porter_stem("crashed"), porter_stem("crashes"));
+        assert_eq!(porter_stem("sanctions"), porter_stem("sanction"));
+        assert_eq!(porter_stem("separatists"), porter_stem("separatist"));
+    }
+
+    #[test]
+    fn short_words_are_untouched() {
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem(""), "");
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        assert_eq!(porter_stem("zürich"), "zürich");
+        assert_eq!(porter_stem("café"), "café");
+    }
+
+    #[test]
+    fn non_lowercase_passes_through() {
+        // The pipeline normalizes before stemming; raw uppercase input is
+        // returned unchanged rather than mis-stemmed.
+        assert_eq!(porter_stem("Ukraine"), "Ukraine");
+        assert_eq!(porter_stem("u-17"), "u-17");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["crash", "plane", "investigation", "flying", "stories", "happily"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            assert_eq!(once, twice, "stemming {w} must be idempotent");
+        }
+    }
+}

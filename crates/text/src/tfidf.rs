@@ -1,0 +1,235 @@
+//! Incremental TF-IDF weighting.
+//!
+//! Description terms are weighted by how characteristic they are:
+//! frequent within the snippet (TF) but rare across the corpus (IDF).
+//! [`CorpusStats`] maintains document frequencies *incrementally* — the
+//! dynamic pipeline (paper §2.4) adds and removes documents at any time,
+//! so the statistics must support both directions.
+
+use std::collections::HashMap;
+
+use storypivot_types::sparse::SparseVec;
+use storypivot_types::TermId;
+
+/// Incremental document-frequency statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    doc_count: u64,
+    doc_freq: HashMap<TermId, u64>,
+}
+
+impl CorpusStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of documents folded in.
+    pub fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// Document frequency of `term`.
+    pub fn doc_freq(&self, term: TermId) -> u64 {
+        self.doc_freq.get(&term).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct terms seen.
+    pub fn vocabulary_size(&self) -> usize {
+        self.doc_freq.len()
+    }
+
+    /// Fold in one document given its *distinct* terms.
+    pub fn add_document<I: IntoIterator<Item = TermId>>(&mut self, distinct_terms: I) {
+        self.doc_count += 1;
+        for t in distinct_terms {
+            *self.doc_freq.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Remove a previously added document given the same distinct terms.
+    ///
+    /// Callers must pass exactly the distinct-term set used at add time;
+    /// counts saturate at zero to stay safe under misuse.
+    pub fn remove_document<I: IntoIterator<Item = TermId>>(&mut self, distinct_terms: I) {
+        self.doc_count = self.doc_count.saturating_sub(1);
+        for t in distinct_terms {
+            if let Some(df) = self.doc_freq.get_mut(&t) {
+                *df = df.saturating_sub(1);
+                if *df == 0 {
+                    self.doc_freq.remove(&t);
+                }
+            }
+        }
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `idf(t) = ln((N + 1) / (df(t) + 1)) + 1`.
+    ///
+    /// Always ≥ 1 for unseen terms and > 0 for ubiquitous ones, so no
+    /// term's weight collapses to exactly zero.
+    pub fn idf(&self, term: TermId) -> f64 {
+        let n = self.doc_count as f64;
+        let df = self.doc_freq(term) as f64;
+        ((n + 1.0) / (df + 1.0)).ln() + 1.0
+    }
+}
+
+/// TF-IDF weigher over a [`CorpusStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TfIdf {
+    /// Whether to L2-normalize the produced vectors (recommended: makes
+    /// cosine similarity a plain dot product).
+    pub l2_normalize: bool,
+    /// Whether to dampen term frequency as `1 + ln(tf)`.
+    pub sublinear_tf: bool,
+}
+
+impl Default for TfIdf {
+    fn default() -> Self {
+        TfIdf {
+            l2_normalize: true,
+            sublinear_tf: true,
+        }
+    }
+}
+
+impl TfIdf {
+    /// Weigh a document's raw term counts into a sparse TF-IDF vector.
+    pub fn weigh(&self, counts: &[(TermId, u32)], stats: &CorpusStats) -> SparseVec<TermId> {
+        let mut pairs: Vec<(TermId, f32)> = counts
+            .iter()
+            .filter(|&&(_, c)| c > 0)
+            .map(|&(t, c)| {
+                let tf = if self.sublinear_tf {
+                    1.0 + (c as f64).ln()
+                } else {
+                    c as f64
+                };
+                (t, (tf * stats.idf(t)) as f32)
+            })
+            .collect();
+        if self.l2_normalize {
+            let norm = pairs.iter().map(|&(_, w)| (w as f64).powi(2)).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for (_, w) in &mut pairs {
+                    *w = (*w as f64 / norm) as f32;
+                }
+            }
+        }
+        SparseVec::from_pairs(pairs)
+    }
+}
+
+/// Count raw term occurrences into `(term, count)` pairs.
+pub fn count_terms<I: IntoIterator<Item = TermId>>(terms: I) -> Vec<(TermId, u32)> {
+    let mut counts: HashMap<TermId, u32> = HashMap::new();
+    for t in terms {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    let mut v: Vec<(TermId, u32)> = counts.into_iter().collect();
+    v.sort_unstable_by_key(|&(t, _)| t);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TermId {
+        TermId::new(i)
+    }
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut s = CorpusStats::new();
+        s.add_document([t(1), t(2)]);
+        s.add_document([t(2), t(3)]);
+        assert_eq!(s.doc_count(), 2);
+        assert_eq!(s.doc_freq(t(2)), 2);
+        assert_eq!(s.vocabulary_size(), 3);
+
+        s.remove_document([t(2), t(3)]);
+        assert_eq!(s.doc_count(), 1);
+        assert_eq!(s.doc_freq(t(2)), 1);
+        assert_eq!(s.doc_freq(t(3)), 0);
+        assert_eq!(s.vocabulary_size(), 2);
+
+        s.remove_document([t(1), t(2)]);
+        assert_eq!(s.doc_count(), 0);
+        assert_eq!(s.vocabulary_size(), 0);
+    }
+
+    #[test]
+    fn removal_saturates_under_misuse() {
+        let mut s = CorpusStats::new();
+        s.remove_document([t(9)]);
+        assert_eq!(s.doc_count(), 0);
+        assert_eq!(s.doc_freq(t(9)), 0);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let mut s = CorpusStats::new();
+        // "crash" in 1 of 10 docs; "plane" in 9 of 10.
+        for i in 0..10u32 {
+            let mut terms = vec![t(100 + i)];
+            if i == 0 {
+                terms.push(t(1)); // crash
+            }
+            if i < 9 {
+                terms.push(t(2)); // plane
+            }
+            s.add_document(terms);
+        }
+        assert!(s.idf(t(1)) > s.idf(t(2)));
+        assert!(s.idf(t(2)) > 0.0);
+    }
+
+    #[test]
+    fn unseen_term_idf_is_maximal() {
+        let mut s = CorpusStats::new();
+        s.add_document([t(1)]);
+        s.add_document([t(1)]);
+        assert!(s.idf(t(999)) > s.idf(t(1)));
+    }
+
+    #[test]
+    fn weigh_produces_normalized_vector() {
+        let mut s = CorpusStats::new();
+        s.add_document([t(1), t(2)]);
+        s.add_document([t(1)]);
+        let v = TfIdf::default().weigh(&[(t(1), 3), (t(2), 1)], &s);
+        assert_eq!(v.len(), 2);
+        assert!((v.norm() - 1.0).abs() < 1e-6, "norm = {}", v.norm());
+        // t2 is rarer, but t1 has tf 3; with sublinear tf and these idfs
+        // the rarer term still dominates.
+        assert!(v.get(&t(2)).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn weigh_without_normalization() {
+        let s = CorpusStats::new();
+        let cfg = TfIdf {
+            l2_normalize: false,
+            sublinear_tf: false,
+        };
+        let v = cfg.weigh(&[(t(1), 2)], &s);
+        // N=0, df=0 → idf = ln(1) + 1 = 1; tf = 2 → weight 2.
+        assert!((v.get(&t(1)).unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_counts_are_skipped() {
+        let s = CorpusStats::new();
+        let v = TfIdf::default().weigh(&[(t(1), 0)], &s);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn count_terms_aggregates() {
+        let counts = count_terms([t(3), t(1), t(3), t(3)]);
+        assert_eq!(counts, vec![(t(1), 1), (t(3), 3)]);
+        assert!(count_terms(std::iter::empty()).is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Word tokenization.
+//!
+//! Splits raw article text into word tokens with byte offsets. The rules
+//! are deliberately simple and deterministic:
+//!
+//! * a token is a maximal run of alphanumeric characters, possibly with
+//!   *internal* `'`, `-`, or `.` joining alphanumerics (so `jet's`,
+//!   `pro-Russia` and `U.N.` each form one token);
+//! * everything else is a separator;
+//! * the normalized form is ASCII-lowercased with trailing `'s` and all
+//!   internal dots stripped (`Jet's` → `jet`, `U.N.` → `un`).
+
+/// A single token: its byte span in the original text plus a normalized
+/// form used for matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset of the first character in the original text.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// Normalized (lowercased, possessive-stripped) form.
+    pub norm: String,
+}
+
+impl Token {
+    /// The original surface text of the token within `text`.
+    pub fn surface<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start..self.end]
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+fn is_joiner(c: char) -> bool {
+    matches!(c, '\'' | '-' | '.' | '’')
+}
+
+/// Normalize a raw token: lowercase, strip possessive suffix and dots.
+fn normalize(raw: &str) -> String {
+    let mut s: String = raw
+        .chars()
+        .filter(|&c| c != '.')
+        .flat_map(char::to_lowercase)
+        .collect();
+    // Strip possessive ('s or bare trailing apostrophe), both ASCII and
+    // typographic apostrophes.
+    for suffix in ["'s", "’s", "'", "’"] {
+        if let Some(stripped) = s.strip_suffix(suffix) {
+            s = stripped.to_string();
+            break;
+        }
+    }
+    s
+}
+
+/// Tokenize `text` into word tokens.
+///
+/// ```
+/// use storypivot_text::tokenize;
+/// let toks = tokenize("Evidence of Russian Links to Jet's Downing");
+/// let norms: Vec<&str> = toks.iter().map(|t| t.norm.as_str()).collect();
+/// assert_eq!(norms, ["evidence", "of", "russian", "links", "to", "jet", "downing"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = text.char_indices().peekable();
+
+    while let Some(&(start, c)) = chars.peek() {
+        if !is_word_char(c) {
+            chars.next();
+            continue;
+        }
+        // Consume a word: word chars, with joiners allowed when followed
+        // by another word char.
+        let mut end = start;
+        while let Some(&(i, c)) = chars.peek() {
+            if is_word_char(c) {
+                end = i + c.len_utf8();
+                chars.next();
+            } else if is_joiner(c) {
+                // Look ahead: only join if the next char is a word char.
+                let mut ahead = chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&(_, nc)) if is_word_char(nc) => {
+                        end = i + c.len_utf8();
+                        chars.next();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let raw = &text[start..end];
+        let norm = normalize(raw);
+        if !norm.is_empty() {
+            tokens.push(Token { start, end, norm });
+        }
+    }
+    tokens
+}
+
+/// Tokenize and return only the normalized forms (convenience).
+pub fn tokenize_norms(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.norm).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norms(text: &str) -> Vec<String> {
+        tokenize_norms(text)
+    }
+
+    #[test]
+    fn basic_splitting() {
+        assert_eq!(norms("A Malaysian airplane crashed"), ["a", "malaysian", "airplane", "crashed"]);
+    }
+
+    #[test]
+    fn punctuation_is_separator() {
+        assert_eq!(norms("crash, plane; shot!"), ["crash", "plane", "shot"]);
+        assert_eq!(norms("…(controlled)…"), ["controlled"]);
+    }
+
+    #[test]
+    fn possessives_are_stripped() {
+        assert_eq!(norms("Jet's downing"), ["jet", "downing"]);
+        assert_eq!(norms("the investigators' findings"), ["the", "investigators", "findings"]);
+    }
+
+    #[test]
+    fn hyphenated_words_stay_joined() {
+        assert_eq!(norms("pro-Russia separatists"), ["pro-russia", "separatists"]);
+    }
+
+    #[test]
+    fn abbreviations_lose_dots() {
+        assert_eq!(norms("U.N. officials"), ["un", "officials"]);
+    }
+
+    #[test]
+    fn trailing_joiner_is_not_consumed() {
+        // The hyphen before a space must not be part of the token.
+        assert_eq!(norms("blown- out"), ["blown", "out"]);
+        let toks = tokenize("jet- ");
+        assert_eq!(toks[0].surface("jet- "), "jet");
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(norms("Flight 17 with 298 people"), ["flight", "17", "with", "298", "people"]);
+        assert_eq!(norms("Boeing 777"), ["boeing", "777"]);
+    }
+
+    #[test]
+    fn offsets_map_back_to_surface() {
+        let text = "Ukraine asked United Nations";
+        let toks = tokenize(text);
+        assert_eq!(toks[0].surface(text), "Ukraine");
+        assert_eq!(toks[2].surface(text), "United");
+        assert_eq!(toks[3].surface(text), "Nations");
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ,,, ").is_empty());
+    }
+
+    #[test]
+    fn unicode_text_survives() {
+        let toks = norms("Müller über Zürich");
+        assert_eq!(toks, ["müller", "über", "zürich"]);
+    }
+
+    #[test]
+    fn typographic_apostrophe() {
+        assert_eq!(norms("jet’s downing"), ["jet", "downing"]);
+    }
+}

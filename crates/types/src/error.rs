@@ -1,0 +1,80 @@
+//! Error type shared across StoryPivot crates.
+
+use std::fmt;
+
+/// Convenience alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error type for StoryPivot operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A referenced snippet does not exist.
+    UnknownSnippet(crate::ids::SnippetId),
+    /// A referenced story does not exist.
+    UnknownStory(crate::ids::StoryId),
+    /// A referenced global story does not exist.
+    UnknownGlobalStory(crate::ids::GlobalStoryId),
+    /// A referenced source does not exist.
+    UnknownSource(crate::ids::SourceId),
+    /// A referenced document does not exist.
+    UnknownDocument(crate::ids::DocId),
+    /// An item with the same identity was inserted twice.
+    Duplicate(String),
+    /// Textual parsing failed.
+    Parse(String),
+    /// Binary decoding failed (corrupt or truncated snapshot).
+    Codec(String),
+    /// A configuration value is out of its valid domain.
+    InvalidConfig(String),
+    /// An invariant the caller must uphold was violated.
+    Invariant(String),
+    /// Underlying I/O failure (carries the rendered source error).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownSnippet(id) => write!(f, "unknown snippet {id}"),
+            Error::UnknownStory(id) => write!(f, "unknown story {id}"),
+            Error::UnknownGlobalStory(id) => write!(f, "unknown global story {id}"),
+            Error::UnknownSource(id) => write!(f, "unknown source {id}"),
+            Error::UnknownDocument(id) => write!(f, "unknown document {id}"),
+            Error::Duplicate(what) => write!(f, "duplicate item: {what}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Codec(msg) => write!(f, "codec error: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SnippetId;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = Error::UnknownSnippet(SnippetId::new(7));
+        assert_eq!(e.to_string(), "unknown snippet v7");
+        let e = Error::Codec("truncated".into());
+        assert_eq!(e.to_string(), "codec error: truncated");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,194 @@
+//! Event type taxonomy.
+//!
+//! GDELT-style coarse categorisation of the real-world activity a snippet
+//! describes. The paper's example tuple uses `Accident`; GDELT's CAMEO
+//! taxonomy inspires the remaining categories.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::Error;
+
+/// Coarse category of the real-world event described by a snippet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum EventType {
+    /// Accidents and crashes (the paper's running example: plane crash).
+    Accident = 0,
+    /// Armed conflict, military action.
+    Conflict = 1,
+    /// Civil protest, demonstrations.
+    Protest = 2,
+    /// Diplomacy: negotiations, statements, sanctions.
+    Diplomacy = 3,
+    /// Economic and financial events.
+    Economy = 4,
+    /// Politics: elections, legislation, appointments.
+    Politics = 5,
+    /// Natural disasters.
+    Disaster = 6,
+    /// Crime and justice.
+    Crime = 7,
+    /// Public health.
+    Health = 8,
+    /// Sports events.
+    Sports = 9,
+    /// Science and technology.
+    Science = 10,
+    /// Anything else.
+    #[default]
+    Other = 11,
+}
+
+impl EventType {
+    /// All event types, in discriminant order.
+    pub const ALL: [EventType; 12] = [
+        EventType::Accident,
+        EventType::Conflict,
+        EventType::Protest,
+        EventType::Diplomacy,
+        EventType::Economy,
+        EventType::Politics,
+        EventType::Disaster,
+        EventType::Crime,
+        EventType::Health,
+        EventType::Sports,
+        EventType::Science,
+        EventType::Other,
+    ];
+
+    /// Number of distinct event types.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable small integer code (the enum discriminant).
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`EventType::code`].
+    pub const fn from_code(code: u8) -> Option<EventType> {
+        if (code as usize) < Self::COUNT {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventType::Accident => "accident",
+            EventType::Conflict => "conflict",
+            EventType::Protest => "protest",
+            EventType::Diplomacy => "diplomacy",
+            EventType::Economy => "economy",
+            EventType::Politics => "politics",
+            EventType::Disaster => "disaster",
+            EventType::Crime => "crime",
+            EventType::Health => "health",
+            EventType::Sports => "sports",
+            EventType::Science => "science",
+            EventType::Other => "other",
+        }
+    }
+
+    /// Similarity in `[0,1]` between two event types.
+    ///
+    /// Identical types score 1.0, *related* types (e.g. conflict/protest)
+    /// 0.5, and unrelated types 0.0. `Other` is weakly similar to
+    /// everything since the classifier falls back to it.
+    pub fn affinity(self, other: EventType) -> f64 {
+        use EventType::*;
+        if self == other {
+            return 1.0;
+        }
+        if self == Other || other == Other {
+            return 0.25;
+        }
+        let related = |a: EventType, b: EventType| -> bool {
+            matches!(
+                (a, b),
+                (Conflict, Protest)
+                    | (Conflict, Diplomacy)
+                    | (Protest, Politics)
+                    | (Diplomacy, Politics)
+                    | (Economy, Politics)
+                    | (Economy, Diplomacy)
+                    | (Accident, Disaster)
+                    | (Crime, Conflict)
+                    | (Health, Disaster)
+            )
+        };
+        if related(self, other) || related(other, self) {
+            0.5
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EventType {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Error> {
+        let lower = s.to_ascii_lowercase();
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == lower)
+            .ok_or_else(|| Error::Parse(format!("unknown event type: {s:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for t in EventType::ALL {
+            assert_eq!(EventType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(EventType::from_code(200), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for t in EventType::ALL {
+            assert_eq!(t.name().parse::<EventType>().unwrap(), t);
+        }
+        assert!("airliner".parse::<EventType>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("Accident".parse::<EventType>().unwrap(), EventType::Accident);
+        assert_eq!("CONFLICT".parse::<EventType>().unwrap(), EventType::Conflict);
+    }
+
+    #[test]
+    fn affinity_is_symmetric_and_bounded() {
+        for a in EventType::ALL {
+            for b in EventType::ALL {
+                let ab = a.affinity(b);
+                assert_eq!(ab, b.affinity(a), "{a} vs {b}");
+                assert!((0.0..=1.0).contains(&ab));
+            }
+            assert_eq!(a.affinity(a), 1.0);
+        }
+    }
+
+    #[test]
+    fn related_types_score_half() {
+        assert_eq!(EventType::Conflict.affinity(EventType::Protest), 0.5);
+        assert_eq!(EventType::Sports.affinity(EventType::Conflict), 0.0);
+        assert_eq!(EventType::Other.affinity(EventType::Sports), 0.25);
+    }
+}

@@ -1,0 +1,177 @@
+//! Strongly-typed identifiers.
+//!
+//! Every id is a thin newtype over an unsigned integer. Using distinct
+//! types (instead of bare `u32`s) prevents the classic bug of indexing a
+//! story table with a snippet id, at zero runtime cost.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index backing this id.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as `usize`, for direct table indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies an information snippet (`v` in the paper).
+    SnippetId,
+    "v"
+);
+define_id!(
+    /// Identifies a per-source story (`c` in the paper).
+    StoryId,
+    "c"
+);
+define_id!(
+    /// Identifies an integrated cross-source story (`c'` in the paper).
+    GlobalStoryId,
+    "c'"
+);
+define_id!(
+    /// Identifies a data source (`s` in the paper).
+    SourceId,
+    "s"
+);
+define_id!(
+    /// Identifies an interned entity (e.g. `UKR`, `Malaysia Airlines`).
+    EntityId,
+    "e"
+);
+define_id!(
+    /// Identifies an interned description term (e.g. `crash`, `plane`).
+    TermId,
+    "t"
+);
+define_id!(
+    /// Identifies a source document (article, blog post, report).
+    DocId,
+    "d"
+);
+
+/// A monotonically increasing id allocator for one id type.
+///
+/// ```
+/// use storypivot_types::ids::{IdGen, SnippetId};
+/// let mut gen = IdGen::<SnippetId>::new();
+/// assert_eq!(gen.next_id(), SnippetId::new(0));
+/// assert_eq!(gen.next_id(), SnippetId::new(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdGen<T> {
+    next: u32,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: From<u32>> IdGen<T> {
+    /// A generator starting at zero.
+    pub fn new() -> Self {
+        Self {
+            next: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// A generator starting at `first`.
+    pub fn starting_at(first: u32) -> Self {
+        Self {
+            next: first,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Allocate the next id.
+    pub fn next_id(&mut self) -> T {
+        let id = T::from(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// How many ids have been allocated so far.
+    pub fn allocated(&self) -> u32 {
+        self.next
+    }
+}
+
+impl<T: From<u32>> Default for IdGen<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(SnippetId::new(4).to_string(), "v4");
+        assert_eq!(StoryId::new(1).to_string(), "c1");
+        assert_eq!(GlobalStoryId::new(3).to_string(), "c'3");
+        assert_eq!(SourceId::new(0).to_string(), "s0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(SnippetId::new(1) < SnippetId::new(2));
+        let mut v = vec![StoryId::new(5), StoryId::new(1), StoryId::new(3)];
+        v.sort();
+        assert_eq!(v, vec![StoryId::new(1), StoryId::new(3), StoryId::new(5)]);
+    }
+
+    #[test]
+    fn round_trip_through_u32() {
+        let id = EntityId::from(17u32);
+        assert_eq!(u32::from(id), 17);
+        assert_eq!(id.index(), 17usize);
+    }
+
+    #[test]
+    fn idgen_is_monotonic() {
+        let mut g = IdGen::<DocId>::starting_at(10);
+        assert_eq!(g.next_id(), DocId::new(10));
+        assert_eq!(g.next_id(), DocId::new(11));
+        assert_eq!(g.allocated(), 12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Data source metadata.
+//!
+//! A *data source* (paper §2.1) is any digital medium that provides
+//! event-based information: newspapers, blogs, magazines, social media.
+//! Sources differ in perspective, coverage, and timeliness (§1) — the
+//! latter two are modelled explicitly because the alignment phase must
+//! tolerate per-source reporting lag.
+
+use std::fmt;
+
+use crate::ids::SourceId;
+
+/// What kind of medium a source is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum SourceKind {
+    /// A traditional newspaper (e.g. New York Times, Wall Street Journal).
+    #[default]
+    Newspaper = 0,
+    /// A blog.
+    Blog = 1,
+    /// A magazine.
+    Magazine = 2,
+    /// A news wire / agency feed.
+    Wire = 3,
+    /// Social media.
+    Social = 4,
+}
+
+impl SourceKind {
+    /// All source kinds.
+    pub const ALL: [SourceKind; 5] = [
+        SourceKind::Newspaper,
+        SourceKind::Blog,
+        SourceKind::Magazine,
+        SourceKind::Wire,
+        SourceKind::Social,
+    ];
+
+    /// Stable integer code.
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`SourceKind::code`].
+    pub const fn from_code(code: u8) -> Option<SourceKind> {
+        if (code as usize) < Self::ALL.len() {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SourceKind::Newspaper => "newspaper",
+            SourceKind::Blog => "blog",
+            SourceKind::Magazine => "magazine",
+            SourceKind::Wire => "wire",
+            SourceKind::Social => "social",
+        }
+    }
+}
+
+impl fmt::Display for SourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A registered data source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Source {
+    /// Unique source id.
+    pub id: SourceId,
+    /// Display name (e.g. "New York Times").
+    pub name: String,
+    /// Medium kind.
+    pub kind: SourceKind,
+    /// Typical reporting lag in seconds: how long after a real-world
+    /// event this source usually publishes. Wire services are near zero;
+    /// weekly magazines can be days.
+    pub typical_lag: i64,
+}
+
+impl Source {
+    /// A new source with zero typical lag.
+    pub fn new<S: Into<String>>(id: SourceId, name: S, kind: SourceKind) -> Self {
+        Source {
+            id,
+            name: name.into(),
+            kind,
+            typical_lag: 0,
+        }
+    }
+
+    /// Builder-style setter for the typical lag.
+    pub fn with_lag(mut self, lag: i64) -> Self {
+        self.typical_lag = lag;
+        self
+    }
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.name, self.id, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in SourceKind::ALL {
+            assert_eq!(SourceKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(SourceKind::from_code(99), None);
+    }
+
+    #[test]
+    fn source_display() {
+        let s = Source::new(SourceId::new(1), "New York Times", SourceKind::Newspaper).with_lag(3600);
+        assert_eq!(s.to_string(), "New York Times (s1, newspaper)");
+        assert_eq!(s.typical_lag, 3600);
+    }
+}

@@ -1,0 +1,368 @@
+//! Sparse weighted vectors over interned ids.
+//!
+//! Snippet content (entities, description terms) is modelled as a sparse
+//! vector of `(id, weight)` pairs kept sorted by id. Sorted storage makes
+//! the hot similarity kernels — dot product, Jaccard, weighted Jaccard —
+//! single linear merges with no hashing and no allocation, which matters
+//! because story identification evaluates millions of such comparisons.
+
+use std::fmt::Debug;
+
+/// A sparse vector of non-negative weights, sorted by key.
+///
+/// ```
+/// use storypivot_types::sparse::SparseVec;
+/// let a = SparseVec::from_pairs(vec![(2u32, 1.0), (1, 2.0), (2, 3.0)]);
+/// assert_eq!(a.len(), 2);                 // duplicate keys are summed
+/// assert_eq!(a.get(&2), Some(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVec<K> {
+    entries: Vec<(K, f32)>,
+}
+
+impl<K: Copy + Ord + Debug> SparseVec<K> {
+    /// The empty vector.
+    pub const fn new() -> Self {
+        SparseVec { entries: Vec::new() }
+    }
+
+    /// Build from arbitrary pairs; duplicate keys are summed, zero or
+    /// negative weights are dropped.
+    pub fn from_pairs(mut pairs: Vec<(K, f32)>) -> Self {
+        pairs.sort_unstable_by_key(|a| a.0);
+        let mut entries: Vec<(K, f32)> = Vec::with_capacity(pairs.len());
+        for (k, w) in pairs {
+            match entries.last_mut() {
+                Some((lk, lw)) if *lk == k => *lw += w,
+                _ => entries.push((k, w)),
+            }
+        }
+        entries.retain(|&(_, w)| w > 0.0);
+        SparseVec { entries }
+    }
+
+    /// Build from keys with unit weight each (duplicates sum).
+    pub fn from_keys<I: IntoIterator<Item = K>>(keys: I) -> Self {
+        Self::from_pairs(keys.into_iter().map(|k| (k, 1.0)).collect())
+    }
+
+    /// Number of non-zero entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Weight for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<f32> {
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Whether `key` has a non-zero weight.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate `(key, weight)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, f32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.entries.iter().map(|&(k, _)| k)
+    }
+
+    /// Add `weight` to `key` (inserting if absent). `O(n)` worst case.
+    pub fn add(&mut self, key: K, weight: f32) {
+        match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => self.entries[i].1 += weight,
+            Err(i) => self.entries.insert(i, (key, weight)),
+        }
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|&(_, w)| w as f64).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, w)| (w as f64) * (w as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Dot product via linear merge of the sorted entry lists.
+    pub fn dot(&self, other: &Self) -> f64 {
+        let (mut i, mut j, mut acc) = (0usize, 0usize, 0f64);
+        let (a, b) = (&self.entries, &other.entries);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a[i].1 as f64 * b[j].1 as f64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity in `[0,1]`; 0 when either vector is empty.
+    pub fn cosine(&self, other: &Self) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Set Jaccard over the key sets, ignoring weights.
+    ///
+    /// Both empty ⇒ 0 (two contentless snippets carry no evidence of
+    /// referring to the same story).
+    pub fn jaccard(&self, other: &Self) -> f64 {
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Weighted Jaccard: `Σ min(a,b) / Σ max(a,b)`.
+    pub fn weighted_jaccard(&self, other: &Self) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut num, mut den) = (0f64, 0f64);
+        let (a, b) = (&self.entries, &other.entries);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    den += a[i].1 as f64;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    den += b[j].1 as f64;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    num += a[i].1.min(b[j].1) as f64;
+                    den += a[i].1.max(b[j].1) as f64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        den += a[i..].iter().map(|&(_, w)| w as f64).sum::<f64>();
+        den += b[j..].iter().map(|&(_, w)| w as f64).sum::<f64>();
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Accumulate `other` into `self` (element-wise addition).
+    pub fn merge_add(&mut self, other: &Self) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.entries = other.entries.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((a[i].0, a[i].1 + b[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.entries = merged;
+    }
+
+    /// Subtract `other` from `self`, dropping entries that reach ≤ 0
+    /// (within a small epsilon to absorb float error).
+    pub fn merge_sub(&mut self, other: &Self) {
+        for &(k, w) in &other.entries {
+            if let Ok(i) = self.entries.binary_search_by(|(ek, _)| ek.cmp(&k)) {
+                self.entries[i].1 -= w;
+            }
+        }
+        self.entries.retain(|&(_, w)| w > 1e-6);
+    }
+
+    /// Multiply every weight by `factor` (used for temporal decay).
+    pub fn scale(&mut self, factor: f32) {
+        for (_, w) in &mut self.entries {
+            *w *= factor;
+        }
+        self.entries.retain(|&(_, w)| w > 1e-6);
+    }
+
+    /// The `k` heaviest entries, by descending weight (ties by key).
+    pub fn top_k(&self, k: usize) -> Vec<(K, f32)> {
+        let mut v = self.entries.clone();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Expose the raw sorted entries.
+    pub fn as_slice(&self) -> &[(K, f32)] {
+        &self.entries
+    }
+}
+
+impl<K: Copy + Ord + Debug> FromIterator<(K, f32)> for SparseVec<K> {
+    fn from_iter<I: IntoIterator<Item = (K, f32)>>(iter: I) -> Self {
+        Self::from_pairs(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f32)]) -> SparseVec<u32> {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges_duplicates() {
+        let v = sv(&[(3, 1.0), (1, 2.0), (3, 0.5)]);
+        assert_eq!(v.as_slice(), &[(1, 2.0), (3, 1.5)]);
+    }
+
+    #[test]
+    fn zero_and_negative_weights_are_dropped() {
+        let v = sv(&[(1, 0.0), (2, -1.0), (3, 1.0)]);
+        assert_eq!(v.len(), 1);
+        assert!(v.contains(&3));
+    }
+
+    #[test]
+    fn dot_product_matches_dense() {
+        let a = sv(&[(1, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = sv(&[(2, 4.0), (5, 1.0), (9, 7.0)]);
+        assert!((a.dot(&b) - (2.0 * 4.0 + 3.0 * 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_identity_and_orthogonal() {
+        let a = sv(&[(1, 3.0), (2, 4.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-9);
+        let b = sv(&[(7, 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert_eq!(a.cosine(&SparseVec::new()), 0.0);
+    }
+
+    #[test]
+    fn jaccard_counts_keys_only() {
+        let a = sv(&[(1, 10.0), (2, 1.0)]);
+        let b = sv(&[(2, 99.0), (3, 1.0)]);
+        assert!((a.jaccard(&b) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(SparseVec::<u32>::new().jaccard(&SparseVec::new()), 0.0);
+    }
+
+    #[test]
+    fn weighted_jaccard_known_value() {
+        let a = sv(&[(1, 2.0), (2, 1.0)]);
+        let b = sv(&[(1, 1.0), (3, 1.0)]);
+        // min: 1 (key 1); max: 2 (key 1) + 1 (key 2) + 1 (key 3) = 4
+        assert!((a.weighted_jaccard(&b) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_add_then_sub_round_trips() {
+        let mut a = sv(&[(1, 1.0), (3, 2.0)]);
+        let b = sv(&[(2, 5.0), (3, 1.0)]);
+        a.merge_add(&b);
+        assert_eq!(a.as_slice(), &[(1, 1.0), (2, 5.0), (3, 3.0)]);
+        a.merge_sub(&b);
+        assert_eq!(a.as_slice(), &[(1, 1.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn merge_sub_drops_exhausted_entries() {
+        let mut a = sv(&[(1, 1.0)]);
+        a.merge_sub(&sv(&[(1, 1.0)]));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn scale_decays_weights() {
+        let mut a = sv(&[(1, 2.0), (2, 4.0)]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[(1, 1.0), (2, 2.0)]);
+        a.scale(0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn top_k_orders_by_weight() {
+        let a = sv(&[(1, 1.0), (2, 5.0), (3, 3.0), (4, 5.0)]);
+        let top = a.top_k(2);
+        assert_eq!(top, vec![(2, 5.0), (4, 5.0)]);
+        assert_eq!(a.top_k(0), vec![]);
+        assert_eq!(a.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn add_inserts_and_accumulates() {
+        let mut a = SparseVec::new();
+        a.add(5u32, 1.0);
+        a.add(2, 2.0);
+        a.add(5, 1.5);
+        assert_eq!(a.as_slice(), &[(2, 2.0), (5, 2.5)]);
+    }
+
+    #[test]
+    fn from_keys_unit_weights() {
+        let a = SparseVec::from_keys(vec![3u32, 1, 3]);
+        assert_eq!(a.as_slice(), &[(1, 1.0), (3, 2.0)]);
+    }
+}

@@ -1,0 +1,537 @@
+//! Timestamps and time ranges.
+//!
+//! StoryPivot reasons about *when events occurred in the real world*
+//! (paper §2.1). We represent instants as seconds since the Unix epoch in
+//! a small [`Timestamp`] newtype, with civil-date conversions implemented
+//! locally (Howard Hinnant's `days_from_civil` algorithm) so the workspace
+//! stays dependency-free.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// One minute in seconds.
+pub const MINUTE: i64 = 60;
+/// One hour in seconds.
+pub const HOUR: i64 = 3_600;
+/// One day in seconds.
+pub const DAY: i64 = 86_400;
+
+/// An instant in time: seconds since the Unix epoch (UTC).
+///
+/// ```
+/// use storypivot_types::Timestamp;
+/// let t = Timestamp::from_ymd(2014, 7, 17);
+/// assert_eq!(t.to_string(), "2014-07-17");
+/// assert_eq!(t.ymd(), (2014, 7, 17));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// The Unix epoch.
+    pub const EPOCH: Timestamp = Timestamp(0);
+    /// The smallest representable instant.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The largest representable instant.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// From raw seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Seconds since the epoch.
+    #[inline]
+    pub const fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// Midnight (UTC) of the given civil date.
+    ///
+    /// `month` is 1-based January..=December; `day` is 1-based.
+    pub const fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        Timestamp(days_from_civil(year, month, day) * DAY)
+    }
+
+    /// A precise civil date-time.
+    pub const fn from_ymd_hms(year: i32, month: u32, day: u32, h: u32, m: u32, s: u32) -> Self {
+        Timestamp(
+            days_from_civil(year, month, day) * DAY + h as i64 * HOUR + m as i64 * MINUTE + s as i64,
+        )
+    }
+
+    /// The civil date `(year, month, day)` of this instant (UTC).
+    pub const fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0.div_euclid(DAY))
+    }
+
+    /// The `(hour, minute, second)` of day for this instant (UTC).
+    pub const fn hms(self) -> (u32, u32, u32) {
+        let s = self.0.rem_euclid(DAY);
+        ((s / HOUR) as u32, ((s % HOUR) / MINUTE) as u32, (s % MINUTE) as u32)
+    }
+
+    /// Saturating addition of a number of seconds.
+    #[inline]
+    pub const fn saturating_add(self, secs: i64) -> Self {
+        Timestamp(self.0.saturating_add(secs))
+    }
+
+    /// Saturating subtraction of a number of seconds.
+    #[inline]
+    pub const fn saturating_sub(self, secs: i64) -> Self {
+        Timestamp(self.0.saturating_sub(secs))
+    }
+
+    /// Absolute distance in seconds between two instants.
+    #[inline]
+    pub const fn distance(self, other: Timestamp) -> i64 {
+        (self.0 - other.0).abs()
+    }
+
+    /// Number of whole days since the epoch (floor).
+    #[inline]
+    pub const fn day_number(self) -> i64 {
+        self.0.div_euclid(DAY)
+    }
+
+    /// Parse a timestamp from common textual forms:
+    ///
+    /// * `2014-07-17` and `2014-07-17 13:05:09` (ISO-ish),
+    /// * `07/17/2014` (the US form used in the paper's example tuple),
+    /// * a bare integer (seconds since the epoch).
+    pub fn parse(s: &str) -> crate::error::Result<Timestamp> {
+        let s = s.trim();
+        let err = || crate::error::Error::Parse(format!("invalid timestamp: {s:?}"));
+        if s.is_empty() {
+            return Err(err());
+        }
+        // Bare seconds.
+        if s.chars().all(|c| c.is_ascii_digit() || c == '-') && !s.contains('/') && s.matches('-').count() <= 1 && !s[1..].contains('-') {
+            if let Ok(secs) = s.parse::<i64>() {
+                return Ok(Timestamp::from_secs(secs));
+            }
+        }
+        let (date_part, time_part) = match s.split_once(' ') {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let (y, m, d) = if let Some((a, rest)) = date_part.split_once('-') {
+            // YYYY-MM-DD
+            let (b, c) = rest.split_once('-').ok_or_else(err)?;
+            (
+                a.parse::<i32>().map_err(|_| err())?,
+                b.parse::<u32>().map_err(|_| err())?,
+                c.parse::<u32>().map_err(|_| err())?,
+            )
+        } else if let Some((a, rest)) = date_part.split_once('/') {
+            // MM/DD/YYYY
+            let (b, c) = rest.split_once('/').ok_or_else(err)?;
+            (
+                c.parse::<i32>().map_err(|_| err())?,
+                a.parse::<u32>().map_err(|_| err())?,
+                b.parse::<u32>().map_err(|_| err())?,
+            )
+        } else {
+            return Err(err());
+        };
+        if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+            return Err(err());
+        }
+        let mut t = Timestamp::from_ymd(y, m, d);
+        if let Some(hms) = time_part {
+            let mut it = hms.split(':');
+            let h: i64 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            let mi: i64 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            let sec: i64 = match it.next() {
+                Some(x) => x.parse().map_err(|_| err())?,
+                None => 0,
+            };
+            if it.next().is_some() || !(0..24).contains(&h) || !(0..60).contains(&mi) || !(0..60).contains(&sec) {
+                return Err(err());
+            }
+            t = t + h * HOUR + mi * MINUTE + sec;
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    /// Formats as `YYYY-MM-DD` when the instant is midnight-aligned and
+    /// `YYYY-MM-DD HH:MM:SS` otherwise.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d) = self.ymd();
+        if self.0.rem_euclid(DAY) == 0 {
+            write!(f, "{y:04}-{mo:02}-{d:02}")
+        } else {
+            let (h, mi, s) = self.hms();
+            write!(f, "{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+        }
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, secs: i64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+}
+
+impl Sub<i64> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, secs: i64) -> Timestamp {
+        Timestamp(self.0 - secs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = i64;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+///
+/// Howard Hinnant's `days_from_civil`, valid for the full `i32` year range.
+const fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+const fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+/// A closed time interval `[start, end]`.
+///
+/// Used for story lifespans and for window queries. An *empty* range has
+/// `start > end` and contains nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeRange {
+    /// Inclusive lower bound.
+    pub start: Timestamp,
+    /// Inclusive upper bound.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// A range covering all of time.
+    pub const ALL: TimeRange = TimeRange {
+        start: Timestamp::MIN,
+        end: Timestamp::MAX,
+    };
+
+    /// The canonical empty range.
+    pub const EMPTY: TimeRange = TimeRange {
+        start: Timestamp::MAX,
+        end: Timestamp::MIN,
+    };
+
+    /// A closed range `[start, end]`.
+    pub const fn new(start: Timestamp, end: Timestamp) -> Self {
+        TimeRange { start, end }
+    }
+
+    /// The degenerate range containing a single instant.
+    pub const fn instant(t: Timestamp) -> Self {
+        TimeRange { start: t, end: t }
+    }
+
+    /// The symmetric window `[t-ω, t+ω]` around `t` (paper §2.2).
+    pub const fn window(t: Timestamp, omega: i64) -> Self {
+        TimeRange {
+            start: t.saturating_sub(omega),
+            end: t.saturating_add(omega),
+        }
+    }
+
+    /// Whether the range contains no instants.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.start.0 > self.end.0
+    }
+
+    /// Whether `t` falls inside the closed range.
+    #[inline]
+    pub const fn contains(self, t: Timestamp) -> bool {
+        self.start.0 <= t.0 && t.0 <= self.end.0
+    }
+
+    /// Duration in seconds (zero for empty ranges; 0 for instants).
+    #[inline]
+    pub const fn duration(self) -> i64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.end.0 - self.start.0
+        }
+    }
+
+    /// Whether the two closed ranges share at least one instant.
+    #[inline]
+    pub const fn overlaps(self, other: TimeRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start.0 <= other.end.0 && other.start.0 <= self.end.0
+    }
+
+    /// The intersection of the two ranges (possibly empty).
+    pub fn intersect(self, other: TimeRange) -> TimeRange {
+        TimeRange {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        }
+    }
+
+    /// The smallest range covering both inputs; empty inputs are identities.
+    pub fn cover(self, other: TimeRange) -> TimeRange {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        TimeRange {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Extend the range to include `t`.
+    pub fn extend(self, t: Timestamp) -> TimeRange {
+        self.cover(TimeRange::instant(t))
+    }
+
+    /// Grow both ends by `slack` seconds (used for lag-tolerant alignment).
+    pub const fn inflate(self, slack: i64) -> TimeRange {
+        TimeRange {
+            start: self.start.saturating_sub(slack),
+            end: self.end.saturating_add(slack),
+        }
+    }
+
+    /// Jaccard-style temporal overlap: `|A∩B| / |A∪B|` by duration.
+    ///
+    /// Returns 1.0 when both ranges are the same single instant, 0.0 when
+    /// disjoint or either is empty. This is the temporal component of
+    /// story–story similarity (paper §2.3: "two stories are likely to
+    /// refer to the same real-world story if their evolution is similar").
+    pub fn overlap_ratio(self, other: TimeRange) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        let inter = self.intersect(other);
+        if inter.is_empty() {
+            return 0.0;
+        }
+        let union = self.cover(other).duration();
+        if union == 0 {
+            return 1.0; // both are the same instant
+        }
+        inter.duration() as f64 / union as f64
+    }
+
+    /// Gap in seconds between disjoint ranges; 0 when they overlap.
+    pub fn gap(self, other: TimeRange) -> i64 {
+        if self.is_empty() || other.is_empty() {
+            return i64::MAX;
+        }
+        if self.overlaps(other) {
+            0
+        } else if self.end < other.start {
+            other.start - self.end
+        } else {
+            self.start - other.end
+        }
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[empty]")
+        } else {
+            write!(f, "[{} .. {}]", self.start, self.end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_round_trip_known_dates() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (2014, 7, 17),  // MH17 crash, the paper's running example
+            (2014, 9, 12),  // investigation report date in Figure 6
+            (2000, 2, 29),  // leap day
+            (1999, 12, 31),
+            (2100, 3, 1),
+            (1900, 2, 28),
+        ] {
+            let t = Timestamp::from_ymd(y, m, d);
+            assert_eq!(t.ymd(), (y, m, d), "round trip {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Timestamp::from_ymd(1970, 1, 1), Timestamp::EPOCH);
+        assert_eq!(Timestamp::EPOCH.day_number(), 0);
+    }
+
+    #[test]
+    fn mh17_date_is_correct_unix_time() {
+        // 2014-07-17 00:00:00 UTC == 1405555200
+        assert_eq!(Timestamp::from_ymd(2014, 7, 17).secs(), 1_405_555_200);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::from_ymd(2014, 7, 17).to_string(), "2014-07-17");
+        assert_eq!(
+            Timestamp::from_ymd_hms(2014, 7, 17, 13, 5, 9).to_string(),
+            "2014-07-17 13:05:09"
+        );
+    }
+
+    #[test]
+    fn pre_epoch_dates_work() {
+        let t = Timestamp::from_ymd(1969, 12, 31);
+        assert_eq!(t.secs(), -DAY);
+        assert_eq!(t.ymd(), (1969, 12, 31));
+        assert_eq!(t.hms(), (0, 0, 0));
+    }
+
+    #[test]
+    fn window_is_symmetric() {
+        let t = Timestamp::from_secs(1_000);
+        let w = TimeRange::window(t, 100);
+        assert!(w.contains(Timestamp::from_secs(900)));
+        assert!(w.contains(Timestamp::from_secs(1_100)));
+        assert!(!w.contains(Timestamp::from_secs(899)));
+        assert!(!w.contains(Timestamp::from_secs(1_101)));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = TimeRange::new(Timestamp(0), Timestamp(10));
+        let b = TimeRange::new(Timestamp(5), Timestamp(20));
+        let c = TimeRange::new(Timestamp(11), Timestamp(12));
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert_eq!(a.intersect(b), TimeRange::new(Timestamp(5), Timestamp(10)));
+        assert!(a.intersect(c).is_empty());
+        assert_eq!(a.cover(c), TimeRange::new(Timestamp(0), Timestamp(12)));
+    }
+
+    #[test]
+    fn overlap_ratio_bounds() {
+        let a = TimeRange::new(Timestamp(0), Timestamp(10));
+        assert_eq!(a.overlap_ratio(a), 1.0);
+        let disjoint = TimeRange::new(Timestamp(20), Timestamp(30));
+        assert_eq!(a.overlap_ratio(disjoint), 0.0);
+        let half = TimeRange::new(Timestamp(5), Timestamp(15));
+        let r = a.overlap_ratio(half);
+        assert!(r > 0.0 && r < 1.0);
+        // |∩| = 5, |∪| = 15
+        assert!((r - 5.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instant_overlap_ratio_is_one() {
+        let t = TimeRange::instant(Timestamp(42));
+        assert_eq!(t.overlap_ratio(t), 1.0);
+    }
+
+    #[test]
+    fn empty_range_behaviour() {
+        let e = TimeRange::EMPTY;
+        assert!(e.is_empty());
+        assert!(!e.contains(Timestamp(0)));
+        assert_eq!(e.duration(), 0);
+        let a = TimeRange::new(Timestamp(0), Timestamp(10));
+        assert_eq!(e.cover(a), a);
+        assert_eq!(a.cover(e), a);
+        assert_eq!(e.overlap_ratio(a), 0.0);
+        assert_eq!(e.to_string(), "[empty]");
+    }
+
+    #[test]
+    fn extend_grows_lifespan() {
+        let r = TimeRange::EMPTY
+            .extend(Timestamp(5))
+            .extend(Timestamp(1))
+            .extend(Timestamp(9));
+        assert_eq!(r, TimeRange::new(Timestamp(1), Timestamp(9)));
+    }
+
+    #[test]
+    fn gap_between_ranges() {
+        let a = TimeRange::new(Timestamp(0), Timestamp(10));
+        let b = TimeRange::new(Timestamp(15), Timestamp(20));
+        assert_eq!(a.gap(b), 5);
+        assert_eq!(b.gap(a), 5);
+        assert_eq!(a.gap(a), 0);
+    }
+
+    #[test]
+    fn parse_iso_date() {
+        assert_eq!(Timestamp::parse("2014-07-17").unwrap(), Timestamp::from_ymd(2014, 7, 17));
+        assert_eq!(
+            Timestamp::parse("2014-07-17 13:05:09").unwrap(),
+            Timestamp::from_ymd_hms(2014, 7, 17, 13, 5, 9)
+        );
+        assert_eq!(
+            Timestamp::parse("2014-07-17 13:05").unwrap(),
+            Timestamp::from_ymd_hms(2014, 7, 17, 13, 5, 0)
+        );
+    }
+
+    #[test]
+    fn parse_us_date_from_the_paper() {
+        // The paper's example tuple uses 07/17/2014.
+        assert_eq!(Timestamp::parse("07/17/2014").unwrap(), Timestamp::from_ymd(2014, 7, 17));
+    }
+
+    #[test]
+    fn parse_bare_seconds() {
+        assert_eq!(Timestamp::parse("1405555200").unwrap().secs(), 1_405_555_200);
+        assert_eq!(Timestamp::parse("-86400").unwrap().secs(), -DAY);
+        assert_eq!(Timestamp::parse(" 42 ").unwrap().secs(), 42);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "yesterday", "2014-13-01", "2014-00-10", "13/40/2014",
+                    "2014-07-17 25:00:00", "2014-07-17 10:61", "2014-07", "07/2014"] {
+            assert!(Timestamp::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn inflate_adds_slack() {
+        let a = TimeRange::new(Timestamp(10), Timestamp(20)).inflate(5);
+        assert_eq!(a, TimeRange::new(Timestamp(5), Timestamp(25)));
+    }
+}

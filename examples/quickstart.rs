@@ -1,0 +1,69 @@
+//! Quickstart: detect one cross-source story from five snippets.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use storypivot::prelude::*;
+
+fn main() {
+    // A pivot with default configuration (temporal identification,
+    // ω = 14 days).
+    let mut pivot = StoryPivot::new(PivotConfig::default());
+    let nyt = pivot.add_source("New York Times", SourceKind::Newspaper);
+    let wsj = pivot.add_source("Wall Street Journal", SourceKind::Newspaper);
+
+    // Interned vocabulary (a real application uses the extraction
+    // pipeline in `storypivot-extract`; see examples/ukraine_mh17.rs).
+    let ukraine = EntityId::new(0);
+    let malaysia = EntityId::new(1);
+    let russia = EntityId::new(2);
+    let crash = TermId::new(0);
+    let plane = TermId::new(1);
+    let investigation = TermId::new(2);
+
+    let day = |d: u32| Timestamp::from_ymd(2014, 7, d);
+
+    // Ingest the paper's example tuples:
+    // <NYT, Accident, {Ukraine, Malaysia Airlines}, "Plane Crash", 07/17/2014> …
+    let snippets = [
+        (nyt, day(17), "Jetliner Explodes over Ukraine", vec![ukraine, malaysia], vec![crash, plane]),
+        (wsj, day(17), "Malaysia Airlines Jet Crashes", vec![ukraine, malaysia, russia], vec![crash, plane]),
+        (nyt, day(18), "Ukraine Asks U.N. to Help Investigation", vec![ukraine, malaysia], vec![crash, investigation]),
+        (wsj, day(19), "Criminal Investigation Begins", vec![ukraine, malaysia], vec![plane, investigation]),
+        (nyt, day(22), "Evidence of Russian Links", vec![ukraine, russia], vec![plane, investigation]),
+    ];
+    for (i, (source, t, headline, entities, terms)) in snippets.into_iter().enumerate() {
+        let snippet = Snippet::builder(SnippetId::new(i as u32), source, t)
+            .entities(entities)
+            .terms(terms)
+            .event_type(EventType::Accident)
+            .headline(headline)
+            .build();
+        let story = pivot.ingest(snippet).expect("registered source");
+        println!("ingested v{i} -> per-source story {story}");
+    }
+
+    // Phase 2: align stories across sources.
+    pivot.align();
+    println!("\nGlobal stories: {}", pivot.global_stories().len());
+    for g in pivot.global_stories() {
+        println!(
+            "{}: {} snippets from {} sources, lifespan {}, {} aligning / {} enriching",
+            g.id,
+            g.len(),
+            g.source_count(),
+            g.lifespan,
+            g.aligning().count(),
+            g.enriching().count(),
+        );
+        for &(m, role) in &g.members {
+            let sn = pivot.store().get(m).unwrap();
+            println!("    {m} [{role:?}] {} {}", sn.timestamp, sn.content.headline);
+        }
+    }
+
+    assert_eq!(pivot.global_stories().len(), 1);
+    assert!(pivot.global_stories()[0].is_cross_source());
+    println!("\nOne integrated story across both sources — as expected.");
+}

@@ -1,0 +1,79 @@
+//! Source onboarding (paper §2.1): "as new sources become available, we
+//! first identify the stories associated with them and then align them
+//! with existing stories" — incrementally, without recomputing the
+//! world.
+//!
+//! ```text
+//! cargo run --release --example source_onboarding
+//! ```
+
+use std::time::Instant;
+
+use storypivot::core::config::PivotConfig;
+use storypivot::eval::run::alignment_scores;
+use storypivot::gen::{CorpusBuilder, GenConfig};
+use storypivot::prelude::*;
+use storypivot::types::DAY;
+
+fn main() {
+    let corpus = CorpusBuilder::new(
+        GenConfig::default()
+            .with_sources(12)
+            .with_target_snippets(3_000),
+    )
+    .build();
+
+    let mut pivot = StoryPivot::new(PivotConfig::temporal(14 * DAY));
+    for src in &corpus.sources {
+        pivot.add_source_with_lag(src.name.clone(), src.kind, src.typical_lag);
+    }
+
+    // Phase 1: the world runs with ten sources.
+    for s in &corpus.snippets {
+        if s.source.raw() < 10 {
+            pivot.ingest(s.clone()).unwrap();
+        }
+    }
+    let t = Instant::now();
+    pivot.align();
+    println!(
+        "initial alignment over 10 sources: {} global stories in {:.1}ms ({} pairs scored)",
+        pivot.global_stories().len(),
+        t.elapsed().as_secs_f64() * 1e3,
+        pivot.alignment().unwrap().pairs_scored,
+    );
+
+    // Phase 2: two new sources appear.
+    let mut onboarded = 0usize;
+    for s in &corpus.snippets {
+        if s.source.raw() >= 10 {
+            pivot.ingest(s.clone()).unwrap();
+            onboarded += 1;
+        }
+    }
+    println!("\nonboarding 2 new sources ({onboarded} snippets identified)…");
+
+    let mut full = pivot.clone();
+    let t = Instant::now();
+    pivot.align_incremental();
+    let inc_ms = t.elapsed().as_secs_f64() * 1e3;
+    let inc_pairs = pivot.alignment().unwrap().pairs_scored;
+
+    let t = Instant::now();
+    full.align();
+    let full_ms = t.elapsed().as_secs_f64() * 1e3;
+    let full_pairs = full.alignment().unwrap().pairs_scored;
+
+    println!("incremental re-alignment: {inc_ms:.1}ms, {inc_pairs} pairs scored");
+    println!("full re-alignment:        {full_ms:.1}ms, {full_pairs} pairs scored");
+    println!(
+        "quality (pairwise F1 vs ground truth): incremental {:.3}, full {:.3}",
+        alignment_scores(&pivot, &corpus).f1,
+        alignment_scores(&full, &corpus).f1,
+    );
+    assert!(
+        inc_pairs < full_pairs,
+        "incremental onboarding must score fewer pairs"
+    );
+    println!("\nincremental onboarding scored {:.0}% of the pairs of a full pass", 100.0 * inc_pairs as f64 / full_pairs as f64);
+}

@@ -1,0 +1,65 @@
+//! Story evolution end to end (paper §2.1): drifting phases chain into
+//! one story, an interweaving report *merges* two stories, and removing
+//! it *splits* them again — "political and economic events were
+//! interwoven during the height of the Ukraine crisis while they
+//! started to separate after the situation had (temporarily)
+//! stabilized".
+//!
+//! ```text
+//! cargo run --example story_evolution
+//! ```
+
+use storypivot::core::explain::explain_assignment;
+use storypivot::demo::evolution::EvolutionDemo;
+
+fn describe(demo: &EvolutionDemo, label: &str) {
+    println!("--- {label} ---");
+    println!("stories: {}", demo.pivot.story_count());
+    for st in demo.pivot.stories_of_source(demo.source) {
+        println!(
+            "  {}: {} snippets, lifespan {}",
+            st.id(),
+            st.len(),
+            st.lifespan()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // Phase chaining: protests (days 0-6) → escalation (9-13) →
+    // armed conflict (16-24), plus a concurrent economic thread.
+    let mut demo = EvolutionDemo::new();
+    describe(&demo, "after ingesting both threads");
+    assert_eq!(demo.pivot.story_count(), 2);
+
+    // Why does the last conflict snippet share a story with the first
+    // protest snippet, which it barely resembles? The chain explains it.
+    let last = *demo.political.last().unwrap();
+    let ex = explain_assignment(&demo.pivot, last, 3).unwrap();
+    println!("why is {last} in {}?", ex.story.unwrap());
+    for n in &ex.supporting {
+        println!(
+            "  supported by {} (sim {:.2}, mostly {})",
+            n.snippet,
+            n.sim.combined,
+            n.sim.dominant()
+        );
+    }
+    println!();
+
+    // Interweaving: a day-18 report on sanctions over the shelling.
+    let merged = demo.add_bridge();
+    println!("bridge ingested; merge triggered: {merged}");
+    describe(&demo, "after the interweaving report");
+    assert_eq!(demo.pivot.story_count(), 1);
+
+    // Stabilization: the report is retracted; maintenance splits the
+    // story along its weak seam.
+    let split = demo.remove_bridge_and_split();
+    println!("bridge removed; split triggered: {split}");
+    describe(&demo, "after stabilization");
+    assert_eq!(demo.pivot.story_count(), 2);
+
+    println!("politics and economics interwove, then separated — as in the paper.");
+}

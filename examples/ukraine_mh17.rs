@@ -1,0 +1,87 @@
+//! The paper's running example end to end: raw articles about the MH17
+//! downing are extracted, identified, aligned, refined, and every demo
+//! module (Figures 3–6) is rendered. Afterwards the interactive
+//! add/remove-document exploration of §4.2.1 is exercised.
+//!
+//! ```text
+//! cargo run --example ukraine_mh17
+//! ```
+
+use storypivot::demo::mh17::Mh17Demo;
+use storypivot::demo::modules;
+use storypivot::demo::names::PipelineNames;
+
+fn main() {
+    // Extract all twelve curated articles, identify, align, refine.
+    let mut demo = Mh17Demo::build();
+    let ingested = vec![true; demo.len()];
+
+    // Figure 3 — document selection.
+    println!(
+        "{}",
+        modules::document_selection(&demo.pivot, &demo.documents, &ingested)
+    );
+
+    // Figure 4 — story overview across sources.
+    {
+        let names = PipelineNames(&demo.pipeline);
+        println!("{}", modules::story_overview(&demo.pivot, &names));
+    }
+
+    // Figure 5 — stories per source (the identification view).
+    {
+        let names = PipelineNames(&demo.pipeline);
+        println!("{}", modules::stories_per_source(&demo.pivot, demo.nyt, &names));
+        let crash = demo.crash_snippet().unwrap();
+        println!("{}", modules::snippet_information(&demo.pivot, crash, &names));
+    }
+
+    // Figure 6 — snippets per story (the alignment view).
+    let crash_global = demo.pivot.global_of(demo.crash_snippet().unwrap()).unwrap();
+    {
+        let names = PipelineNames(&demo.pipeline);
+        println!("{}", modules::snippets_per_story(&demo.pivot, crash_global, &names));
+    }
+
+    // §4.2.1 — interactive exploration: remove the WSJ crash article and
+    // watch the story lose its cross-source corroboration on July 17.
+    println!("=== Interactive: removing the WSJ crash article (doc 7) ===");
+    let before = demo
+        .pivot
+        .alignment()
+        .unwrap()
+        .global_story(crash_global)
+        .map(|g| (g.len(), g.aligning().count()))
+        .unwrap();
+    demo.remove_document(7).expect("doc 7 was ingested");
+    demo.recompute();
+    let crash_global_now = demo.pivot.global_of(demo.crash_snippet().unwrap()).unwrap();
+    let after = demo
+        .pivot
+        .alignment()
+        .unwrap()
+        .global_story(crash_global_now)
+        .map(|g| (g.len(), g.aligning().count()))
+        .unwrap();
+    println!(
+        "crash story: {} snippets / {} aligning  ->  {} snippets / {} aligning",
+        before.0, before.1, after.0, after.1
+    );
+
+    println!("\n=== Interactive: re-adding the article ===");
+    demo.add_document(7).expect("re-add");
+    demo.recompute();
+    let crash_global_final = demo.pivot.global_of(demo.crash_snippet().unwrap()).unwrap();
+    let restored = demo
+        .pivot
+        .alignment()
+        .unwrap()
+        .global_story(crash_global_final)
+        .map(|g| (g.len(), g.aligning().count()))
+        .unwrap();
+    println!(
+        "crash story restored: {} snippets / {} aligning",
+        restored.0, restored.1
+    );
+    assert_eq!(restored.0, before.0, "re-adding restores the story");
+}

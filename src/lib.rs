@@ -1,0 +1,78 @@
+//! # StoryPivot
+//!
+//! A from-scratch, production-quality reproduction of **StoryPivot:
+//! Comparing and Contrasting Story Evolution** (Gruenheid, Rekatsinas,
+//! Kossmann, Srivastava — SIGMOD 2015).
+//!
+//! StoryPivot detects *stories* — temporally evolving clusters of event
+//! information snippets — in multi-source event data, in two phases:
+//!
+//! 1. **Story identification**: within each data source, incrementally
+//!    group snippets into stories (temporal sliding-window or complete
+//!    matching), with merge/split support as stories evolve.
+//! 2. **Story alignment**: across sources, integrate per-source stories
+//!    into global stories, classify snippets as *aligning* or
+//!    *enriching*, and *refine* identification mistakes.
+//!
+//! This facade crate re-exports the whole workspace under one name.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use storypivot::prelude::*;
+//!
+//! // Build a pivot over two sources with default configuration.
+//! let mut pivot = StoryPivot::new(PivotConfig::default());
+//! let nyt = pivot.add_source("New York Times", SourceKind::Newspaper);
+//! let wsj = pivot.add_source("Wall Street Journal", SourceKind::Newspaper);
+//!
+//! let t0 = Timestamp::from_ymd(2014, 7, 17);
+//! let e_ukr = EntityId::new(0);
+//! let e_mal = EntityId::new(1);
+//! let t_crash = TermId::new(0);
+//!
+//! // Ingest one snippet per source describing the same real-world event.
+//! let v0 = pivot.ingest(
+//!     Snippet::builder(SnippetId::new(0), nyt, t0)
+//!         .entity(e_ukr, 1.0).entity(e_mal, 1.0).term(t_crash, 1.0)
+//!         .event_type(EventType::Accident)
+//!         .headline("Jetliner Explodes over Ukraine")
+//!         .build(),
+//! ).unwrap();
+//! let v1 = pivot.ingest(
+//!     Snippet::builder(SnippetId::new(1), wsj, t0)
+//!         .entity(e_ukr, 1.0).entity(e_mal, 1.0).term(t_crash, 1.0)
+//!         .event_type(EventType::Accident)
+//!         .headline("Malaysia Airlines Jet Crashes in Ukraine")
+//!         .build(),
+//! ).unwrap();
+//!
+//! pivot.align();
+//! let global = pivot.global_stories();
+//! assert_eq!(global.len(), 1);
+//! assert!(global[0].is_cross_source());
+//! # let _ = (v0, v1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use storypivot_core as core;
+pub use storypivot_demo as demo;
+pub use storypivot_eval as eval;
+pub use storypivot_extract as extract;
+pub use storypivot_gen as gen;
+pub use storypivot_sketch as sketch;
+pub use storypivot_store as store;
+pub use storypivot_text as text;
+pub use storypivot_types as types;
+
+/// Everything a typical application needs, importable in one line.
+pub mod prelude {
+    pub use storypivot_core::config::PivotConfig;
+    pub use storypivot_core::pivot::StoryPivot;
+    pub use storypivot_types::{
+        DocId, EntityId, EventType, GlobalStory, GlobalStoryId, Snippet, SnippetId, SnippetRole,
+        Source, SourceId, SourceKind, Story, StoryId, TermId, TimeRange, Timestamp, DAY, HOUR,
+    };
+}

@@ -1,0 +1,98 @@
+//! Alignment outcome invariants under randomized corpora, plus the
+//! engine's own invariant checker exercised through realistic lifecycles.
+
+use proptest::prelude::*;
+
+use storypivot::core::config::PivotConfig;
+use storypivot::gen::{CorpusBuilder, GenConfig};
+use storypivot::prelude::*;
+use storypivot::types::DAY;
+
+fn arb_small_config() -> impl Strategy<Value = GenConfig> {
+    (any::<u64>(), 2u32..5, 3u32..10, 0.0f64..0.4).prop_map(|(seed, sources, stories, drift)| {
+        GenConfig {
+            seed,
+            sources,
+            stories,
+            entities: 60,
+            terms: 200,
+            events_per_story: 6.0,
+            drift,
+            ..GenConfig::default()
+        }
+    })
+}
+
+fn build_pivot(corpus: &storypivot::gen::Corpus) -> StoryPivot {
+    let mut pivot = StoryPivot::new(PivotConfig::temporal(14 * DAY));
+    for s in &corpus.sources {
+        pivot.add_source_with_lag(s.name.clone(), s.kind, s.typical_lag);
+    }
+    for s in &corpus.snippets {
+        pivot.ingest(s.clone()).unwrap();
+    }
+    pivot
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn alignment_outcome_invariants_hold(cfg in arb_small_config()) {
+        let corpus = CorpusBuilder::new(cfg).build();
+        let mut pivot = build_pivot(&corpus);
+        pivot.align();
+        pivot.check_invariants().unwrap();
+
+        let outcome = pivot.alignment().unwrap();
+        // Accepted pairs connect stories from different sources.
+        for &(a, b) in &outcome.accepted_pairs {
+            let sa = storypivot::core::refine::story_source(a);
+            let sb = storypivot::core::refine::story_source(b);
+            prop_assert_ne!(sa, sb, "same-source pair {} {}", a, b);
+        }
+        // snippet_to_global agrees with the member lists.
+        for g in &outcome.global_stories {
+            for &(m, _) in &g.members {
+                prop_assert_eq!(outcome.snippet_to_global.get(&m), Some(&g.id));
+            }
+            // Sources recorded match the members' sources.
+            for &(m, _) in &g.members {
+                let src = pivot.store().get(m).unwrap().source;
+                prop_assert!(g.sources.contains(&src));
+            }
+            // Lifespan covers every member.
+            for &(m, _) in &g.members {
+                let t = pivot.store().get(m).unwrap().timestamp;
+                prop_assert!(g.lifespan.contains(t));
+            }
+        }
+        // story_to_global covers every live story exactly once.
+        let live: usize = pivot.story_count();
+        prop_assert_eq!(outcome.story_to_global.len(), live);
+    }
+
+    #[test]
+    fn invariants_survive_a_full_lifecycle(cfg in arb_small_config()) {
+        let corpus = CorpusBuilder::new(cfg).build();
+        let mut pivot = build_pivot(&corpus);
+        pivot.check_invariants().unwrap();
+        pivot.align();
+        pivot.check_invariants().unwrap();
+        pivot.refine();
+        pivot.check_invariants().unwrap();
+
+        // Remove a handful of documents, realign.
+        for d in 0..5u32.min(corpus.len() as u32) {
+            let _ = pivot.remove_document(DocId::new(d));
+        }
+        pivot.align_incremental();
+        pivot.check_invariants().unwrap();
+
+        // Drop one source entirely.
+        if corpus.sources.len() > 1 {
+            pivot.remove_source(corpus.sources[0].id).unwrap();
+            pivot.align_incremental();
+            pivot.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Functional reproduction of the demo UI modules (Figures 3–6) over
+//! the curated MH17 corpus.
+
+use storypivot::demo::mh17::{entities, Mh17Demo};
+use storypivot::demo::modules;
+use storypivot::demo::names::{NameSource, PipelineNames};
+use storypivot::types::{SnippetRole, Timestamp};
+
+#[test]
+fn figure3_document_selection_renders_both_sources() {
+    let demo = Mh17Demo::build();
+    let ingested = vec![true; demo.len()];
+    let view = modules::document_selection(&demo.pivot, &demo.documents, &ingested);
+    assert!(view.contains("New York Times"));
+    assert!(view.contains("Wall Street Journal"));
+    assert!(view.contains("2014-07-17"));
+    // All twelve curated documents appear.
+    for i in 0..demo.len() {
+        assert!(view.contains(&format!("#{i}")), "missing doc {i}:\n{view}");
+    }
+}
+
+#[test]
+fn figure4_story_overview_matches_paper_structure() {
+    let demo = Mh17Demo::build();
+    let names = PipelineNames(&demo.pipeline);
+    let view = modules::story_overview(&demo.pivot, &names);
+    // The crash story row is cross-source and UKR-heavy, as in Figure 4.
+    assert!(view.contains("New York Times, Wall Street Journal"));
+    assert!(view.contains("{UKR,"));
+    // There are exactly five integrated stories in the curated corpus:
+    // crash+investigation, sanctions, Gaza, medical, Google/Yelp.
+    assert_eq!(demo.pivot.global_stories().len(), 5, "{view}");
+}
+
+#[test]
+fn figure4_story_information_panel() {
+    let demo = Mh17Demo::build();
+    let names = PipelineNames(&demo.pipeline);
+    let g = demo.pivot.global_of(demo.crash_snippet().unwrap()).unwrap();
+    let view = modules::story_information(&demo.pivot, g, &names);
+    // Dates from Figure 6: July 17th 2014 through Sep 12th 2014.
+    assert!(view.contains("Start Date  2014-07-17"), "{view}");
+    assert!(view.contains("End Date    2014-09-12"), "{view}");
+    assert!(view.contains("Sources     New York Times, Wall Street Journal"));
+}
+
+#[test]
+fn figure5_stories_per_source_separates_the_gaza_trap() {
+    let demo = Mh17Demo::build();
+    let names = PipelineNames(&demo.pipeline);
+    let view = modules::stories_per_source(&demo.pivot, demo.nyt, &names);
+    // NYT has four stories: crash, sanctions, Gaza, medical.
+    assert_eq!(demo.pivot.stories_of_source(demo.nyt).len(), 4, "{view}");
+    assert!(view.contains("Jetliner Explodes Over Ukraine"));
+    assert!(view.contains("U.N. Calls for Investigation in Gaza"));
+}
+
+#[test]
+fn figure5_snippet_information_shows_extraction_record() {
+    let demo = Mh17Demo::build();
+    let names = PipelineNames(&demo.pipeline);
+    let crash = demo.crash_snippet().unwrap();
+    let view = modules::snippet_information(&demo.pivot, crash, &names);
+    assert!(view.contains("Event Type  accident"));
+    assert!(view.contains("UKR"));
+    assert!(view.contains("MA"));
+    assert!(view.contains("Global"));
+}
+
+#[test]
+fn figure6_snippets_per_story_shows_aligned_lanes() {
+    let demo = Mh17Demo::build();
+    let names = PipelineNames(&demo.pipeline);
+    let g = demo.pivot.global_of(demo.crash_snippet().unwrap()).unwrap();
+    let view = modules::snippets_per_story(&demo.pivot, g, &names);
+    assert!(view.contains("New York Times:"));
+    assert!(view.contains("Wall Street Journal:"));
+    assert!(view.contains("align"));
+    // The September report appears in the story's timeline (Figure 6
+    // shows v₅ⁿ dated Sep 12th 2014).
+    assert!(view.contains("2014-09-12"));
+}
+
+#[test]
+fn crash_story_roles_match_the_papers_reading() {
+    let demo = Mh17Demo::build();
+    let g_id = demo.pivot.global_of(demo.crash_snippet().unwrap()).unwrap();
+    let g = demo.pivot.alignment().unwrap().global_story(g_id).unwrap();
+    // The two same-day crash reports are counterparts (aligning).
+    assert_eq!(g.role_of(demo.snippet_of_doc(0).unwrap()), Some(SnippetRole::Aligning));
+    assert_eq!(g.role_of(demo.snippet_of_doc(7).unwrap()), Some(SnippetRole::Aligning));
+    assert_eq!(g.lifespan.start, Timestamp::from_ymd(2014, 7, 17));
+}
+
+#[test]
+fn entity_codes_render_like_the_paper() {
+    let demo = Mh17Demo::build();
+    let names = PipelineNames(&demo.pipeline);
+    assert_eq!(names.entity_code(entities::UKRAINE), "UKR");
+    assert_eq!(names.entity_code(entities::RUSSIA), "RUS");
+    assert_eq!(names.entity_code(entities::MALAYSIA_AIRLINES), "MA");
+    assert_eq!(names.entity_code(entities::UNITED_NATIONS), "UN");
+    assert_eq!(names.entity_code(entities::UNITED_STATES), "US");
+    assert_eq!(names.entity_code(entities::NETHERLANDS), "NET");
+    assert_eq!(names.entity_name(entities::UNITED_NATIONS), "United Nations");
+}
+
+#[test]
+fn removing_a_document_changes_the_rendered_overview() {
+    let mut demo = Mh17Demo::build();
+    let names_before = {
+        let names = PipelineNames(&demo.pipeline);
+        modules::story_overview(&demo.pivot, &names)
+    };
+    demo.remove_document(11).unwrap(); // the Google/Yelp article
+    demo.recompute();
+    let names_after = {
+        let names = PipelineNames(&demo.pipeline);
+        modules::story_overview(&demo.pivot, &names)
+    };
+    assert_ne!(names_before, names_after);
+    assert_eq!(demo.pivot.global_stories().len(), 4);
+}

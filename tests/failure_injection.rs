@@ -1,0 +1,161 @@
+//! Failure injection: the engine must degrade gracefully, not panic, on
+//! hostile inputs — duplicates, vacuous content, unknown references,
+//! clock-skewed sources, and mid-stream mutations.
+
+use storypivot::core::config::PivotConfig;
+use storypivot::prelude::*;
+
+fn pivot_with_sources(n: u32) -> (StoryPivot, Vec<SourceId>) {
+    let mut pivot = StoryPivot::new(PivotConfig::default());
+    let ids = (0..n)
+        .map(|i| pivot.add_source(format!("s{i}"), SourceKind::Newspaper))
+        .collect();
+    (pivot, ids)
+}
+
+fn snip(id: u32, source: SourceId, t: Timestamp) -> Snippet {
+    Snippet::builder(SnippetId::new(id), source, t)
+        .entity(EntityId::new(id % 7), 1.0)
+        .term(TermId::new(id % 11), 1.0)
+        .build()
+}
+
+#[test]
+fn duplicate_snippet_ids_are_rejected_not_corrupting() {
+    let (mut pivot, src) = pivot_with_sources(1);
+    let s = snip(0, src[0], Timestamp::EPOCH);
+    pivot.ingest(s.clone()).unwrap();
+    assert!(pivot.ingest(s).is_err());
+    assert_eq!(pivot.store().len(), 1);
+    assert_eq!(pivot.story_count(), 1);
+}
+
+#[test]
+fn vacuous_snippets_form_singleton_stories() {
+    let (mut pivot, src) = pivot_with_sources(1);
+    for i in 0..3 {
+        let empty = Snippet::builder(SnippetId::new(i), src[0], Timestamp::from_secs(i as i64))
+            .headline("nothing extracted")
+            .build();
+        pivot.ingest(empty).unwrap();
+    }
+    // No shared content → no similarity → three separate stories.
+    assert_eq!(pivot.story_count(), 3);
+    pivot.align();
+    assert_eq!(pivot.global_stories().len(), 3);
+}
+
+#[test]
+fn unknown_references_error_cleanly() {
+    let (mut pivot, src) = pivot_with_sources(1);
+    assert!(pivot.remove_snippet(SnippetId::new(9)).is_err());
+    assert!(pivot.remove_document(DocId::new(9)).is_err());
+    assert!(pivot.remove_source(SourceId::new(42)).is_err());
+    assert!(pivot.reassign_snippet(SnippetId::new(9), StoryId::new(0)).is_err());
+    // The engine still works afterwards.
+    pivot.ingest(snip(0, src[0], Timestamp::EPOCH)).unwrap();
+    pivot.align();
+    assert_eq!(pivot.global_stories().len(), 1);
+}
+
+#[test]
+fn extreme_timestamps_do_not_break_windows_or_alignment() {
+    let (mut pivot, src) = pivot_with_sources(2);
+    pivot.ingest(snip(0, src[0], Timestamp::MAX - 10)).unwrap();
+    pivot.ingest(snip(1, src[1], Timestamp::MIN + 10)).unwrap();
+    pivot.ingest(snip(2, src[0], Timestamp::EPOCH)).unwrap();
+    pivot.align();
+    assert_eq!(pivot.store().len(), 3);
+    assert!(!pivot.global_stories().is_empty());
+}
+
+#[test]
+fn clock_skewed_source_still_aligns_within_tolerance() {
+    let mut cfg = PivotConfig::default();
+    cfg.align.max_lag_buckets = 3;
+    let mut pivot = StoryPivot::new(cfg);
+    let a = pivot.add_source("punctual", SourceKind::Wire);
+    let b = pivot.add_source("skewed", SourceKind::Magazine);
+    let day = |d: i64| Timestamp::from_secs(d * DAY);
+    let mut id = 0u32;
+    for d in 0..5 {
+        for (source, skew) in [(a, 0i64), (b, 2)] {
+            let s = Snippet::builder(SnippetId::new(id), source, day(d + skew))
+                .entity(EntityId::new(1), 1.0)
+                .entity(EntityId::new(2), 1.0)
+                .term(TermId::new(1), 1.0)
+                .build();
+            pivot.ingest(s).unwrap();
+            id += 1;
+        }
+    }
+    pivot.align();
+    let cross = pivot.alignment().unwrap().cross_source_stories().count();
+    assert_eq!(cross, 1, "2-day skew must be absorbed by lag tolerance");
+}
+
+#[test]
+fn mutating_while_streaming_never_panics() {
+    let (mut pivot, src) = pivot_with_sources(2);
+    for i in 0..50u32 {
+        pivot
+            .ingest(snip(i, src[(i % 2) as usize], Timestamp::from_secs(i as i64 * 3_600)))
+            .unwrap();
+        match i % 10 {
+            3 => {
+                pivot.remove_snippet(SnippetId::new(i)).unwrap();
+            }
+            5 => {
+                pivot.align_incremental();
+            }
+            7 => {
+                pivot.refine();
+            }
+            _ => {}
+        }
+    }
+    pivot.align();
+    pivot.refine();
+    // 5 of 50 snippets were removed (i % 10 == 3).
+    assert_eq!(pivot.store().len(), 45);
+    let covered: usize = pivot.global_stories().iter().map(|g| g.len()).sum();
+    assert_eq!(covered, 45);
+}
+
+#[test]
+fn removing_everything_leaves_a_clean_engine() {
+    let (mut pivot, src) = pivot_with_sources(1);
+    for i in 0..10u32 {
+        pivot
+            .ingest(snip(i, src[0], Timestamp::from_secs(i as i64)))
+            .unwrap();
+    }
+    pivot.align();
+    for i in 0..10u32 {
+        pivot.remove_snippet(SnippetId::new(i)).unwrap();
+    }
+    pivot.align_incremental();
+    assert_eq!(pivot.store().len(), 0);
+    assert_eq!(pivot.story_count(), 0);
+    assert!(pivot.global_stories().is_empty());
+    // And it can start over.
+    pivot.ingest(snip(100, src[0], Timestamp::EPOCH)).unwrap();
+    pivot.align_incremental();
+    assert_eq!(pivot.global_stories().len(), 1);
+}
+
+#[test]
+fn same_document_snippets_share_doc_removal() {
+    let (mut pivot, src) = pivot_with_sources(1);
+    let doc = DocId::new(7);
+    for i in 0..3u32 {
+        let s = Snippet::builder(SnippetId::new(i), src[0], Timestamp::from_secs(i as i64))
+            .doc(doc)
+            .entity(EntityId::new(1), 1.0)
+            .term(TermId::new(1), 1.0)
+            .build();
+        pivot.ingest(s).unwrap();
+    }
+    assert_eq!(pivot.remove_document(doc).unwrap(), 3);
+    assert!(pivot.store().is_empty());
+}

@@ -1,0 +1,158 @@
+//! Durability integration: snapshot, write-ahead log, and engine
+//! checkpoint working together across a simulated restart.
+
+use proptest::prelude::*;
+
+use storypivot::core::config::PivotConfig;
+use storypivot::gen::{CorpusBuilder, GenConfig};
+use storypivot::prelude::*;
+use storypivot::store::{replay, EventStore, Wal};
+use storypivot::types::DAY;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("storypivot-persist-{name}-{}", std::process::id()));
+    p
+}
+
+fn corpus(target: usize, seed: u64) -> storypivot::gen::Corpus {
+    CorpusBuilder::new(
+        GenConfig::default()
+            .with_sources(4)
+            .with_seed(seed)
+            .with_target_snippets(target),
+    )
+    .build()
+}
+
+/// The deployment pattern from the WAL docs: snapshot + log replay
+/// reconstruct the live store exactly.
+#[test]
+fn snapshot_plus_wal_reconstructs_the_store() {
+    let c = corpus(300, 71);
+    let snap_path = tmp("snap");
+    let wal_path = tmp("wal");
+    std::fs::remove_file(&wal_path).ok();
+
+    // Live store: first half snapshotted, second half WAL-logged.
+    let mut live = EventStore::new();
+    let mut wal = Wal::open(&wal_path).unwrap();
+    for s in &c.sources {
+        live.register_source(s.clone()).unwrap();
+    }
+    let half = c.len() / 2;
+    for s in &c.snippets[..half] {
+        live.insert(s.clone()).unwrap();
+    }
+    storypivot::store::snapshot::save(&live, &snap_path).unwrap();
+    for s in &c.snippets[half..] {
+        live.insert(s.clone()).unwrap();
+        wal.log_insert(s).unwrap();
+    }
+    // Also delete something after the snapshot.
+    let victim = c.snippets[0].id;
+    live.remove(victim).unwrap();
+    wal.log_remove(victim).unwrap();
+    wal.sync().unwrap();
+
+    // "Restart": snapshot + replay.
+    let mut restored = storypivot::store::snapshot::load(&snap_path).unwrap();
+    let report = replay(&wal_path, &mut restored).unwrap();
+    assert!(!report.torn_tail);
+    assert_eq!(restored.len(), live.len());
+    assert_eq!(restored.stats(), live.stats());
+    for s in live.iter() {
+        assert_eq!(restored.get(s.id), Some(s));
+    }
+
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&wal_path).ok();
+}
+
+/// Full engine restart via checkpoint: identified state carries over and
+/// continued ingestion converges with the never-restarted engine.
+#[test]
+fn checkpoint_restart_converges_with_uninterrupted_run() {
+    let c = corpus(400, 72);
+    let half = c.len() / 2;
+
+    // Uninterrupted reference.
+    let mut reference = StoryPivot::new(PivotConfig::temporal(14 * DAY));
+    for s in &c.sources {
+        reference.add_source_with_lag(s.name.clone(), s.kind, s.typical_lag);
+    }
+    for s in &c.snippets {
+        reference.ingest(s.clone()).unwrap();
+    }
+    reference.align();
+
+    // Interrupted run: ingest half, checkpoint, "restart", finish.
+    let mut first = StoryPivot::new(PivotConfig::temporal(14 * DAY));
+    for s in &c.sources {
+        first.add_source_with_lag(s.name.clone(), s.kind, s.typical_lag);
+    }
+    for s in &c.snippets[..half] {
+        first.ingest(s.clone()).unwrap();
+    }
+    let bytes = first.save_checkpoint();
+    drop(first);
+
+    let mut resumed =
+        StoryPivot::load_checkpoint(PivotConfig::temporal(14 * DAY), &bytes).unwrap();
+    for s in &c.snippets[half..] {
+        resumed.ingest(s.clone()).unwrap();
+    }
+    resumed.align();
+    resumed.check_invariants().unwrap();
+
+    // Same number of snippets; identical global partitions.
+    assert_eq!(resumed.store().len(), reference.store().len());
+    let partition = |p: &StoryPivot| -> Vec<Vec<u32>> {
+        let mut v: Vec<Vec<u32>> = p
+            .global_stories()
+            .iter()
+            .map(|g| {
+                let mut m: Vec<u32> = g.members.iter().map(|&(id, _)| id.raw()).collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(partition(&resumed), partition(&reference));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn checkpoints_round_trip_arbitrary_engine_states(
+        seed in any::<u64>(),
+        target in 50usize..250,
+        removals in 0usize..10,
+    ) {
+        let c = corpus(target, seed);
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        for s in &c.sources {
+            pivot.add_source_with_lag(s.name.clone(), s.kind, s.typical_lag);
+        }
+        for s in &c.snippets {
+            pivot.ingest(s.clone()).unwrap();
+        }
+        // Random-ish mutations before checkpointing.
+        for i in 0..removals.min(c.len()) {
+            let id = c.snippets[i * 7 % c.len()].id;
+            let _ = pivot.remove_snippet(id);
+        }
+        pivot.align();
+
+        let bytes = pivot.save_checkpoint();
+        let restored = StoryPivot::load_checkpoint(PivotConfig::default(), &bytes).unwrap();
+        prop_assert_eq!(restored.store().len(), pivot.store().len());
+        prop_assert_eq!(restored.story_count(), pivot.story_count());
+        for sn in pivot.store().iter() {
+            prop_assert_eq!(restored.story_of(sn.id), pivot.story_of(sn.id));
+        }
+        restored.check_invariants().unwrap();
+    }
+}

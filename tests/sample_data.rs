@@ -1,0 +1,43 @@
+//! The shipped sample tuple file must stay parseable and produce the
+//! documented story structure (it is the `pivot-tsv` quickstart).
+
+use storypivot::core::config::PivotConfig;
+use storypivot::extract::TupleReader;
+use storypivot::prelude::*;
+use storypivot::types::DAY;
+
+#[test]
+fn sample_tuples_file_parses_and_detects_the_documented_stories() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/data/sample_tuples.tsv"))
+        .expect("sample file ships with the repo");
+    let mut reader = TupleReader::new();
+    let (sources, snippets) = reader.read_str(&text).expect("sample file parses");
+    assert_eq!(sources.len(), 2);
+    assert_eq!(snippets.len(), 11);
+
+    let mut pivot = StoryPivot::new(PivotConfig::temporal(60 * DAY));
+    for s in &sources {
+        pivot.add_source(s.name.clone(), s.kind);
+    }
+    let crash_id = snippets[0].id;
+    let gaza_id = snippets[7].id;
+    let google_id = snippets[8].id;
+    for s in snippets {
+        pivot.ingest(s).unwrap();
+    }
+    pivot.align();
+
+    // The documented structure: the crash story is cross-source and
+    // spans Jul 17 – Sep 12; Gaza and Google/Yelp stay separate.
+    let crash_global = pivot.global_of(crash_id).unwrap();
+    let g = pivot.alignment().unwrap().global_story(crash_global).unwrap();
+    assert!(g.is_cross_source());
+    assert_eq!(g.lifespan.start, Timestamp::from_ymd(2014, 7, 17));
+    assert_eq!(g.lifespan.end, Timestamp::from_ymd(2014, 9, 12));
+    assert_ne!(pivot.global_of(gaza_id), Some(crash_global));
+    assert_ne!(pivot.global_of(google_id), Some(crash_global));
+
+    // The catalog interned the headline entities.
+    assert!(reader.catalog.entities.get("Ukraine").is_some());
+    assert!(reader.catalog.entities.get("yelp").is_some());
+}
