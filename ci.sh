@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline CI for the storypivot workspace.
+#
+# The whole point of the zero-dependency substrate is that this script
+# passes on a machine with an EMPTY cargo registry and no network. Any
+# step that tries to touch crates.io fails the run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> build (release, all targets)"
+cargo build --release --workspace --all-targets
+
+echo "==> tests"
+cargo test -q --workspace
+
+echo "==> clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> smoke: bench harness e1 (quick)"
+cargo run -p storypivot-bench --bin harness --release -- e1 --quick
+
+echo "CI OK"

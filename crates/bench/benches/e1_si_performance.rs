@@ -4,37 +4,26 @@
 //! complete matching at two corpus sizes; complete should scale
 //! super-linearly, temporal ~linearly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use storypivot_bench::{corpus_constant_density, pivot_for, OMEGA};
 use storypivot_core::config::PivotConfig;
+use storypivot_substrate::timing::BenchGroup;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_identification");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::from_env("e1_identification");
     for &n in &[400usize, 1_200] {
         let corpus = corpus_constant_density(n, 8, 7);
-        group.throughput(Throughput::Elements(corpus.len() as u64));
         for (name, cfg) in [
             ("temporal", PivotConfig::temporal(OMEGA)),
             ("complete", PivotConfig::complete()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, corpus.len()),
-                &corpus,
-                |b, corpus| {
-                    b.iter(|| {
-                        let mut pivot = pivot_for(corpus, cfg.clone());
-                        for s in &corpus.snippets {
-                            pivot.ingest(s.clone()).unwrap();
-                        }
-                        pivot.story_count()
-                    })
-                },
-            );
+            group.bench(&format!("{name}/{}", corpus.len()), || {
+                let mut pivot = pivot_for(&corpus, cfg.clone());
+                for s in &corpus.snippets {
+                    pivot.ingest(s.clone()).unwrap();
+                }
+                pivot.story_count()
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

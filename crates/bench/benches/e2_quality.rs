@@ -1,32 +1,26 @@
 //! E2 — the full pipeline (identify + align + refine) per execution
 //! mode (Fig 7). Timing counterpart of the harness' quality table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use storypivot_bench::{corpus_fixed_period, pivot_for, OMEGA};
 use storypivot_core::config::PivotConfig;
+use storypivot_substrate::timing::BenchGroup;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let corpus = corpus_fixed_period(800, 8, 11);
-    let mut group = c.benchmark_group("e2_full_pipeline");
-    group.sample_size(10);
+    let mut group = BenchGroup::from_env("e2_full_pipeline");
     for (name, cfg) in [
         ("temporal", PivotConfig::temporal(OMEGA)),
         ("complete", PivotConfig::complete()),
     ] {
-        group.bench_with_input(BenchmarkId::new(name, corpus.len()), &corpus, |b, corpus| {
-            b.iter(|| {
-                let mut pivot = pivot_for(corpus, cfg.clone());
-                for s in &corpus.snippets {
-                    pivot.ingest(s.clone()).unwrap();
-                }
-                pivot.align();
-                pivot.refine();
-                pivot.global_stories().len()
-            })
+        group.bench(&format!("{name}/{}", corpus.len()), || {
+            let mut pivot = pivot_for(&corpus, cfg.clone());
+            for s in &corpus.snippets {
+                pivot.ingest(s.clone()).unwrap();
+            }
+            pivot.align();
+            pivot.refine();
+            pivot.global_stories().len()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

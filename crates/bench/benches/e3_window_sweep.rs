@@ -1,28 +1,22 @@
 //! E3 — identification cost as a function of the window size ω (§2.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use storypivot_bench::{corpus_fixed_period, pivot_for};
 use storypivot_core::config::PivotConfig;
+use storypivot_substrate::timing::BenchGroup;
 use storypivot_types::DAY;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let corpus = corpus_fixed_period(800, 8, 13);
-    let mut group = c.benchmark_group("e3_window_sweep");
-    group.sample_size(10);
+    let mut group = BenchGroup::from_env("e3_window_sweep");
     for days in [1i64, 7, 14, 30, 90] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{days}d")), &corpus, |b, corpus| {
-            let cfg = PivotConfig::temporal(days * DAY);
-            b.iter(|| {
-                let mut pivot = pivot_for(corpus, cfg.clone());
-                for s in &corpus.snippets {
-                    pivot.ingest(s.clone()).unwrap();
-                }
-                pivot.story_count()
-            })
+        let cfg = PivotConfig::temporal(days * DAY);
+        group.bench(&format!("{days}d"), || {
+            let mut pivot = pivot_for(&corpus, cfg.clone());
+            for s in &corpus.snippets {
+                pivot.ingest(s.clone()).unwrap();
+            }
+            pivot.story_count()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,33 +1,29 @@
 //! E4 — alignment with exact centroid comparison vs MinHash sketches
 //! (§2.4). Identification is done once per configuration in setup; the
-//! measured region is the alignment pass alone.
+//! measured region is a clone plus the alignment pass (alignment
+//! mutates the pivot, so each iteration works on a fresh copy).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use storypivot_bench::{corpus_fixed_period, ingest_all, OMEGA};
 use storypivot_core::config::PivotConfig;
+use storypivot_substrate::timing::BenchGroup;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let corpus = corpus_fixed_period(1_000, 16, 17);
-    let mut group = c.benchmark_group("e4_alignment");
-    group.sample_size(10);
-    for (name, use_sketches, k) in [("exact", false, 128usize), ("minhash_k64", true, 64), ("minhash_k256", true, 256)] {
+    let mut group = BenchGroup::from_env("e4_alignment");
+    for (name, use_sketches, k) in [
+        ("exact", false, 128usize),
+        ("minhash_k64", true, 64),
+        ("minhash_k256", true, 256),
+    ] {
         let mut cfg = PivotConfig::temporal(OMEGA);
         cfg.align.use_sketches = use_sketches;
         cfg.sketch.minhash_k = k;
         let pivot = ingest_all(&corpus, cfg);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &pivot, |b, pivot| {
-            b.iter_batched(
-                || pivot.clone(),
-                |mut p| {
-                    p.align();
-                    p.global_stories().len()
-                },
-                BatchSize::LargeInput,
-            )
+        group.bench(name, || {
+            let mut p = pivot.clone();
+            p.align();
+            p.global_stories().len()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,29 +1,23 @@
 //! E5 — ingestion of the realistic out-of-order delivery stream vs the
 //! event-time-sorted stream (§2.4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use storypivot_bench::{corpus_fixed_period, pivot_for, OMEGA};
 use storypivot_core::config::PivotConfig;
+use storypivot_substrate::timing::BenchGroup;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let corpus = corpus_fixed_period(800, 8, 19);
     let sorted = corpus.snippets_by_event_time();
-    let mut group = c.benchmark_group("e5_out_of_order");
-    group.sample_size(10);
+    let mut group = BenchGroup::from_env("e5_out_of_order");
     for (name, stream) in [("delivery_order", &corpus.snippets), ("event_time_order", &sorted)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), stream, |b, stream| {
-            b.iter(|| {
-                let mut pivot = pivot_for(&corpus, PivotConfig::temporal(OMEGA));
-                for s in stream.iter() {
-                    pivot.ingest(s.clone()).unwrap();
-                }
-                pivot.align();
-                pivot.global_stories().len()
-            })
+        group.bench(name, || {
+            let mut pivot = pivot_for(&corpus, PivotConfig::temporal(OMEGA));
+            for s in stream.iter() {
+                pivot.ingest(s.clone()).unwrap();
+            }
+            pivot.align();
+            pivot.global_stories().len()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

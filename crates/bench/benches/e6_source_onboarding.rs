@@ -1,11 +1,11 @@
 //! E6 — incremental re-alignment after onboarding new sources vs a full
 //! alignment pass (§2.1).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use storypivot_bench::{corpus_fixed_period, pivot_for, OMEGA};
 use storypivot_core::config::PivotConfig;
+use storypivot_substrate::timing::BenchGroup;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let corpus = corpus_fixed_period(1_000, 12, 23);
     // Pre-state: 10 sources ingested and aligned; sources 10-11 ingested
     // but not yet aligned.
@@ -22,30 +22,16 @@ fn bench(c: &mut Criterion) {
         }
     }
 
-    let mut group = c.benchmark_group("e6_onboarding");
-    group.sample_size(10);
-    group.bench_function("incremental_realign", |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut p| {
-                p.align_incremental();
-                p.global_stories().len()
-            },
-            BatchSize::LargeInput,
-        )
+    let mut group = BenchGroup::from_env("e6_onboarding");
+    group.bench("incremental_realign", || {
+        let mut p = base.clone();
+        p.align_incremental();
+        p.global_stories().len()
     });
-    group.bench_function("full_realign", |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut p| {
-                p.align();
-                p.global_stories().len()
-            },
-            BatchSize::LargeInput,
-        )
+    group.bench("full_realign", || {
+        let mut p = base.clone();
+        p.align();
+        p.global_stories().len()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,29 +1,20 @@
 //! E8 — alignment cost as the number of sources grows (Fig 7 inset
 //! lists 50 sources).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use storypivot_bench::{corpus_fixed_period, ingest_all, OMEGA};
 use storypivot_core::config::PivotConfig;
+use storypivot_substrate::timing::BenchGroup;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_source_scaling");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::from_env("e8_source_scaling");
     for sources in [4u32, 10, 25] {
         let corpus = corpus_fixed_period(60 * sources as usize, sources, 31);
         let pivot = ingest_all(&corpus, PivotConfig::temporal(OMEGA));
-        group.bench_with_input(BenchmarkId::from_parameter(sources), &pivot, |b, pivot| {
-            b.iter_batched(
-                || pivot.clone(),
-                |mut p| {
-                    p.align();
-                    p.global_stories().len()
-                },
-                BatchSize::LargeInput,
-            )
+        group.bench(&sources.to_string(), || {
+            let mut p = pivot.clone();
+            p.align();
+            p.global_stories().len()
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,16 +2,16 @@
 //! and the event store. These bound the per-event budget available to
 //! the story-detection phases above them.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use storypivot_bench::corpus_fixed_period;
 use storypivot_gen::render_document;
 use storypivot_sketch::{HashFamily, MinHash, TemporalSignature};
 use storypivot_store::codec::{decode_store, encode_store};
 use storypivot_store::EventStore;
+use storypivot_substrate::timing::BenchGroup;
 use storypivot_text::{porter_stem, tokenize, AhoCorasickBuilder, GazetteerBuilder};
 use storypivot_types::{EntityId, Timestamp, DAY};
 
-fn text_benches(c: &mut Criterion) {
+fn text_benches() {
     let corpus = corpus_fixed_period(200, 4, 3);
     // Realistic article text rendered from the corpus.
     let articles: Vec<String> = corpus
@@ -23,18 +23,14 @@ fn text_benches(c: &mut Criterion) {
             format!("{title}. {body}")
         })
         .collect();
-    let total_bytes: usize = articles.iter().map(String::len).sum();
 
-    let mut group = c.benchmark_group("text");
-    group.throughput(Throughput::Bytes(total_bytes as u64));
-    group.bench_function("tokenize_50_articles", |b| {
-        b.iter(|| {
-            let mut tokens = 0usize;
-            for a in &articles {
-                tokens += tokenize(a).len();
-            }
-            tokens
-        })
+    let mut group = BenchGroup::from_env("text");
+    group.bench("tokenize_50_articles", || {
+        let mut tokens = 0usize;
+        for a in &articles {
+            tokens += tokenize(a).len();
+        }
+        tokens
     });
 
     let words: Vec<String> = articles
@@ -42,14 +38,12 @@ fn text_benches(c: &mut Criterion) {
         .flat_map(|a| tokenize(a))
         .map(|t| t.norm)
         .collect();
-    group.bench_function("porter_stem_corpus", |b| {
-        b.iter(|| {
-            let mut len = 0usize;
-            for w in &words {
-                len += porter_stem(w).len();
-            }
-            len
-        })
+    group.bench("porter_stem_corpus", || {
+        let mut len = 0usize;
+        for w in &words {
+            len += porter_stem(w).len();
+        }
+        len
     });
 
     // Gazetteer with the full 500-entity catalog.
@@ -58,14 +52,12 @@ fn text_benches(c: &mut Criterion) {
         gz.add_entity(EntityId::new(i as u32), name, &[]);
     }
     let gazetteer = gz.build();
-    group.bench_function("gazetteer_recognize_50_articles", |b| {
-        b.iter(|| {
-            let mut found = 0usize;
-            for a in &articles {
-                found += gazetteer.recognize(&tokenize(a)).len();
-            }
-            found
-        })
+    group.bench("gazetteer_recognize_50_articles", || {
+        let mut found = 0usize;
+        for a in &articles {
+            found += gazetteer.recognize(&tokenize(a)).len();
+        }
+        found
     });
 
     let mut ac = AhoCorasickBuilder::new();
@@ -74,29 +66,23 @@ fn text_benches(c: &mut Criterion) {
     }
     let automaton = ac.build();
     let haystack: String = articles.join(" ").to_ascii_lowercase();
-    group.bench_function("aho_corasick_scan", |b| {
-        b.iter(|| automaton.find_all(haystack.as_bytes()).len())
-    });
+    group.bench("aho_corasick_scan", || automaton.find_all(haystack.as_bytes()).len());
     group.finish();
 }
 
-fn sketch_benches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sketch");
+fn sketch_benches() {
+    let mut group = BenchGroup::from_env("sketch");
     let family = HashFamily::new(1, 128);
-    group.bench_function("minhash_insert_100_items_k128", |b| {
-        b.iter(|| {
-            let mut mh = MinHash::empty(128);
-            for i in 0..100u64 {
-                mh.insert(&family, i);
-            }
-            mh
-        })
+    group.bench("minhash_insert_100_items_k128", || {
+        let mut mh = MinHash::empty(128);
+        for i in 0..100u64 {
+            mh.insert(&family, i);
+        }
+        mh
     });
     let a = MinHash::from_items(&family, 0..100u64);
     let bqs = MinHash::from_items(&family, 50..150u64);
-    group.bench_function("minhash_estimate_k128", |b| {
-        b.iter(|| a.estimate_jaccard(&bqs))
-    });
+    group.bench("minhash_estimate_k128", || a.estimate_jaccard(&bqs));
 
     let mut sig_a = TemporalSignature::new(DAY);
     let mut sig_b = TemporalSignature::new(DAY);
@@ -104,28 +90,24 @@ fn sketch_benches(c: &mut Criterion) {
         sig_a.add(Timestamp::from_secs(d * DAY), (d % 5) as f32);
         sig_b.add(Timestamp::from_secs((d + 2) * DAY), (d % 3) as f32);
     }
-    group.bench_function("temporal_containment_180d_lag3", |b| {
-        b.iter(|| sig_a.containment_similarity(&sig_b, 3))
+    group.bench("temporal_containment_180d_lag3", || {
+        sig_a.containment_similarity(&sig_b, 3)
     });
     group.finish();
 }
 
-fn store_benches(c: &mut Criterion) {
+fn store_benches() {
     let corpus = corpus_fixed_period(2_000, 8, 5);
-    let mut group = c.benchmark_group("store");
-    group.throughput(Throughput::Elements(corpus.len() as u64));
-    group.sample_size(20);
-    group.bench_function("ingest_out_of_order", |b| {
-        b.iter(|| {
-            let mut store = EventStore::new();
-            for s in &corpus.sources {
-                store.register_source(s.clone()).unwrap();
-            }
-            for s in &corpus.snippets {
-                store.insert(s.clone()).unwrap();
-            }
-            store.len()
-        })
+    let mut group = BenchGroup::from_env("store");
+    group.bench("ingest_out_of_order", || {
+        let mut store = EventStore::new();
+        for s in &corpus.sources {
+            store.register_source(s.clone()).unwrap();
+        }
+        for s in &corpus.snippets {
+            store.insert(s.clone()).unwrap();
+        }
+        store.len()
     });
 
     let mut store = EventStore::new();
@@ -135,30 +117,28 @@ fn store_benches(c: &mut Criterion) {
     for s in &corpus.snippets {
         store.insert(s.clone()).unwrap();
     }
-    group.bench_function("window_query_14d", |b| {
-        let mid = corpus.config.start + 90 * DAY;
-        b.iter(|| {
-            let mut n = 0usize;
-            for src in &corpus.sources {
-                n += store.window(src.id, mid, 14 * DAY).len();
-            }
-            n
-        })
+    let mid = corpus.config.start + 90 * DAY;
+    group.bench("window_query_14d", || {
+        let mut n = 0usize;
+        for src in &corpus.sources {
+            n += store.window(src.id, mid, 14 * DAY).len();
+        }
+        n
     });
-    group.bench_function("entity_candidates", |b| {
-        b.iter(|| {
-            store
-                .candidates_by_entities((0..8u32).map(EntityId::new))
-                .len()
-        })
+    group.bench("entity_candidates", || {
+        store
+            .candidates_by_entities((0..8u32).map(EntityId::new))
+            .len()
     });
 
     let encoded = encode_store(&store);
-    group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("codec_encode", |b| b.iter(|| encode_store(&store).len()));
-    group.bench_function("codec_decode", |b| b.iter(|| decode_store(&encoded).unwrap().len()));
+    group.bench("codec_encode", || encode_store(&store).len());
+    group.bench("codec_decode", || decode_store(&encoded).unwrap().len());
     group.finish();
 }
 
-criterion_group!(benches, text_benches, sketch_benches, store_benches);
-criterion_main!(benches);
+fn main() {
+    text_benches();
+    sketch_benches();
+    store_benches();
+}

@@ -18,9 +18,8 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use storypivot_bench::{corpus_constant_density, corpus_fixed_period, ingest_all, pivot_for, OMEGA};
+use storypivot_substrate::rng::{RngExt, StdRng};
 use storypivot_core::config::PivotConfig;
 use storypivot_eval::run::{alignment_scores, identification_scores, run, RunOptions};
 use storypivot_eval::Table;
@@ -66,37 +65,59 @@ fn f3(x: f64) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let csv_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1).cloned());
+    let mut quick = false;
+    let mut csv_dir: Option<String> = None;
+    let mut seed: u64 = 0;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                csv_dir = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }))
+            }
+            "--seed" => {
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("--seed needs a u64 value");
+                    std::process::exit(2);
+                });
+                seed = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed must be a u64, got {raw:?}");
+                    std::process::exit(2);
+                });
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other:?} (flags: --quick, --seed <u64>, --csv <dir>)");
+                std::process::exit(2);
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let mut wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| csv_dir.as_deref() != Some(a.as_str()))
-        .map(String::as_str)
-        .collect();
-    if wanted.is_empty() || wanted.contains(&"all") {
-        wanted = vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
+            .map(String::from)
+            .to_vec();
     }
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create --csv directory");
     }
-    for exp in wanted {
-        let table = match exp {
-            "e1" => e1(&scale),
-            "e2" => e2(&scale),
-            "e3" => e3(&scale),
-            "e4" => e4(&scale),
-            "e5" => e5(&scale),
-            "e6" => e6(&scale),
-            "e7" => e7(&scale),
-            "e8" => e8(&scale),
-            "e9" => e9(),
-            "e10" => e10(&scale),
+    println!("seed: {seed} (corpora and injections are fully determined by it)");
+    for exp in &wanted {
+        let table = match exp.as_str() {
+            "e1" => e1(&scale, seed),
+            "e2" => e2(&scale, seed),
+            "e3" => e3(&scale, seed),
+            "e4" => e4(&scale, seed),
+            "e5" => e5(&scale, seed),
+            "e6" => e6(&scale, seed),
+            "e7" => e7(&scale, seed),
+            "e8" => e8(&scale, seed),
+            "e9" => e9(seed),
+            "e10" => e10(&scale, seed),
             other => {
                 eprintln!("unknown experiment {other:?} (use e1..e10 or all)");
                 continue;
@@ -112,13 +133,13 @@ fn main() {
 
 /// E1 — Figure 7, performance panel: per-event identification time as
 /// the number of events grows, at constant event density.
-fn e1(scale: &Scale) -> Table {
+fn e1(scale: &Scale, seed: u64) -> Table {
     println!("\n## E1 — identification cost vs #events (Fig 7, performance)\n");
     let mut table = Table::new([
         "events", "SI method", "ms/event", "p50 ms", "p95 ms", "comparisons", "stories",
     ]);
     for &n in &scale.e1_sizes {
-        let corpus = corpus_constant_density(n, 10, 7);
+        let corpus = corpus_constant_density(n, 10, seed ^ 7);
         for (name, cfg) in [
             ("temporal", PivotConfig::temporal(OMEGA)),
             ("complete", PivotConfig::complete()),
@@ -149,11 +170,11 @@ fn e1(scale: &Scale) -> Table {
 
 /// E2 — Figure 7, quality panel: F-measure vs #events for each SI
 /// method, with and without alignment/refinement.
-fn e2(scale: &Scale) -> Table {
+fn e2(scale: &Scale, seed: u64) -> Table {
     println!("\n## E2 — F-measure vs #events (Fig 7, quality)\n");
     let mut table = Table::new(["events", "SI method", "SI F1", "SA F1", "SA NMI", "SA+refine F1"]);
     for &n in &scale.e2_sizes {
-        let corpus = corpus_fixed_period(n, 10, 11);
+        let corpus = corpus_fixed_period(n, 10, seed ^ 11);
         for (name, cfg) in [
             ("temporal", PivotConfig::temporal(OMEGA)),
             ("complete", PivotConfig::complete()),
@@ -189,9 +210,9 @@ fn e2(scale: &Scale) -> Table {
 
 /// E3 — sliding-window sweep: runtime and quality as ω varies; the
 /// complete mode is the ω → ∞ limit.
-fn e3(scale: &Scale) -> Table {
+fn e3(scale: &Scale, seed: u64) -> Table {
     println!("\n## E3 — window size ω sweep (§2.2)\n");
-    let corpus = corpus_fixed_period(scale.mid, 10, 13);
+    let corpus = corpus_fixed_period(scale.mid, 10, seed ^ 13);
     let mut table = Table::new(["omega", "ms/event", "comparisons", "SI F1", "SA F1"]);
     for days in [1i64, 3, 7, 14, 30, 90] {
         let r = run(&corpus, PivotConfig::temporal(days * DAY), RunOptions::default());
@@ -217,9 +238,9 @@ fn e3(scale: &Scale) -> Table {
 
 /// E4 — sketch ablation: exact centroid comparison vs MinHash sketches
 /// of several sizes during alignment.
-fn e4(scale: &Scale) -> Table {
+fn e4(scale: &Scale, seed: u64) -> Table {
     println!("\n## E4 — sketch vs exact story comparison (§2.4)\n");
-    let corpus = corpus_fixed_period(scale.mid, 20, 17);
+    let corpus = corpus_fixed_period(scale.mid, 20, seed ^ 17);
     let mut table = Table::new(["comparison", "align ms", "pairs scored", "SA F1"]);
     let mut configs = vec![("exact".to_string(), false, 128usize)];
     for k in [32usize, 64, 128, 256] {
@@ -247,11 +268,11 @@ fn e4(scale: &Scale) -> Table {
 
 /// E5 — out-of-order robustness: publication lag scrambles delivery
 /// order; quality must degrade gracefully.
-fn e5(scale: &Scale) -> Table {
+fn e5(scale: &Scale, seed: u64) -> Table {
     println!("\n## E5 — out-of-order delivery (§2.4)\n");
     let mut table = Table::new(["mean pub lag", "inversion frac", "order", "SI F1", "SA F1"]);
     for lag_hours in [0i64, 6, 24, 72, 168] {
-        let mut gen = GenConfig::default().with_seed(19).with_target_snippets(scale.mid);
+        let mut gen = GenConfig::default().with_seed(seed ^ 19).with_target_snippets(scale.mid);
         gen.mean_pub_lag = lag_hours * HOUR;
         let corpus = CorpusBuilder::new(gen).build();
         for (order, delivery) in [("delivery", true), ("event-time", false)] {
@@ -277,9 +298,9 @@ fn e5(scale: &Scale) -> Table {
 }
 
 /// E6 — incremental source onboarding vs full re-alignment.
-fn e6(scale: &Scale) -> Table {
+fn e6(scale: &Scale, seed: u64) -> Table {
     println!("\n## E6 — source onboarding (§2.1)\n");
-    let corpus = corpus_fixed_period(scale.mid, 12, 23);
+    let corpus = corpus_fixed_period(scale.mid, 12, seed ^ 23);
     let mut table = Table::new([
         "step",
         "align ms",
@@ -361,9 +382,9 @@ fn e6(scale: &Scale) -> Table {
 
 /// E7 — refinement error-correction: inject identification errors, then
 /// measure how many the alignment+refinement loop repairs (Fig 1d).
-fn e7(scale: &Scale) -> Table {
+fn e7(scale: &Scale, seed: u64) -> Table {
     println!("\n## E7 — refinement corrects injected SI errors (§2.3, Fig 1d)\n");
-    let corpus = corpus_fixed_period(scale.mid / 2, 6, 29);
+    let corpus = corpus_fixed_period(scale.mid / 2, 6, seed ^ 29);
     let mut table = Table::new([
         "injected",
         "SA F1 clean",
@@ -378,7 +399,7 @@ fn e7(scale: &Scale) -> Table {
 
         // Inject: move a random sample of snippets into a random other
         // story of their source.
-        let mut rng = StdRng::seed_from_u64(1000 + (rate * 100.0) as u64);
+        let mut rng = StdRng::seed_from_u64(seed ^ (1000 + (rate * 100.0) as u64));
         let mut injected: Vec<(SnippetId, storypivot_types::StoryId)> = Vec::new();
         for s in &corpus.snippets {
             if !rng.random_bool(rate) {
@@ -421,7 +442,7 @@ fn e7(scale: &Scale) -> Table {
 
 /// E8 — scaling with the number of sources (the Figure 7 dataset panel
 /// lists 50 sources).
-fn e8(scale: &Scale) -> Table {
+fn e8(scale: &Scale, seed: u64) -> Table {
     println!("\n## E8 — scaling with #sources (Fig 7 inset)\n");
     let mut table = Table::new([
         "sources",
@@ -433,7 +454,7 @@ fn e8(scale: &Scale) -> Table {
     ]);
     for &n_sources in &scale.e8_sources {
         let target = scale.per_source * n_sources as usize;
-        let corpus = corpus_fixed_period(target, n_sources, 31);
+        let corpus = corpus_fixed_period(target, n_sources, seed ^ 31);
         let r = run(&corpus, PivotConfig::temporal(OMEGA), RunOptions::default());
         let mut pivot = ingest_all(&corpus, PivotConfig::temporal(OMEGA));
         let t = Instant::now();
@@ -454,9 +475,9 @@ fn e8(scale: &Scale) -> Table {
 
 /// E9 — interactive document add/remove (§4.2.1): incremental update
 /// latency vs recomputing from scratch.
-fn e9() -> Table {
+fn e9(seed: u64) -> Table {
     println!("\n## E9 — document add/remove latency (§4.2.1)\n");
-    let corpus = corpus_fixed_period(1_000, 6, 37);
+    let corpus = corpus_fixed_period(1_000, 6, seed ^ 37);
     let mut pivot = ingest_all(&corpus, PivotConfig::temporal(OMEGA));
     pivot.align();
     let si_before = identification_scores(&pivot, &corpus).f1;
@@ -512,9 +533,9 @@ fn e9() -> Table {
 /// E10 — ablation of the snippet–story scoring blend: pure single-link
 /// (pair_blend = 1.0) vs pure windowed centroid (0.0) vs the default
 /// blend (0.5). The design-choice ablation called out in DESIGN.md.
-fn e10(scale: &Scale) -> Table {
+fn e10(scale: &Scale, seed: u64) -> Table {
     println!("\n## E10 — identification scoring ablation (design choice)\n");
-    let corpus = corpus_fixed_period(scale.mid * 2, 10, 41);
+    let corpus = corpus_fixed_period(scale.mid * 2, 10, seed ^ 41);
     let mut table = Table::new(["scoring", "SI F1", "SI precision", "SI recall", "stories"]);
     for (name, blend) in [
         ("single-link (pair only)", 1.0f64),

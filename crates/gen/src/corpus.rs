@@ -1,8 +1,6 @@
 //! The corpus builder: ground-truth world → noisy multi-source stream.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use storypivot_substrate::rng::{RngExt, SliceRandom, StdRng};
 
 use storypivot_types::{
     DocId, EntityId, EventType, Snippet, SnippetId, Source, SourceId, SourceKind, TermId,
@@ -262,7 +260,7 @@ impl CorpusBuilder {
                          inherited_terms: Vec<u32>,
                          event_type: EventType,
                          after: Timestamp| {
-            let start = after + rng.random_range(1..=3) * DAY;
+            let start = after + rng.random_range(1i64..=3) * DAY;
             if start + 2 * DAY >= corpus_end {
                 return; // no room left in the observation period
             }

@@ -2,93 +2,17 @@
 //!
 //! Entity popularity in news follows a heavy-tailed law: a few entities
 //! (major countries, leaders) appear in a large share of events. The
-//! sampler precomputes the cumulative distribution and draws in
-//! `O(log n)` via binary search.
+//! sampler lives in the substrate ([`storypivot_substrate::rng::Zipf`])
+//! next to the deterministic RNG it draws from; this module re-exports
+//! it under the generator's namespace and keeps the distribution's
+//! behavioral tests close to its main consumer.
 
-use rand::RngExt;
-
-/// A Zipf distribution over ranks `0..n` with exponent `s`:
-/// `P(k) ∝ 1 / (k+1)^s`.
-#[derive(Debug, Clone)]
-pub struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    /// Build a sampler over `n` ranks with exponent `s ≥ 0` (0 =
-    /// uniform).
-    ///
-    /// # Panics
-    /// Panics when `n == 0` or `s` is negative/non-finite.
-    pub fn new(n: usize, s: f64) -> Self {
-        assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for k in 0..n {
-            acc += 1.0 / ((k + 1) as f64).powf(s);
-            cdf.push(acc);
-        }
-        let total = acc;
-        for c in &mut cdf {
-            *c /= total;
-        }
-        Zipf { cdf }
-    }
-
-    /// Number of ranks.
-    pub fn len(&self) -> usize {
-        self.cdf.len()
-    }
-
-    /// Whether the distribution is empty (never true by construction).
-    pub fn is_empty(&self) -> bool {
-        self.cdf.is_empty()
-    }
-
-    /// Draw one rank.
-    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.random();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
-            Ok(i) => i,
-            Err(i) => i.min(self.cdf.len() - 1),
-        }
-    }
-
-    /// Draw `k` *distinct* ranks (by rejection; `k` must not exceed the
-    /// number of ranks).
-    pub fn sample_distinct<R: RngExt + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<usize> {
-        assert!(k <= self.len(), "cannot draw {k} distinct from {}", self.len());
-        let mut out = Vec::with_capacity(k);
-        let mut guard = 0usize;
-        while out.len() < k {
-            let x = self.sample(rng);
-            if !out.contains(&x) {
-                out.push(x);
-            }
-            guard += 1;
-            if guard > 64 * k + 1024 {
-                // Pathological exponents: fall back to filling with the
-                // smallest unused ranks to guarantee termination.
-                for r in 0..self.len() {
-                    if out.len() == k {
-                        break;
-                    }
-                    if !out.contains(&r) {
-                        out.push(r);
-                    }
-                }
-            }
-        }
-        out
-    }
-}
+pub use storypivot_substrate::rng::Zipf;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use storypivot_substrate::rng::StdRng;
 
     #[test]
     fn samples_stay_in_range() {

@@ -2,67 +2,51 @@
 //! reasonable parameterization, must satisfy the structural contracts
 //! the rest of the system relies on.
 
-use proptest::prelude::*;
-
 use storypivot_gen::{CorpusBuilder, GenConfig};
+use storypivot_substrate::prop;
+use storypivot_substrate::rng::{RngExt, StdRng};
 
-fn arb_config() -> impl Strategy<Value = GenConfig> {
-    (
-        any::<u64>(),                 // seed
-        2u32..6,                      // sources
-        20u32..120,                   // entities
-        50u32..300,                   // terms
-        2u32..15,                     // stories
-        3.0f64..10.0,                 // events per story
-        0.0f64..0.5,                  // drift
-        0.3f64..1.0,                  // coverage
-        0.0f64..0.5,                  // split prob
-        0.0f64..0.5,                  // merge prob
-    )
-        .prop_map(
-            |(seed, sources, entities, terms, stories, events, drift, coverage, split, merge)| {
-                GenConfig {
-                    seed,
-                    sources,
-                    entities,
-                    terms,
-                    stories,
-                    events_per_story: events,
-                    drift,
-                    coverage,
-                    split_prob: split,
-                    merge_prob: merge,
-                    ..GenConfig::default()
-                }
-            },
-        )
+fn arb_config(rng: &mut StdRng) -> GenConfig {
+    GenConfig {
+        seed: rng.random(),
+        sources: rng.random_range(2u32..6),
+        entities: rng.random_range(20u32..120),
+        terms: rng.random_range(50u32..300),
+        stories: rng.random_range(2u32..15),
+        events_per_story: rng.random_range(3.0f64..10.0),
+        drift: rng.random_range(0.0f64..0.5),
+        coverage: rng.random_range(0.3f64..1.0),
+        split_prob: rng.random_range(0.0f64..0.5),
+        merge_prob: rng.random_range(0.0f64..0.5),
+        ..GenConfig::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn corpora_satisfy_structural_contracts(cfg in arb_config()) {
+#[test]
+fn corpora_satisfy_structural_contracts() {
+    prop::run(48, |rng| {
+        let cfg = arb_config(rng);
         let corpus = CorpusBuilder::new(cfg.clone()).build();
 
         // Delivery order is monotone in delivery time by construction:
         // snippet ids are positional.
         for (i, s) in corpus.snippets.iter().enumerate() {
-            prop_assert_eq!(s.id.raw() as usize, i);
+            assert_eq!(s.id.raw() as usize, i);
             // Every snippet references a registered source.
-            prop_assert!(s.source.raw() < cfg.sources);
+            assert!(s.source.raw() < cfg.sources);
             // Every snippet is labelled.
-            prop_assert!(corpus.truth.label_of(s.id).is_some());
+            assert!(corpus.truth.label_of(s.id).is_some());
             // Content ids point into the catalogs.
             for e in s.entities().keys() {
-                prop_assert!(e.raw() < cfg.entities);
+                assert!(e.raw() < cfg.entities);
             }
             for t in s.terms().keys() {
-                prop_assert!(t.raw() < cfg.terms);
+                assert!(t.raw() < cfg.terms);
             }
             // Event timestamps stay near the configured period (jitter
             // and lineage can spill slightly past the end).
-            prop_assert!(s.timestamp >= cfg.start - cfg.timestamp_jitter);
-            prop_assert!(
+            assert!(s.timestamp >= cfg.start - cfg.timestamp_jitter);
+            assert!(
                 s.timestamp <= cfg.end() + cfg.timestamp_jitter,
                 "timestamp {} beyond end {}",
                 s.timestamp,
@@ -72,20 +56,23 @@ proptest! {
 
         // Determinism.
         let again = CorpusBuilder::new(cfg).build();
-        prop_assert_eq!(corpus.snippets, again.snippets);
-    }
+        assert_eq!(corpus.snippets, again.snippets);
+    });
+}
 
-    #[test]
-    fn truth_clusters_partition_the_corpus(cfg in arb_config()) {
+#[test]
+fn truth_clusters_partition_the_corpus() {
+    prop::run(48, |rng| {
+        let cfg = arb_config(rng);
         let corpus = CorpusBuilder::new(cfg).build();
         let clusters = corpus.truth.clusters();
         let total: usize = clusters.values().map(Vec::len).sum();
-        prop_assert_eq!(total, corpus.len());
+        assert_eq!(total, corpus.len());
         let mut seen = std::collections::HashSet::new();
         for members in clusters.values() {
             for &m in members {
-                prop_assert!(seen.insert(m), "snippet {m} in two true clusters");
+                assert!(seen.insert(m), "snippet {m} in two true clusters");
             }
         }
-    }
+    });
 }

@@ -1,16 +1,18 @@
 //! Property tests for the sketch layer.
 
-use proptest::prelude::*;
-
 use storypivot_sketch::{CountMin, HashFamily, MinHash, TemporalSignature, TopK};
+use storypivot_substrate::prop;
+use storypivot_substrate::rng::RngExt;
 use storypivot_types::{Timestamp, DAY};
 
-proptest! {
-    // ---- count-min: one-sided error -------------------------------
-    #[test]
-    fn countmin_never_undercounts(
-        adds in proptest::collection::vec((0u64..200, 1u64..20), 1..100),
-    ) {
+// ---- count-min: one-sided error -------------------------------
+
+#[test]
+fn countmin_never_undercounts() {
+    prop::run(256, |rng| {
+        let adds = prop::vec_with(rng, 1, 99, |r| {
+            (r.random_range(0u64..200), r.random_range(1u64..20))
+        });
         let mut cm = CountMin::new(5, 128, 4);
         let mut exact = std::collections::HashMap::new();
         for &(item, count) in &adds {
@@ -18,16 +20,21 @@ proptest! {
             *exact.entry(item).or_insert(0u64) += count;
         }
         for (&item, &count) in &exact {
-            prop_assert!(cm.estimate(item) >= count, "item {item}");
+            assert!(cm.estimate(item) >= count, "item {item}");
         }
-        prop_assert_eq!(cm.total(), adds.iter().map(|&(_, c)| c).sum::<u64>());
-    }
+        assert_eq!(cm.total(), adds.iter().map(|&(_, c)| c).sum::<u64>());
+    });
+}
 
-    #[test]
-    fn countmin_merge_equals_combined_stream(
-        a in proptest::collection::vec((0u64..100, 1u64..10), 0..40),
-        b in proptest::collection::vec((0u64..100, 1u64..10), 0..40),
-    ) {
+#[test]
+fn countmin_merge_equals_combined_stream() {
+    prop::run(128, |rng| {
+        let a = prop::vec_with(rng, 0, 39, |r| {
+            (r.random_range(0u64..100), r.random_range(1u64..10))
+        });
+        let b = prop::vec_with(rng, 0, 39, |r| {
+            (r.random_range(0u64..100), r.random_range(1u64..10))
+        });
         let mut ca = CountMin::new(9, 64, 4);
         let mut cb = CountMin::new(9, 64, 4);
         let mut combined = CountMin::new(9, 64, 4);
@@ -41,15 +48,17 @@ proptest! {
         }
         ca.merge(&cb);
         for item in 0u64..100 {
-            prop_assert_eq!(ca.estimate(item), combined.estimate(item));
+            assert_eq!(ca.estimate(item), combined.estimate(item));
         }
-    }
+    });
+}
 
-    // ---- space-saving: heavy hitters survive ------------------------
-    #[test]
-    fn topk_tracked_items_never_undercount(
-        adds in proptest::collection::vec(0u64..30, 1..200),
-    ) {
+// ---- space-saving: heavy hitters survive ------------------------
+
+#[test]
+fn topk_tracked_items_never_undercount() {
+    prop::run(256, |rng| {
+        let adds = prop::vec_with(rng, 1, 199, |r| r.random_range(0u64..30));
         let mut tk = TopK::new(8);
         let mut exact = std::collections::HashMap::new();
         for &item in &adds {
@@ -57,16 +66,18 @@ proptest! {
             *exact.entry(item).or_insert(0u64) += 1;
         }
         for (item, est) in tk.ranked() {
-            prop_assert!(est >= exact[&item], "item {item}: {est} < {}", exact[&item]);
+            assert!(est >= exact[&item], "item {item}: {est} < {}", exact[&item]);
         }
-        prop_assert_eq!(tk.total(), adds.len() as u64);
-    }
+        assert_eq!(tk.total(), adds.len() as u64);
+    });
+}
 
-    // ---- minhash ------------------------------------------------------
-    #[test]
-    fn minhash_subset_estimate_reflects_containment(
-        base in proptest::collection::hash_set(0u64..300, 10..60),
-    ) {
+// ---- minhash ------------------------------------------------------
+
+#[test]
+fn minhash_subset_estimate_reflects_containment() {
+    prop::run(128, |rng| {
+        let base = prop::set_with(rng, 10, 59, |r| r.random_range(0u64..300));
         // A set vs itself minus half its elements: jaccard = |half|/|base|.
         let family = HashFamily::new(3, 256);
         let half: std::collections::HashSet<u64> =
@@ -75,32 +86,41 @@ proptest! {
         let mh = MinHash::from_items(&family, half.iter().copied());
         let exact = half.len() as f64 / base.len() as f64;
         let est = mb.estimate_jaccard(&mh);
-        prop_assert!((est - exact).abs() < 0.25, "est {est} exact {exact}");
-    }
+        assert!((est - exact).abs() < 0.25, "est {est} exact {exact}");
+    });
+}
 
-    // ---- temporal signature ----------------------------------------------
-    #[test]
-    fn temporal_add_remove_round_trips(
-        adds in proptest::collection::vec((-100i64..100, 1u32..5), 0..40),
-    ) {
+// ---- temporal signature ----------------------------------------------
+
+#[test]
+fn temporal_add_remove_round_trips() {
+    prop::run(256, |rng| {
+        let adds = prop::vec_with(rng, 0, 39, |r| {
+            (r.random_range(-100i64..100), r.random_range(1u32..5))
+        });
         let mut sig = TemporalSignature::new(DAY);
         for &(d, w) in &adds {
             sig.add(Timestamp::from_secs(d * DAY + 7), w as f32);
         }
         let total: f64 = adds.iter().map(|&(_, w)| w as f64).sum();
-        prop_assert!((sig.total() - total).abs() < 1e-3);
+        assert!((sig.total() - total).abs() < 1e-3);
         for &(d, w) in &adds {
             sig.remove(Timestamp::from_secs(d * DAY + 7), w as f32);
         }
-        prop_assert!(sig.total() < 1e-3, "residual {}", sig.total());
-    }
+        assert!(sig.total() < 1e-3, "residual {}", sig.total());
+    });
+}
 
-    #[test]
-    fn similarities_are_bounded_and_self_is_maximal(
-        a in proptest::collection::vec((-50i64..50, 1u32..4), 1..30),
-        b in proptest::collection::vec((-50i64..50, 1u32..4), 1..30),
-        lag in 0i64..5,
-    ) {
+#[test]
+fn similarities_are_bounded_and_self_is_maximal() {
+    prop::run(128, |rng| {
+        let a = prop::vec_with(rng, 1, 29, |r| {
+            (r.random_range(-50i64..50), r.random_range(1u32..4))
+        });
+        let b = prop::vec_with(rng, 1, 29, |r| {
+            (r.random_range(-50i64..50), r.random_range(1u32..4))
+        });
+        let lag = rng.random_range(0i64..5);
         let mut sa = TemporalSignature::new(DAY);
         for &(d, w) in &a {
             sa.add(Timestamp::from_secs(d * DAY), w as f32);
@@ -114,19 +134,27 @@ proptest! {
             TemporalSignature::containment_similarity,
         ] {
             let ab = f(&sa, &sb, lag);
-            prop_assert!((0.0..=1.0).contains(&ab), "out of range: {ab}");
+            assert!((0.0..=1.0).contains(&ab), "out of range: {ab}");
             let self_sim = f(&sa, &sa, lag);
-            prop_assert!((self_sim - 1.0).abs() < 1e-9, "self sim {self_sim}");
+            assert!((self_sim - 1.0).abs() < 1e-9, "self sim {self_sim}");
         }
         // Containment is symmetric (min-normalized); check directly.
-        prop_assert!((sa.containment_similarity(&sb, lag) - sb.containment_similarity(&sa, lag)).abs() < 1e-9);
-    }
+        assert!(
+            (sa.containment_similarity(&sb, lag) - sb.containment_similarity(&sa, lag)).abs()
+                < 1e-9
+        );
+    });
+}
 
-    #[test]
-    fn merge_total_is_sum_of_totals(
-        a in proptest::collection::vec((-30i64..30, 1u32..4), 0..20),
-        b in proptest::collection::vec((-30i64..30, 1u32..4), 0..20),
-    ) {
+#[test]
+fn merge_total_is_sum_of_totals() {
+    prop::run(256, |rng| {
+        let a = prop::vec_with(rng, 0, 19, |r| {
+            (r.random_range(-30i64..30), r.random_range(1u32..4))
+        });
+        let b = prop::vec_with(rng, 0, 19, |r| {
+            (r.random_range(-30i64..30), r.random_range(1u32..4))
+        });
         let mut sa = TemporalSignature::new(DAY);
         for &(d, w) in &a {
             sa.add(Timestamp::from_secs(d * DAY), w as f32);
@@ -137,6 +165,6 @@ proptest! {
         }
         let expected = sa.total() + sb.total();
         sa.merge(&sb);
-        prop_assert!((sa.total() - expected).abs() < 1e-3);
-    }
+        assert!((sa.total() - expected).abs() < 1e-3);
+    });
 }

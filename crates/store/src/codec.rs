@@ -12,7 +12,7 @@
 //!              | snippet_count u32 | Snippet…
 //! ```
 
-use bytes::{Buf, BufMut};
+use storypivot_substrate::buf::{Buf, BufMut};
 
 use storypivot_types::{
     DocId, EntityId, Error, EventType, Result, Snippet, SnippetContent, SnippetId, Source,

@@ -2,12 +2,12 @@
 //!
 //! The demo serves interactive module queries (Figures 4–6) while the
 //! ingestion pipeline keeps writing (§2.4). [`SharedEventStore`] wraps
-//! the store in an [`parking_lot::RwLock`] behind an [`Arc`]: many
-//! concurrent readers, exclusive writers, no poisoning.
+//! the store in the substrate's [`Shared`] readers–writer handle: many
+//! concurrent readers, exclusive writers, no poisoning surfaced.
 
-use std::sync::Arc;
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use storypivot_substrate::Shared;
 use storypivot_types::{Result, Snippet, SnippetId};
 
 use crate::event_store::EventStore;
@@ -15,7 +15,7 @@ use crate::event_store::EventStore;
 /// A cloneable, thread-safe handle to an [`EventStore`].
 #[derive(Debug, Clone, Default)]
 pub struct SharedEventStore {
-    inner: Arc<RwLock<EventStore>>,
+    inner: Shared<EventStore>,
 }
 
 impl SharedEventStore {
@@ -27,7 +27,7 @@ impl SharedEventStore {
     /// Wrap an existing store.
     pub fn from_store(store: EventStore) -> Self {
         SharedEventStore {
-            inner: Arc::new(RwLock::new(store)),
+            inner: Shared::new(store),
         }
     }
 
@@ -63,12 +63,12 @@ impl SharedEventStore {
 
     /// Run a closure with read access (keeps the guard scoped).
     pub fn with_read<T>(&self, f: impl FnOnce(&EventStore) -> T) -> T {
-        f(&self.inner.read())
+        self.inner.with_read(f)
     }
 
     /// Run a closure with write access.
     pub fn with_write<T>(&self, f: impl FnOnce(&mut EventStore) -> T) -> T {
-        f(&mut self.inner.write())
+        self.inner.with_write(f)
     }
 }
 
@@ -117,11 +117,11 @@ mod tests {
         let writers = 4u32;
         let per_writer = 250u32;
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             // Writers insert disjoint id ranges.
             for w in 0..writers {
                 let handle = store.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in 0..per_writer {
                         let id = w * per_writer + i;
                         handle.insert(snip(id, id as i64)).unwrap();
@@ -131,7 +131,7 @@ mod tests {
             // Readers continuously run window queries.
             for _ in 0..4 {
                 let handle = store.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for _ in 0..200 {
                         let n = handle.with_read(|st| {
                             st.range(SourceId::new(0), TimeRange::ALL).len()
@@ -140,8 +140,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .expect("no thread panicked");
+        });
 
         assert_eq!(store.len(), (writers * per_writer) as usize);
         // Every inserted snippet is retrievable and indexed.

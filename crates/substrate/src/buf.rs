@@ -1,0 +1,172 @@
+//! Little-endian byte reading and writing.
+//!
+//! The store's binary codec (snapshots, WAL) works against the
+//! [`Buf`]/[`BufMut`] traits: decoding consumes a shrinking `&[u8]`,
+//! encoding appends to a growable [`ByteBuf`]. The trait surface is the
+//! slice of the `bytes` crate the codec actually used — cursor-style
+//! reads with explicit `remaining()` so every decode path can
+//! bounds-check before touching the bytes.
+
+/// The standard growable output buffer ([`Vec<u8>`]).
+pub type ByteBuf = Vec<u8>;
+
+/// Cursor-style reading from a byte source. Implemented for `&[u8]`,
+/// which advances in place — `&mut &[u8]` is the canonical decoder
+/// argument.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copy exactly `dst.len()` bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics when fewer than `dst.len()` bytes remain; callers are
+    /// expected to check [`Buf::remaining`] first.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "copy_to_slice: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Appending writes to a byte sink. Implemented for [`Vec<u8>`].
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_width() {
+        let mut buf = ByteBuf::new();
+        buf.put_u8(0xAB);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_i64_le(-42);
+        buf.put_f32_le(2.5);
+        buf.put_slice(b"tail");
+
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f32_le(), 2.5);
+        let mut tail = [0u8; 4];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn layout_is_little_endian() {
+        let mut buf = ByteBuf::new();
+        buf.put_u32_le(0x0102_0304);
+        assert_eq!(buf, vec![0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn remaining_tracks_the_cursor() {
+        let data = [1u8, 2, 3];
+        let mut r: &[u8] = &data;
+        assert_eq!(r.remaining(), 3);
+        r.get_u8();
+        assert_eq!(r.remaining(), 2);
+        let mut rest = [0u8; 2];
+        r.copy_to_slice(&mut rest);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_to_slice")]
+    fn overread_panics_with_context() {
+        let mut r: &[u8] = &[1, 2];
+        r.get_u32_le();
+    }
+}

@@ -1,0 +1,39 @@
+//! The zero-dependency substrate underneath every StoryPivot crate.
+//!
+//! The build environment for this reproduction is hermetic: there is no
+//! crates.io registry, so the workspace cannot depend on `rand`,
+//! `proptest`, `criterion`, `bytes`, `parking_lot`, or `crossbeam`.
+//! This crate provides the narrow slices of those libraries the system
+//! actually uses, built only on `std`:
+//!
+//! * [`rng`] — a deterministic pseudo-random generator (SplitMix64
+//!   seeding + xoshiro256\*\* core) with uniform/weighted/Zipf/shuffle
+//!   helpers. Replaces `rand`.
+//! * [`buf`] — little-endian, length-prefixed byte reading/writing via
+//!   the [`buf::Buf`]/[`buf::BufMut`] traits. Replaces `bytes`.
+//! * [`shared`] — [`shared::Shared<T>`], a cloneable readers–writer
+//!   handle on [`std::sync::RwLock`] that recovers from poisoning.
+//!   Replaces `parking_lot` (and, with [`std::thread::scope`],
+//!   `crossbeam`).
+//! * [`prop`] — a minimal property-testing harness: deterministic
+//!   per-case seeds, generator helpers, and failing-seed replay via an
+//!   environment variable. Replaces `proptest`.
+//! * [`timing`] — a micro-benchmark runner (warmup + timed iterations,
+//!   median/p95 reporting). Replaces `criterion`.
+//!
+//! Everything here is deterministic: the same seed produces the same
+//! corpus, the same property-test cases, and the same experiment tables
+//! on every run and every machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buf;
+pub mod prop;
+pub mod rng;
+pub mod shared;
+pub mod timing;
+
+pub use buf::{Buf, BufMut, ByteBuf};
+pub use rng::{RngCore, RngExt, SliceRandom, StdRng, Zipf};
+pub use shared::Shared;

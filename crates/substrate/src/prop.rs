@@ -1,0 +1,199 @@
+//! A minimal property-testing harness.
+//!
+//! [`run`] executes a property closure over `cases` deterministic,
+//! independently seeded RNGs. The closure draws its own random inputs
+//! (plain functions over [`StdRng`] replace combinator strategies) and
+//! asserts with the ordinary `assert!`/`assert_eq!` macros. When a case
+//! fails, the harness prints the case's seed and re-raises the panic;
+//! setting `STORYPIVOT_PROP_SEED=<seed>` replays exactly that case.
+//!
+//! ```
+//! use storypivot_substrate::prop;
+//! use storypivot_substrate::rng::RngExt;
+//!
+//! prop::run(64, |rng| {
+//!     let x: i64 = rng.random_range(-100..100);
+//!     assert_eq!(x + 0, x);
+//! });
+//! ```
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::{splitmix64, RngExt, StdRng};
+
+/// Environment variable that replays a single failing case.
+pub const REPLAY_ENV: &str = "STORYPIVOT_PROP_SEED";
+
+/// Environment variable that scales every `run` call's case count
+/// (e.g. `STORYPIVOT_PROP_CASES_MULT=10` for a deeper soak).
+pub const CASES_MULT_ENV: &str = "STORYPIVOT_PROP_CASES_MULT";
+
+/// Run `property` over `cases` deterministic cases. See the module docs.
+pub fn run(cases: u32, mut property: impl FnMut(&mut StdRng)) {
+    if let Ok(raw) = std::env::var(REPLAY_ENV) {
+        let seed: u64 = raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{REPLAY_ENV} must be a u64, got {raw:?}"));
+        eprintln!("replaying property case with seed {seed}");
+        property(&mut StdRng::seed_from_u64(seed));
+        return;
+    }
+    let mult: u32 = std::env::var(CASES_MULT_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1);
+    // A fixed base keeps case seeds identical run-to-run; deriving them
+    // through SplitMix64 decorrelates consecutive cases.
+    let mut derive_state = 0x5709_7010_7e57_ca5eu64;
+    for case in 0..cases.saturating_mul(mult).max(1) {
+        let seed = splitmix64(&mut derive_state);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            property(&mut StdRng::seed_from_u64(seed))
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property failed at case {case}/{cases}; replay with {REPLAY_ENV}={seed}"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+// ---- generator helpers ------------------------------------------------
+
+/// A `Vec` whose length is drawn from `min..=max` and whose elements
+/// come from `element`.
+pub fn vec_with<T>(
+    rng: &mut StdRng,
+    min: usize,
+    max: usize,
+    mut element: impl FnMut(&mut StdRng) -> T,
+) -> Vec<T> {
+    let len = rng.random_range(min..=max);
+    (0..len).map(|_| element(rng)).collect()
+}
+
+/// A `HashSet` targeting a size drawn from `min..=max`. Duplicate draws
+/// are retried a bounded number of times, so the result can fall short
+/// of the target (but never below what distinct draws produced).
+pub fn set_with<T: Eq + Hash>(
+    rng: &mut StdRng,
+    min: usize,
+    max: usize,
+    mut element: impl FnMut(&mut StdRng) -> T,
+) -> HashSet<T> {
+    let target = rng.random_range(min..=max);
+    let mut out = HashSet::with_capacity(target);
+    let mut attempts = 0usize;
+    while out.len() < target && attempts < 64 * target + 64 {
+        out.insert(element(rng));
+        attempts += 1;
+    }
+    out
+}
+
+/// A string of length `min..=max` drawn uniformly from `alphabet`.
+///
+/// # Panics
+/// Panics when `alphabet` is empty and `max > 0`.
+pub fn string_from(rng: &mut StdRng, alphabet: &str, min: usize, max: usize) -> String {
+    let chars: Vec<char> = alphabet.chars().collect();
+    let len = rng.random_range(min..=max);
+    (0..len)
+        .map(|_| chars[rng.random_range(0..chars.len())])
+        .collect()
+}
+
+/// A string of printable ASCII (`' '..='~'`), length `min..=max`.
+pub fn ascii_string(rng: &mut StdRng, min: usize, max: usize) -> String {
+    let len = rng.random_range(min..=max);
+    (0..len)
+        .map(|_| rng.random_range(b' '..=b'~') as char)
+        .collect()
+}
+
+/// A string of printable Unicode scalars (no control characters),
+/// length `min..=max` in *characters* — mixes ASCII with multi-byte
+/// ranges so UTF-8 boundary handling gets exercised.
+pub fn unicode_string(rng: &mut StdRng, min: usize, max: usize) -> String {
+    let len = rng.random_range(min..=max);
+    (0..len).map(|_| printable_char(rng)).collect()
+}
+
+fn printable_char(rng: &mut StdRng) -> char {
+    loop {
+        let c = match rng.random_range(0..10u32) {
+            0..=5 => Some(char::from(rng.random_range(b' '..=b'~'))), // ASCII
+            6 => char::from_u32(rng.random_range(0x00A1..0x0250u32)), // Latin-1/Extended
+            7 => char::from_u32(rng.random_range(0x0391..0x03CAu32)), // Greek
+            8 => char::from_u32(rng.random_range(0x4E00..0x9FFFu32)), // CJK
+            _ => char::from_u32(rng.random_range(0x1F300..0x1F600u32)), // emoji
+        };
+        match c {
+            Some(c) if !c.is_control() => return c,
+            _ => continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        run(8, |rng| first.push(rng.random()));
+        let mut second: Vec<u64> = Vec::new();
+        run(8, |rng| second.push(rng.random()));
+        assert_eq!(first, second);
+        // Distinct cases draw distinct values.
+        let unique: HashSet<u64> = first.iter().copied().collect();
+        assert_eq!(unique.len(), first.len());
+    }
+
+    #[test]
+    fn failing_case_reports_a_replayable_seed() {
+        // Find the seed the harness would report, then check replaying
+        // it reproduces the same drawn value.
+        let failure = catch_unwind(AssertUnwindSafe(|| {
+            run(16, |rng| {
+                let x: u64 = rng.random();
+                assert!(!x.is_multiple_of(7), "seeded failure with draw {x}");
+            });
+        }));
+        if failure.is_err() {
+            // At least one of 16 uniform draws being ≡ 0 (mod 7) is
+            // expected; the message path above already printed the seed.
+            // Re-running deterministically fails again.
+            let second = catch_unwind(AssertUnwindSafe(|| {
+                run(16, |rng| {
+                    let x: u64 = rng.random();
+                    assert!(!x.is_multiple_of(7));
+                });
+            }));
+            assert!(second.is_err(), "deterministic harness must fail again");
+        }
+    }
+
+    #[test]
+    fn helpers_respect_their_bounds() {
+        run(32, |rng| {
+            let v = vec_with(rng, 2, 5, |r| r.random::<u32>());
+            assert!((2..=5).contains(&v.len()));
+            let s = string_from(rng, "ab", 1, 4);
+            assert!((1..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            let a = ascii_string(rng, 0, 10);
+            assert!(a.chars().all(|c| (' '..='~').contains(&c)));
+            let u = unicode_string(rng, 0, 20);
+            assert!(u.chars().all(|c| !c.is_control()));
+            assert!(u.chars().count() <= 20);
+            let set = set_with(rng, 1, 8, |r| r.random_range(0..1000u32));
+            assert!(!set.is_empty() && set.len() <= 8);
+        });
+    }
+}

@@ -1,0 +1,124 @@
+//! Cloneable readers–writer handles.
+//!
+//! [`Shared<T>`] wraps a value in `Arc<RwLock<T>>`: many concurrent
+//! readers, exclusive writers. Unlike raw [`std::sync::RwLock`] it does
+//! not surface poisoning — a panic while holding the lock leaves the
+//! value in whatever state the panicking writer produced, and later
+//! accessors simply proceed. That matches `parking_lot` semantics,
+//! which the store's concurrency layer was originally written against:
+//! an invariant-checking reader is still able to inspect (and tests are
+//! able to assert on) state after a writer panics.
+
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A cloneable, thread-safe handle to a `T` behind a readers–writer
+/// lock. Clones share the same underlying value.
+#[derive(Debug, Default)]
+pub struct Shared<T> {
+    inner: Arc<RwLock<T>>,
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Shared<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Shared {
+            inner: Arc::new(RwLock::new(value)),
+        }
+    }
+
+    /// Acquire a shared read guard (recovers from poisoning).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire an exclusive write guard (recovers from poisoning).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Run a closure with read access (keeps the guard scoped).
+    pub fn with_read<U>(&self, f: impl FnOnce(&T) -> U) -> U {
+        f(&self.read())
+    }
+
+    /// Run a closure with write access.
+    pub fn with_write<U>(&self, f: impl FnOnce(&mut T) -> U) -> U {
+        f(&mut self.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Shared::new(0u32);
+        let b = a.clone();
+        *a.write() += 5;
+        assert_eq!(*b.read(), 5);
+    }
+
+    #[test]
+    fn with_read_and_with_write_scope_guards() {
+        let s = Shared::new(vec![1, 2, 3]);
+        let sum: i32 = s.with_read(|v| v.iter().sum());
+        assert_eq!(sum, 6);
+        s.with_write(|v| v.push(4));
+        assert_eq!(s.with_read(Vec::len), 4);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_agree_on_the_final_state() {
+        let shared = Shared::new(Vec::<u32>::new());
+        let writers = 4u32;
+        let per_writer = 500u32;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let handle = shared.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        handle.with_write(|v| v.push(w * per_writer + i));
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let handle = shared.clone();
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let n = handle.with_read(Vec::len);
+                        assert!(n <= (writers * per_writer) as usize);
+                    }
+                });
+            }
+        });
+        let mut got = shared.with_read(Vec::clone);
+        got.sort_unstable();
+        let expected: Vec<u32> = (0..writers * per_writer).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn survives_a_poisoning_panic() {
+        let shared = Shared::new(7u32);
+        let clone = shared.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = clone.write();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(result.is_err());
+        // The lock is poisoned; reads still work.
+        assert_eq!(*shared.read(), 7);
+        *shared.write() = 8;
+        assert_eq!(*shared.read(), 8);
+    }
+}

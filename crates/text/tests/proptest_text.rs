@@ -1,65 +1,83 @@
 //! Property tests for the text substrate.
 
-use proptest::prelude::*;
-
+use storypivot_substrate::prop;
+use storypivot_substrate::rng::StdRng;
 use storypivot_text::{porter_stem, tokenize, AhoCorasickBuilder, GazetteerBuilder, Match};
 use storypivot_types::EntityId;
 
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+
 // ---- tokenizer -------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn tokenizer_never_panics_and_spans_are_valid(text in "\\PC{0,200}") {
+#[test]
+fn tokenizer_never_panics_and_spans_are_valid() {
+    prop::run(256, |rng| {
+        let text = prop::unicode_string(rng, 0, 200);
         let tokens = tokenize(&text);
         for t in &tokens {
-            prop_assert!(t.start < t.end);
-            prop_assert!(t.end <= text.len());
+            assert!(t.start < t.end);
+            assert!(t.end <= text.len());
             // Spans are on char boundaries (surface() must not panic).
             let _ = t.surface(&text);
-            prop_assert!(!t.norm.is_empty());
+            assert!(!t.norm.is_empty());
         }
         // Tokens are ordered and non-overlapping.
         for w in tokens.windows(2) {
-            prop_assert!(w[0].end <= w[1].start);
+            assert!(w[0].end <= w[1].start);
         }
-    }
+    });
+}
 
-    #[test]
-    fn tokenization_is_deterministic(text in "\\PC{0,100}") {
-        prop_assert_eq!(tokenize(&text), tokenize(&text));
-    }
+#[test]
+fn tokenization_is_deterministic() {
+    prop::run(256, |rng| {
+        let text = prop::unicode_string(rng, 0, 100);
+        assert_eq!(tokenize(&text), tokenize(&text));
+    });
+}
 
-    #[test]
-    fn norms_are_lowercase(text in "[a-zA-Z' .,-]{0,80}") {
+#[test]
+fn norms_are_lowercase() {
+    prop::run(256, |rng| {
+        let text = prop::string_from(
+            rng,
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ' .,-",
+            0,
+            80,
+        );
         for t in tokenize(&text) {
-            prop_assert_eq!(t.norm.to_lowercase(), t.norm.clone(), "norm {:?}", t.norm);
+            assert_eq!(t.norm.to_lowercase(), t.norm.clone(), "norm {:?}", t.norm);
         }
-    }
+    });
 }
 
 // ---- stemmer -----------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn stemmer_never_panics_or_grows_much(word in "[a-z]{0,20}") {
+#[test]
+fn stemmer_never_panics_or_grows_much() {
+    prop::run(256, |rng| {
+        let word = prop::string_from(rng, LOWER, 0, 20);
         let stem = porter_stem(&word);
         // Porter only ever appends an 'e' after removals; it never grows
         // the word by more than one character.
-        prop_assert!(stem.len() <= word.len() + 1, "{word} -> {stem}");
-        prop_assert!(stem.chars().all(|c| c.is_ascii_lowercase()) || stem.is_empty());
-    }
+        assert!(stem.len() <= word.len() + 1, "{word} -> {stem}");
+        assert!(stem.chars().all(|c| c.is_ascii_lowercase()) || stem.is_empty());
+    });
+}
 
-    // NOTE: the Porter algorithm is *not* idempotent in general (e.g.
-    // "uase" → "uas" → "ua": dropping a final 'e' can expose a plural
-    // 's'), so we assert determinism and monotone shrinking under
-    // re-stemming instead.
-    #[test]
-    fn restemming_is_deterministic_and_never_grows(word in "[a-z]{3,15}") {
+// NOTE: the Porter algorithm is *not* idempotent in general (e.g.
+// "uase" → "uas" → "ua": dropping a final 'e' can expose a plural
+// 's'), so we assert determinism and monotone shrinking under
+// re-stemming instead.
+#[test]
+fn restemming_is_deterministic_and_never_grows() {
+    prop::run(256, |rng| {
+        let word = prop::string_from(rng, LOWER, 3, 15);
         let once = porter_stem(&word);
-        prop_assert_eq!(porter_stem(&word), once.clone());
+        assert_eq!(porter_stem(&word), once.clone());
         let twice = porter_stem(&once);
-        prop_assert!(twice.len() <= once.len(), "{word} -> {once} -> {twice}");
-    }
+        assert!(twice.len() <= once.len(), "{word} -> {once} -> {twice}");
+    });
 }
 
 // ---- aho-corasick vs naive oracle --------------------------------------
@@ -85,46 +103,48 @@ fn naive_find_all(patterns: &[String], haystack: &[u8]) -> Vec<Match> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-    #[test]
-    fn aho_corasick_matches_naive_search(
-        patterns in proptest::collection::vec("[ab]{1,4}", 1..8),
-        haystack in "[abc]{0,60}",
-    ) {
+fn arb_patterns(rng: &mut StdRng) -> Vec<String> {
+    prop::vec_with(rng, 1, 7, |r| prop::string_from(r, "ab", 1, 4))
+}
+
+#[test]
+fn aho_corasick_matches_naive_search() {
+    prop::run(128, |rng| {
+        let patterns = arb_patterns(rng);
+        let haystack = prop::string_from(rng, "abc", 0, 60);
         let mut builder = AhoCorasickBuilder::new();
         builder.add_patterns(patterns.iter());
         let ac = builder.build();
         let mut got = ac.find_all(haystack.as_bytes());
         got.sort_by_key(|m| (m.start, m.end, m.pattern));
-        prop_assert_eq!(got, naive_find_all(&patterns, haystack.as_bytes()));
-    }
+        assert_eq!(got, naive_find_all(&patterns, haystack.as_bytes()));
+    });
+}
 
-    #[test]
-    fn leftmost_longest_is_non_overlapping_and_maximal(
-        patterns in proptest::collection::vec("[ab]{1,4}", 1..8),
-        haystack in "[ab]{0,50}",
-    ) {
+#[test]
+fn leftmost_longest_is_non_overlapping_and_maximal() {
+    prop::run(128, |rng| {
+        let patterns = arb_patterns(rng);
+        let haystack = prop::string_from(rng, "ab", 0, 50);
         let mut builder = AhoCorasickBuilder::new();
         builder.add_patterns(patterns.iter());
         let ac = builder.build();
         let selected = ac.find_leftmost_longest(haystack.as_bytes());
         for w in selected.windows(2) {
-            prop_assert!(w[0].end <= w[1].start, "overlap: {:?}", w);
+            assert!(w[0].end <= w[1].start, "overlap: {:?}", w);
         }
-    }
+    });
 }
 
 // ---- gazetteer ------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn gazetteer_hits_are_registered_entities_with_valid_spans(
-        names in proptest::collection::hash_set("[a-z]{3,8}", 1..10),
-        text in "[a-z ]{0,120}",
-    ) {
-        let names: Vec<String> = names.into_iter().collect();
+#[test]
+fn gazetteer_hits_are_registered_entities_with_valid_spans() {
+    prop::run(64, |rng| {
+        let names: Vec<String> = prop::set_with(rng, 1, 9, |r| prop::string_from(r, LOWER, 3, 8))
+            .into_iter()
+            .collect();
+        let text = prop::string_from(rng, "abcdefghijklmnopqrstuvwxyz ", 0, 120);
         let mut b = GazetteerBuilder::new();
         for (i, n) in names.iter().enumerate() {
             b.add_entity(EntityId::new(i as u32), n, &[]);
@@ -132,21 +152,22 @@ proptest! {
         let g = b.build();
         let tokens = tokenize(&text);
         for hit in g.recognize(&tokens) {
-            prop_assert!(hit.token_start < hit.token_end);
-            prop_assert!(hit.token_end <= tokens.len());
-            prop_assert!((hit.entity.index()) < names.len());
+            assert!(hit.token_start < hit.token_end);
+            assert!(hit.token_end <= tokens.len());
+            assert!((hit.entity.index()) < names.len());
             // The covered token must equal the entity's (single-token) name.
             let covered = &tokens[hit.token_start].norm;
-            prop_assert_eq!(covered, &names[hit.entity.index()]);
+            assert_eq!(covered, &names[hit.entity.index()]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn every_exact_mention_is_found(
-        name in "[a-z]{4,8}",
-        prefix in "[a-z]{0,6}",
-        suffix in "[a-z]{0,6}",
-    ) {
+#[test]
+fn every_exact_mention_is_found() {
+    prop::run(128, |rng| {
+        let name = prop::string_from(rng, LOWER, 4, 8);
+        let prefix = prop::string_from(rng, LOWER, 0, 6);
+        let suffix = prop::string_from(rng, LOWER, 0, 6);
         let mut b = GazetteerBuilder::new();
         b.add_entity(EntityId::new(0), &name, &[]);
         let g = b.build();
@@ -154,9 +175,7 @@ proptest! {
         let hits = g.recognize(&tokenize(&text));
         // The name appears exactly twice as a standalone token — unless
         // prefix/suffix happen to equal it, in which case more.
-        let expected = 2
-            + usize::from(prefix == name)
-            + usize::from(suffix == name);
-        prop_assert_eq!(hits.len(), expected);
-    }
+        let expected = 2 + usize::from(prefix == name) + usize::from(suffix == name);
+        assert_eq!(hits.len(), expected);
+    });
 }

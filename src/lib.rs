@@ -64,6 +64,7 @@ pub use storypivot_extract as extract;
 pub use storypivot_gen as gen;
 pub use storypivot_sketch as sketch;
 pub use storypivot_store as store;
+pub use storypivot_substrate as substrate;
 pub use storypivot_text as text;
 pub use storypivot_types as types;
 

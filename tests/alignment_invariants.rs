@@ -1,26 +1,24 @@
 //! Alignment outcome invariants under randomized corpora, plus the
 //! engine's own invariant checker exercised through realistic lifecycles.
 
-use proptest::prelude::*;
-
 use storypivot::core::config::PivotConfig;
 use storypivot::gen::{CorpusBuilder, GenConfig};
 use storypivot::prelude::*;
+use storypivot::substrate::prop;
+use storypivot::substrate::rng::{RngExt, StdRng};
 use storypivot::types::DAY;
 
-fn arb_small_config() -> impl Strategy<Value = GenConfig> {
-    (any::<u64>(), 2u32..5, 3u32..10, 0.0f64..0.4).prop_map(|(seed, sources, stories, drift)| {
-        GenConfig {
-            seed,
-            sources,
-            stories,
-            entities: 60,
-            terms: 200,
-            events_per_story: 6.0,
-            drift,
-            ..GenConfig::default()
-        }
-    })
+fn arb_small_config(rng: &mut StdRng) -> GenConfig {
+    GenConfig {
+        seed: rng.random(),
+        sources: rng.random_range(2u32..5),
+        stories: rng.random_range(3u32..10),
+        entities: 60,
+        terms: 200,
+        events_per_story: 6.0,
+        drift: rng.random_range(0.0f64..0.4),
+        ..GenConfig::default()
+    }
 }
 
 fn build_pivot(corpus: &storypivot::gen::Corpus) -> StoryPivot {
@@ -34,10 +32,10 @@ fn build_pivot(corpus: &storypivot::gen::Corpus) -> StoryPivot {
     pivot
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    #[test]
-    fn alignment_outcome_invariants_hold(cfg in arb_small_config()) {
+#[test]
+fn alignment_outcome_invariants_hold() {
+    prop::run(16, |rng| {
+        let cfg = arb_small_config(rng);
         let corpus = CorpusBuilder::new(cfg).build();
         let mut pivot = build_pivot(&corpus);
         pivot.align();
@@ -48,31 +46,34 @@ proptest! {
         for &(a, b) in &outcome.accepted_pairs {
             let sa = storypivot::core::refine::story_source(a);
             let sb = storypivot::core::refine::story_source(b);
-            prop_assert_ne!(sa, sb, "same-source pair {} {}", a, b);
+            assert_ne!(sa, sb, "same-source pair {} {}", a, b);
         }
         // snippet_to_global agrees with the member lists.
         for g in &outcome.global_stories {
             for &(m, _) in &g.members {
-                prop_assert_eq!(outcome.snippet_to_global.get(&m), Some(&g.id));
+                assert_eq!(outcome.snippet_to_global.get(&m), Some(&g.id));
             }
             // Sources recorded match the members' sources.
             for &(m, _) in &g.members {
                 let src = pivot.store().get(m).unwrap().source;
-                prop_assert!(g.sources.contains(&src));
+                assert!(g.sources.contains(&src));
             }
             // Lifespan covers every member.
             for &(m, _) in &g.members {
                 let t = pivot.store().get(m).unwrap().timestamp;
-                prop_assert!(g.lifespan.contains(t));
+                assert!(g.lifespan.contains(t));
             }
         }
         // story_to_global covers every live story exactly once.
         let live: usize = pivot.story_count();
-        prop_assert_eq!(outcome.story_to_global.len(), live);
-    }
+        assert_eq!(outcome.story_to_global.len(), live);
+    });
+}
 
-    #[test]
-    fn invariants_survive_a_full_lifecycle(cfg in arb_small_config()) {
+#[test]
+fn invariants_survive_a_full_lifecycle() {
+    prop::run(16, |rng| {
+        let cfg = arb_small_config(rng);
         let corpus = CorpusBuilder::new(cfg).build();
         let mut pivot = build_pivot(&corpus);
         pivot.check_invariants().unwrap();
@@ -94,5 +95,5 @@ proptest! {
             pivot.align_incremental();
             pivot.check_invariants().unwrap();
         }
-    }
+    });
 }

@@ -1,0 +1,103 @@
+//! Guard against registry dependencies creeping back in.
+//!
+//! The workspace's contract is that it builds and tests with an empty
+//! cargo registry (`CARGO_NET_OFFLINE=true`). This test walks every
+//! `Cargo.toml` in the workspace and asserts that all dependencies are
+//! path or workspace references — never crates.io versions.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the root `storypivot` package IS the
+    // workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn manifests(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates).expect("crates/ dir") {
+        let m = entry.unwrap().path().join("Cargo.toml");
+        if m.is_file() {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// The dependency-section lines of a manifest, as
+/// `(section, line_no, line)` tuples. A tiny purpose-built scan — the
+/// manifests are hand-written and flat, so full TOML parsing (which
+/// would itself be an external dependency) is not needed.
+fn dependency_lines(text: &str) -> Vec<(String, usize, String)> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let in_deps = section == "workspace.dependencies"
+            || section.ends_with("dependencies")
+                && (section == "dependencies"
+                    || section == "dev-dependencies"
+                    || section == "build-dependencies");
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            out.push((section.clone(), no + 1, line.to_string()));
+        }
+    }
+    out
+}
+
+#[test]
+fn no_registry_dependencies_anywhere() {
+    let root = workspace_root();
+    let manifests = manifests(&root);
+    assert!(
+        manifests.len() >= 11,
+        "expected the root + >=10 crate manifests, found {}",
+        manifests.len()
+    );
+    for manifest in manifests {
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        for (section, no, line) in dependency_lines(&text) {
+            let hermetic = line.contains("path =")
+                || line.contains("path=")
+                || line.contains(".workspace = true")
+                || line.contains("workspace = true");
+            assert!(
+                hermetic,
+                "{}:{} [{}] declares a non-path dependency: {:?}\n\
+                 every dependency must be a path/workspace reference so the \
+                 build works with an empty registry",
+                manifest.display(),
+                no,
+                section,
+                line
+            );
+        }
+    }
+}
+
+#[test]
+fn banned_crates_never_reappear() {
+    // The six registry crates the substrate replaced. Keyed per line so
+    // a rename like `rand_core` is also caught.
+    const BANNED: [&str; 6] = ["rand", "proptest", "criterion", "parking_lot", "bytes", "crossbeam"];
+    let root = workspace_root();
+    for manifest in manifests(&root) {
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        for (section, no, line) in dependency_lines(&text) {
+            let name = line.split(['=', '.']).next().unwrap_or("").trim();
+            assert!(
+                !BANNED.iter().any(|b| name == *b || name.starts_with(&format!("{b}_"))),
+                "{}:{} [{}] resurrects banned crate: {:?}",
+                manifest.display(),
+                no,
+                section,
+                line
+            );
+        }
+    }
+}

@@ -1,12 +1,12 @@
 //! Durability integration: snapshot, write-ahead log, and engine
 //! checkpoint working together across a simulated restart.
 
-use proptest::prelude::*;
-
 use storypivot::core::config::PivotConfig;
 use storypivot::gen::{CorpusBuilder, GenConfig};
 use storypivot::prelude::*;
 use storypivot::store::{replay, EventStore, Wal};
+use storypivot::substrate::prop;
+use storypivot::substrate::rng::RngExt;
 use storypivot::types::DAY;
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -123,14 +123,13 @@ fn checkpoint_restart_converges_with_uninterrupted_run() {
     assert_eq!(partition(&resumed), partition(&reference));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-    #[test]
-    fn checkpoints_round_trip_arbitrary_engine_states(
-        seed in any::<u64>(),
-        target in 50usize..250,
-        removals in 0usize..10,
-    ) {
+#[test]
+fn checkpoints_round_trip_arbitrary_engine_states() {
+    prop::run(12, |rng| {
+        let seed: u64 = rng.random();
+        let target = rng.random_range(50usize..250);
+        let removals = rng.random_range(0usize..10);
+
         let c = corpus(target, seed);
         let mut pivot = StoryPivot::new(PivotConfig::default());
         for s in &c.sources {
@@ -148,11 +147,11 @@ proptest! {
 
         let bytes = pivot.save_checkpoint();
         let restored = StoryPivot::load_checkpoint(PivotConfig::default(), &bytes).unwrap();
-        prop_assert_eq!(restored.store().len(), pivot.store().len());
-        prop_assert_eq!(restored.story_count(), pivot.story_count());
+        assert_eq!(restored.store().len(), pivot.store().len());
+        assert_eq!(restored.story_count(), pivot.story_count());
         for sn in pivot.store().iter() {
-            prop_assert_eq!(restored.story_of(sn.id), pivot.story_of(sn.id));
+            assert_eq!(restored.story_of(sn.id), pivot.story_of(sn.id));
         }
         restored.check_invariants().unwrap();
-    }
+    });
 }

@@ -1,10 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
 
-use proptest::prelude::*;
-
 use storypivot::sketch::{HashFamily, MinHash};
 use storypivot::store::codec::{decode_snippet, decode_store, encode_snippet, encode_store};
 use storypivot::store::{EventStore, WindowIndex};
+use storypivot::substrate::prop;
+use storypivot::substrate::rng::{RngExt, StdRng};
 use storypivot::types::sparse::SparseVec;
 use storypivot::types::{
     EntityId, EventType, Snippet, SnippetId, Source, SourceId, SourceKind, TermId, TimeRange,
@@ -13,52 +13,55 @@ use storypivot::types::{
 
 // ---- generators ------------------------------------------------------
 
-fn arb_timestamp() -> impl Strategy<Value = Timestamp> {
+fn arb_timestamp(rng: &mut StdRng) -> Timestamp {
     // A generous but non-degenerate range (years ~1900..2100).
-    (-2_208_988_800i64..4_102_444_800).prop_map(Timestamp::from_secs)
+    Timestamp::from_secs(rng.random_range(-2_208_988_800i64..4_102_444_800))
 }
 
-fn arb_snippet(max_id: u32) -> impl Strategy<Value = Snippet> {
-    (
-        0..max_id,
-        0..4u32,
-        0..1000u32,
-        arb_timestamp(),
-        proptest::collection::vec((0..500u32, 0.01f32..10.0), 0..8),
-        proptest::collection::vec((0..2000u32, 0.01f32..10.0), 0..12),
-        0..EventType::COUNT as u8,
-        "[ -~]{0,40}", // printable ASCII headline
-    )
-        .prop_map(|(id, source, doc, t, ents, terms, ty, headline)| {
-            let mut b = Snippet::builder(SnippetId::new(id), SourceId::new(source), t)
-                .doc(storypivot::types::DocId::new(doc))
-                .event_type(EventType::from_code(ty).unwrap())
-                .headline(headline);
-            for (e, w) in ents {
-                b = b.entity(EntityId::new(e), w);
-            }
-            for (t, w) in terms {
-                b = b.term(TermId::new(t), w);
-            }
-            b.build()
-        })
+fn arb_snippet(rng: &mut StdRng, max_id: u32) -> Snippet {
+    let id = rng.random_range(0..max_id);
+    let source = rng.random_range(0..4u32);
+    let doc = rng.random_range(0..1000u32);
+    let t = arb_timestamp(rng);
+    let ents = prop::vec_with(rng, 0, 7, |r| {
+        (r.random_range(0..500u32), r.random_range(0.01f32..10.0))
+    });
+    let terms = prop::vec_with(rng, 0, 11, |r| {
+        (r.random_range(0..2000u32), r.random_range(0.01f32..10.0))
+    });
+    let ty = rng.random_range(0..EventType::COUNT as u8);
+    let headline = prop::ascii_string(rng, 0, 40);
+
+    let mut b = Snippet::builder(SnippetId::new(id), SourceId::new(source), t)
+        .doc(storypivot::types::DocId::new(doc))
+        .event_type(EventType::from_code(ty).unwrap())
+        .headline(headline);
+    for (e, w) in ents {
+        b = b.entity(EntityId::new(e), w);
+    }
+    for (t, w) in terms {
+        b = b.term(TermId::new(t), w);
+    }
+    b.build()
 }
 
 // ---- codec ------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn snippet_codec_round_trips(snippet in arb_snippet(10_000)) {
+#[test]
+fn snippet_codec_round_trips() {
+    prop::run(256, |rng| {
+        let snippet = arb_snippet(rng, 10_000);
         let mut buf = Vec::new();
         encode_snippet(&mut buf, &snippet);
         let decoded = decode_snippet(&mut &buf[..]).unwrap();
-        prop_assert_eq!(decoded, snippet);
-    }
+        assert_eq!(decoded, snippet);
+    });
+}
 
-    #[test]
-    fn store_codec_round_trips(
-        snippets in proptest::collection::vec(arb_snippet(100_000), 0..40),
-    ) {
+#[test]
+fn store_codec_round_trips() {
+    prop::run(128, |rng| {
+        let snippets = prop::vec_with(rng, 0, 39, |r| arb_snippet(r, 100_000));
         let mut store = EventStore::new();
         for i in 0..4u32 {
             store
@@ -72,30 +75,35 @@ proptest! {
             }
         }
         let decoded = decode_store(&encode_store(&store)).unwrap();
-        prop_assert_eq!(decoded.len(), inserted);
-        prop_assert_eq!(decoded.stats(), store.stats());
+        assert_eq!(decoded.len(), inserted);
+        assert_eq!(decoded.stats(), store.stats());
         for s in store.iter() {
-            prop_assert_eq!(decoded.get(s.id), Some(s));
+            assert_eq!(decoded.get(s.id), Some(s));
         }
-    }
+    });
+}
 
-    #[test]
-    fn codec_never_panics_on_corrupt_input(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn codec_never_panics_on_corrupt_input() {
+    prop::run(256, |rng| {
+        let bytes = prop::vec_with(rng, 0, 255, |r| r.random::<u8>());
         // Any byte soup must produce Ok or Err — never a panic.
         let _ = decode_store(&bytes);
         let _ = decode_snippet(&mut &bytes[..]);
-    }
+    });
 }
 
 // ---- window index vs naive scan ------------------------------------------
 
-proptest! {
-    #[test]
-    fn window_query_equals_naive_filter(
-        entries in proptest::collection::vec((-1000i64..1000, 0..100u32), 0..60),
-        lo in -1200i64..1200,
-        width in 0i64..500,
-    ) {
+#[test]
+fn window_query_equals_naive_filter() {
+    prop::run(256, |rng| {
+        let entries = prop::vec_with(rng, 0, 59, |r| {
+            (r.random_range(-1000i64..1000), r.random_range(0..100u32))
+        });
+        let lo = rng.random_range(-1200i64..1200);
+        let width = rng.random_range(0i64..500);
+
         let mut idx = WindowIndex::new();
         let mut naive: Vec<(i64, u32)> = Vec::new();
         for (t, id) in entries {
@@ -114,19 +122,17 @@ proptest! {
             .filter(|&(t, _)| lo <= t && t <= lo + width)
             .collect();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
 }
 
 // ---- minhash vs exact jaccard ------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn minhash_estimate_tracks_exact_jaccard(
-        a in proptest::collection::hash_set(0u64..400, 1..80),
-        b in proptest::collection::hash_set(0u64..400, 1..80),
-    ) {
+#[test]
+fn minhash_estimate_tracks_exact_jaccard() {
+    prop::run(64, |rng| {
+        let a = prop::set_with(rng, 1, 79, |r| r.random_range(0u64..400));
+        let b = prop::set_with(rng, 1, 79, |r| r.random_range(0u64..400));
         let family = HashFamily::new(99, 256);
         let ma = MinHash::from_items(&family, a.iter().copied());
         let mb = MinHash::from_items(&family, b.iter().copied());
@@ -135,31 +141,35 @@ proptest! {
         let union = a.union(&b).count() as f64;
         let exact = inter / union;
         // k = 256 → σ ≈ 0.031; 6σ tolerance keeps flakes out.
-        prop_assert!((est - exact).abs() < 0.20, "est {est} exact {exact}");
-    }
+        assert!((est - exact).abs() < 0.20, "est {est} exact {exact}");
+    });
+}
 
-    #[test]
-    fn minhash_merge_is_union(
-        a in proptest::collection::hash_set(0u64..300, 0..40),
-        b in proptest::collection::hash_set(0u64..300, 0..40),
-    ) {
+#[test]
+fn minhash_merge_is_union() {
+    prop::run(128, |rng| {
+        let a = prop::set_with(rng, 0, 39, |r| r.random_range(0u64..300));
+        let b = prop::set_with(rng, 0, 39, |r| r.random_range(0u64..300));
         let family = HashFamily::new(7, 64);
         let mut ma = MinHash::from_items(&family, a.iter().copied());
         let mb = MinHash::from_items(&family, b.iter().copied());
         ma.merge(&mb);
         let union = MinHash::from_items(&family, a.union(&b).copied());
-        prop_assert_eq!(ma, union);
-    }
+        assert_eq!(ma, union);
+    });
 }
 
 // ---- sparse vector algebra -------------------------------------------------
 
-proptest! {
-    #[test]
-    fn sparse_similarities_are_bounded_and_symmetric(
-        a in proptest::collection::vec((0u32..60, 0.01f32..5.0), 0..20),
-        b in proptest::collection::vec((0u32..60, 0.01f32..5.0), 0..20),
-    ) {
+#[test]
+fn sparse_similarities_are_bounded_and_symmetric() {
+    prop::run(256, |rng| {
+        let a = prop::vec_with(rng, 0, 19, |r| {
+            (r.random_range(0u32..60), r.random_range(0.01f32..5.0))
+        });
+        let b = prop::vec_with(rng, 0, 19, |r| {
+            (r.random_range(0u32..60), r.random_range(0.01f32..5.0))
+        });
         let va = SparseVec::from_pairs(a);
         let vb = SparseVec::from_pairs(b);
         for (x, y) in [
@@ -167,38 +177,41 @@ proptest! {
             (va.jaccard(&vb), vb.jaccard(&va)),
             (va.weighted_jaccard(&vb), vb.weighted_jaccard(&va)),
         ] {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&x), "similarity out of range: {x}");
-            prop_assert!((x - y).abs() < 1e-9, "asymmetric: {x} vs {y}");
+            assert!((0.0..=1.0 + 1e-9).contains(&x), "similarity out of range: {x}");
+            assert!((x - y).abs() < 1e-9, "asymmetric: {x} vs {y}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn sparse_merge_sub_inverts_merge_add(
-        a in proptest::collection::vec((0u32..40, 0.5f32..5.0), 0..15),
-        b in proptest::collection::vec((0u32..40, 0.5f32..5.0), 0..15),
-    ) {
+#[test]
+fn sparse_merge_sub_inverts_merge_add() {
+    prop::run(256, |rng| {
+        let a = prop::vec_with(rng, 0, 14, |r| {
+            (r.random_range(0u32..40), r.random_range(0.5f32..5.0))
+        });
+        let b = prop::vec_with(rng, 0, 14, |r| {
+            (r.random_range(0u32..40), r.random_range(0.5f32..5.0))
+        });
         let va = SparseVec::from_pairs(a);
         let vb = SparseVec::from_pairs(b);
         let mut merged = va.clone();
         merged.merge_add(&vb);
         merged.merge_sub(&vb);
         // Compare entry-by-entry with float slack.
-        prop_assert_eq!(merged.len(), va.len());
+        assert_eq!(merged.len(), va.len());
         for (k, w) in va.iter() {
             let got = merged.get(&k).unwrap_or(0.0);
-            prop_assert!((got - w).abs() < 1e-3, "key {k:?}: {got} vs {w}");
+            assert!((got - w).abs() < 1e-3, "key {k:?}: {got} vs {w}");
         }
-    }
+    });
 }
 
 // ---- store insert/remove inverses ---------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn store_insert_remove_is_identity(
-        snippets in proptest::collection::vec(arb_snippet(1_000), 1..30),
-    ) {
+#[test]
+fn store_insert_remove_is_identity() {
+    prop::run(64, |rng| {
+        let snippets = prop::vec_with(rng, 1, 29, |r| arb_snippet(r, 1_000));
         let mut store = EventStore::new();
         for i in 0..4u32 {
             store
@@ -214,25 +227,23 @@ proptest! {
         for id in &ok {
             store.remove(*id).unwrap();
         }
-        prop_assert!(store.is_empty());
+        assert!(store.is_empty());
         let stats = store.stats();
-        prop_assert_eq!(stats.entity_count, 0);
-        prop_assert_eq!(stats.document_count, 0);
-        prop_assert!(stats.coverage.is_empty());
-    }
+        assert_eq!(stats.entity_count, 0);
+        assert_eq!(stats.document_count, 0);
+        assert!(stats.coverage.is_empty());
+    });
 }
 
 // ---- identification invariants -------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn identification_always_yields_a_valid_partition(
-        snippets in proptest::collection::vec(arb_snippet(5_000), 1..60),
-    ) {
-        use storypivot::core::config::PivotConfig;
-        use storypivot::prelude::StoryPivot;
+#[test]
+fn identification_always_yields_a_valid_partition() {
+    use storypivot::core::config::PivotConfig;
+    use storypivot::prelude::StoryPivot;
 
+    prop::run(24, |rng| {
+        let snippets = prop::vec_with(rng, 1, 59, |r| arb_snippet(r, 5_000));
         let mut pivot = StoryPivot::new(PivotConfig::default());
         for _ in 0..4u32 {
             pivot.add_source("s", SourceKind::Blog);
@@ -246,56 +257,58 @@ proptest! {
         // Every ingested snippet has exactly one story; every story
         // member is a live snippet of the story's source.
         for &id in &inserted {
-            prop_assert!(pivot.story_of(id).is_some(), "{id} unassigned");
+            assert!(pivot.story_of(id).is_some(), "{id} unassigned");
         }
         let mut seen = std::collections::HashSet::new();
         for src in 0..4u32 {
             for st in pivot.stories_of_source(SourceId::new(src)) {
-                prop_assert!(!st.is_empty(), "empty story {} survived", st.id());
-                prop_assert!(!st.lifespan().is_empty());
+                assert!(!st.is_empty(), "empty story {} survived", st.id());
+                assert!(!st.lifespan().is_empty());
                 for &m in &st.story.members {
-                    prop_assert!(seen.insert(m), "{m} in two stories");
+                    assert!(seen.insert(m), "{m} in two stories");
                     let sn = pivot.store().get(m).unwrap();
-                    prop_assert_eq!(sn.source, st.source());
-                    prop_assert!(st.lifespan().contains(sn.timestamp));
+                    assert_eq!(sn.source, st.source());
+                    assert!(st.lifespan().contains(sn.timestamp));
                 }
             }
         }
-        prop_assert_eq!(seen.len(), inserted.len());
+        assert_eq!(seen.len(), inserted.len());
 
         // Alignment covers everything exactly once.
         pivot.align();
         let covered: usize = pivot.global_stories().iter().map(|g| g.len()).sum();
-        prop_assert_eq!(covered, inserted.len());
-    }
+        assert_eq!(covered, inserted.len());
+    });
 }
 
 // ---- metrics properties ---------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn metrics_are_bounded_and_perfect_on_self(
-        pairs in proptest::collection::vec((0u64..50, 0u64..8), 1..80),
-    ) {
-        use storypivot::eval::{adjusted_rand_index, bcubed, nmi, pairwise, Clustering};
+#[test]
+fn metrics_are_bounded_and_perfect_on_self() {
+    use storypivot::eval::{adjusted_rand_index, bcubed, nmi, pairwise, Clustering};
+
+    prop::run(128, |rng| {
+        let pairs = prop::vec_with(rng, 1, 79, |r| {
+            (r.random_range(0u64..50), r.random_range(0u64..8))
+        });
         let c = Clustering::from_pairs(pairs.iter().copied());
         let relabeled = Clustering::from_pairs(c.iter().map(|(i, cl)| (i, cl + 1000)));
 
         let s = pairwise(&relabeled, &c);
-        prop_assert!((s.f1 - 1.0).abs() < 1e-12);
+        assert!((s.f1 - 1.0).abs() < 1e-12);
         let b = bcubed(&relabeled, &c);
-        prop_assert!((b.f1 - 1.0).abs() < 1e-12);
-        prop_assert!((nmi(&relabeled, &c) - 1.0).abs() < 1e-9);
-        prop_assert!(adjusted_rand_index(&relabeled, &c) > 1.0 - 1e-9);
+        assert!((b.f1 - 1.0).abs() < 1e-12);
+        assert!((nmi(&relabeled, &c) - 1.0).abs() < 1e-9);
+        assert!(adjusted_rand_index(&relabeled, &c) > 1.0 - 1e-9);
 
         // Against an arbitrary second clustering: bounded.
         let other = Clustering::from_pairs(pairs.iter().map(|&(i, cl)| (i, cl % 3)));
         let s = pairwise(&other, &c);
-        prop_assert!((0.0..=1.0).contains(&s.precision));
-        prop_assert!((0.0..=1.0).contains(&s.recall));
-        prop_assert!((0.0..=1.0).contains(&s.f1));
-        prop_assert!((0.0..=1.0).contains(&nmi(&other, &c)));
+        assert!((0.0..=1.0).contains(&s.precision));
+        assert!((0.0..=1.0).contains(&s.recall));
+        assert!((0.0..=1.0).contains(&s.f1));
+        assert!((0.0..=1.0).contains(&nmi(&other, &c)));
         let ari = adjusted_rand_index(&other, &c);
-        prop_assert!((-1.0..=1.0).contains(&ari));
-    }
+        assert!((-1.0..=1.0).contains(&ari));
+    });
 }
