@@ -18,7 +18,31 @@ cargo test -q --workspace
 echo "==> clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> smoke: bench harness e1 (quick)"
-cargo run -p storypivot-bench --bin harness --release -- e1 --quick
+echo "==> smoke: bench harness e1 (quick, json artifact)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run -p storypivot-bench --bin harness --release -- e1 --quick --json "$SMOKE_DIR/bench"
+test -s "$SMOKE_DIR/bench/BENCH_e1.json"
+
+echo "==> smoke: serve (pivotd + loadgen round trip)"
+cargo run -p storypivot-serve --bin pivotd --release -- \
+    --addr 127.0.0.1:0 --shards 2 \
+    --checkpoint-dir "$SMOKE_DIR/ckpt" --port-file "$SMOKE_DIR/port" &
+PIVOTD_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/port" ] && break
+    kill -0 "$PIVOTD_PID" 2>/dev/null || { echo "pivotd died before binding"; exit 1; }
+    sleep 0.1
+done
+test -s "$SMOKE_DIR/port" || { echo "pivotd never wrote its port file"; exit 1; }
+PORT="$(cat "$SMOKE_DIR/port")"
+cargo run -p storypivot-serve --bin loadgen --release -- \
+    --addr "127.0.0.1:$PORT" --quick --json "$SMOKE_DIR/BENCH_serve.json" --shutdown
+# SHUTDOWN must terminate the daemon gracefully (exit 0) and leave one
+# checkpoint per shard.
+wait "$PIVOTD_PID"
+test -s "$SMOKE_DIR/ckpt/shard0.spvc"
+test -s "$SMOKE_DIR/ckpt/shard1.spvc"
+test -s "$SMOKE_DIR/BENCH_serve.json"
 
 echo "CI OK"

@@ -67,6 +67,7 @@ fn f3(x: f64) -> String {
 fn main() {
     let mut quick = false;
     let mut csv_dir: Option<String> = None;
+    let mut json_dir: Option<String> = None;
     let mut seed: u64 = 0;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -76,6 +77,12 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }))
+            }
+            "--json" => {
+                json_dir = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a directory");
                     std::process::exit(2);
                 }))
             }
@@ -90,7 +97,9 @@ fn main() {
                 });
             }
             other if other.starts_with("--") => {
-                eprintln!("unknown flag {other:?} (flags: --quick, --seed <u64>, --csv <dir>)");
+                eprintln!(
+                    "unknown flag {other:?} (flags: --quick, --seed <u64>, --csv <dir>, --json <dir>)"
+                );
                 std::process::exit(2);
             }
             other => wanted.push(other.to_string()),
@@ -104,6 +113,9 @@ fn main() {
     }
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create --csv directory");
+    }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create --json directory");
     }
     println!("seed: {seed} (corpora and injections are fully determined by it)");
     for exp in &wanted {
@@ -126,6 +138,11 @@ fn main() {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{exp}.csv");
             std::fs::write(&path, table.to_csv()).expect("write CSV");
+            eprintln!("wrote {path}");
+        }
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/BENCH_{exp}.json");
+            std::fs::write(&path, table.to_json()).expect("write JSON");
             eprintln!("wrote {path}");
         }
     }

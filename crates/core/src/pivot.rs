@@ -127,6 +127,35 @@ impl StoryPivot {
         id
     }
 
+    /// Register a source whose id was allocated *externally*. Sharded
+    /// deployments (`storypivot-serve`) allocate source ids centrally
+    /// and route each source to one shard engine; the shard must then
+    /// register the source under exactly that id so story-id
+    /// partitioning stays globally consistent. The internal allocator
+    /// is advanced past the given id so locally allocated sources never
+    /// collide with externally allocated ones.
+    pub fn add_source_registered(&mut self, source: Source) -> Result<SourceId> {
+        let id = source.id;
+        if id.raw() >= u32::MAX / STORY_ID_STRIDE {
+            return Err(Error::InvalidConfig(format!(
+                "source id {id} exceeds the story-id partitioning limit ({})",
+                u32::MAX / STORY_ID_STRIDE
+            )));
+        }
+        if self.identifiers.contains_key(&id) {
+            return Err(Error::Duplicate(format!("source {id}")));
+        }
+        self.store.register_source(source)?;
+        self.identifiers.insert(
+            id,
+            Identifier::new(id, self.config.identify.clone(), self.config.sketch),
+        );
+        if id.raw() >= self.source_ids.allocated() {
+            self.source_ids = IdGen::starting_at(id.raw() + 1);
+        }
+        Ok(id)
+    }
+
     /// Remove a source together with its snippets and stories. Returns
     /// how many snippets were evicted. Previously computed alignment is
     /// invalidated incrementally (§2.4: sources can disappear).
@@ -458,6 +487,32 @@ impl StoryPivot {
         self.identifiers.values().map(Identifier::story_count).sum()
     }
 
+    /// The per-source story partition: every story with its members,
+    /// ordered by story id, members sorted. Identification is
+    /// per-source, so this partition is invariant under sharding by
+    /// source — the serving layer's QUERY_STORIES frame and the
+    /// served-vs-in-process equivalence tests are built on it.
+    pub fn story_partition(&self) -> Vec<(StoryId, Vec<SnippetId>)> {
+        let mut out: Vec<(StoryId, Vec<SnippetId>)> = self
+            .identifiers
+            .values()
+            .flat_map(|ident| {
+                ident.story_ids().into_iter().map(move |sid| {
+                    let mut members: Vec<SnippetId> = ident
+                        .story(sid)
+                        .expect("listed story exists")
+                        .story
+                        .members
+                        .clone();
+                    members.sort_unstable();
+                    (sid, members)
+                })
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(sid, _)| sid);
+        out
+    }
+
     /// Verify the engine's internal invariants, returning a description
     /// of the first violation found. Intended for tests and debugging;
     /// cost is linear in the corpus.
@@ -708,6 +763,60 @@ mod tests {
         let report = pivot.refine();
         assert!(report.move_count() >= 1, "refinement must correct the error");
         assert_eq!(pivot.story_of(victim_id), Some(right_story));
+    }
+
+    #[test]
+    fn externally_registered_sources_interleave_with_local_ones() {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        // A sharded server registers sources 1 and 3 on this shard.
+        for id in [1u32, 3] {
+            let got = pivot
+                .add_source_registered(Source::new(SourceId::new(id), format!("s{id}"), SourceKind::Wire))
+                .unwrap();
+            assert_eq!(got.raw(), id);
+        }
+        // Registering the same id twice is refused.
+        assert!(pivot
+            .add_source_registered(Source::new(SourceId::new(3), "dup", SourceKind::Blog))
+            .is_err());
+        // A locally allocated source continues past the external ids.
+        let local = pivot.add_source("local", SourceKind::Newspaper);
+        assert_eq!(local.raw(), 4);
+        // Ids beyond the story-partitioning limit are refused.
+        assert!(pivot
+            .add_source_registered(Source::new(SourceId::new(u32::MAX / 256), "big", SourceKind::Wire))
+            .is_err());
+        // Ingest works against the external ids.
+        snip(&mut pivot, SourceId::new(1), 0, &[1, 2], &[1]);
+        snip(&mut pivot, SourceId::new(3), 0, &[1, 2], &[1]);
+        pivot.align();
+        assert_eq!(pivot.global_stories().len(), 1);
+    }
+
+    #[test]
+    fn story_partition_lists_every_snippet_once() {
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let a = pivot.add_source("a", SourceKind::Newspaper);
+        let b = pivot.add_source("b", SourceKind::Newspaper);
+        let mut all = Vec::new();
+        for day in 0..4 {
+            all.push(snip(&mut pivot, a, day, &[1, 2], &[1]));
+            all.push(snip(&mut pivot, b, day, &[8, 9], &[8]));
+        }
+        let partition = pivot.story_partition();
+        assert_eq!(partition.len(), pivot.story_count());
+        let mut members: Vec<SnippetId> =
+            partition.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+        members.sort_unstable();
+        all.sort_unstable();
+        assert_eq!(members, all);
+        // Ordered by story id, and each story's id maps back to it.
+        for w in partition.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for (sid, m) in &partition {
+            assert_eq!(pivot.story_of(m[0]), Some(*sid));
+        }
     }
 
     #[test]

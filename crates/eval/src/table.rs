@@ -86,6 +86,66 @@ impl Table {
         }
         out
     }
+
+    /// Render as a JSON array of row objects keyed by header. Numeric
+    /// cells become numbers; everything else is an escaped string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (key, cell)) in self.header.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_string(key), json_cell(cell));
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// A cell as a JSON value: bare if it parses as a finite JSON number
+/// (no leading `+`, no `1.` / `.5` forms), a string otherwise.
+fn json_cell(cell: &str) -> String {
+    let numeric = cell.parse::<f64>().is_ok_and(f64::is_finite)
+        && !cell.starts_with('+')
+        && !cell.ends_with('.')
+        && !cell.starts_with('.')
+        && !cell.starts_with("-.")
+        && !cell.eq_ignore_ascii_case("nan")
+        && !cell.contains("inf")
+        && !cell.contains("Inf");
+    if numeric {
+        cell.to_string()
+    } else {
+        json_string(cell)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format a nanosecond count as a human-readable duration.
@@ -130,6 +190,22 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new(["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn json_renders_typed_rows() {
+        let mut t = Table::new(["method", "f1", "note"]);
+        t.row(["temporal", "0.91", "ok \"quoted\""]);
+        t.row(["complete", "-", "inf"]);
+        let json = t.to_json();
+        assert!(json.starts_with("[\n") && json.ends_with(']'));
+        // Numbers stay bare, strings are escaped.
+        assert!(json.contains("\"f1\": 0.91"));
+        assert!(json.contains("\"method\": \"temporal\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"f1\": \"-\""));
+        assert!(json.contains("\"note\": \"inf\""));
+        assert_eq!(json.matches('{').count(), 2);
     }
 
     #[test]

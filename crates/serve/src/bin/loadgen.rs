@@ -1,0 +1,129 @@
+//! loadgen — replay a generated corpus against a pivotd server.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7411 --events 5000 --conns 4 --rate 2000
+//! loadgen --addr 127.0.0.1:7411 --quick --shutdown   # CI smoke
+//! ```
+//!
+//! Prints achieved throughput and round-trip p50/p95/p99; `--json PATH`
+//! additionally writes the report as a JSON artifact, and `--shutdown`
+//! sends SHUTDOWN (drain + checkpoint) after the replay.
+
+use std::path::PathBuf;
+
+use storypivot_gen::{CorpusBuilder, GenConfig};
+use storypivot_serve::client::Client;
+use storypivot_serve::load::{replay, LoadOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--events N] [--sources N] [--conns N] \
+         [--rate EV_PER_S] [--seed N] [--json PATH] [--quick] [--stats] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let raw = args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage();
+    });
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {raw:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut events: usize = 5_000;
+    let mut sources: u32 = 8;
+    let mut seed: u64 = 0;
+    let mut json: Option<PathBuf> = None;
+    let mut want_stats = false;
+    let mut want_shutdown = false;
+    let mut opts = LoadOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(parse(&mut args, "--addr")),
+            "--events" => events = parse(&mut args, "--events"),
+            "--sources" => sources = parse(&mut args, "--sources"),
+            "--conns" => opts.connections = parse(&mut args, "--conns"),
+            "--rate" => opts.rate = parse(&mut args, "--rate"),
+            "--seed" => seed = parse(&mut args, "--seed"),
+            "--json" => json = Some(parse::<PathBuf>(&mut args, "--json")),
+            "--quick" => {
+                events = 600;
+                sources = 4;
+                opts.connections = 2;
+            }
+            "--stats" => want_stats = true,
+            "--shutdown" => want_shutdown = true,
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("--addr is required");
+        usage();
+    };
+
+    eprintln!("generating corpus: ~{events} events over {sources} sources (seed {seed})");
+    let corpus = CorpusBuilder::new(
+        GenConfig::default()
+            .with_seed(seed)
+            .with_sources(sources)
+            .with_target_snippets(events),
+    )
+    .build();
+    eprintln!(
+        "replaying {} snippets over {} connections (rate: {})",
+        corpus.len(),
+        opts.connections,
+        if opts.rate == 0 { "unlimited".to_string() } else { format!("{} ev/s", opts.rate) }
+    );
+
+    let report = match replay(addr.as_str(), &corpus, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.summary());
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("loadgen: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    if want_stats || want_shutdown {
+        let mut client = match Client::connect(addr.as_str()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("loadgen: reconnect failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if want_stats {
+            match client.stats() {
+                Ok(stats) => print!("{}", stats.render()),
+                Err(e) => {
+                    eprintln!("loadgen: stats failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if want_shutdown {
+            match client.shutdown() {
+                Ok(()) => eprintln!("server drained and checkpointed"),
+                Err(e) => {
+                    eprintln!("loadgen: shutdown failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! pivotd — the StoryPivot serving daemon.
+//!
+//! ```text
+//! pivotd --addr 127.0.0.1:7411 --shards 4 --checkpoint-dir ./ckpt
+//! pivotd --addr 127.0.0.1:0 --port-file /tmp/pivotd.port   # ephemeral
+//! ```
+//!
+//! Runs until a client sends SHUTDOWN; the daemon then drains every
+//! shard queue, writes one checkpoint per shard, and exits 0.
+
+use std::path::PathBuf;
+
+use storypivot_serve::server::{serve, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pivotd [--addr HOST:PORT] [--shards N] [--queue-depth N] \
+         [--align-every N] [--retry-after-ms N] [--checkpoint-dir DIR] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let raw = args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage();
+    });
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {raw:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut port_file: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = parse(&mut args, "--addr"),
+            "--shards" => cfg.shards = parse(&mut args, "--shards"),
+            "--queue-depth" => cfg.queue_depth = parse(&mut args, "--queue-depth"),
+            "--align-every" => cfg.align_every = parse(&mut args, "--align-every"),
+            "--retry-after-ms" => cfg.retry_after_ms = parse(&mut args, "--retry-after-ms"),
+            "--checkpoint-dir" => cfg.checkpoint_dir = Some(parse::<PathBuf>(&mut args, "--checkpoint-dir")),
+            "--port-file" => port_file = Some(parse::<PathBuf>(&mut args, "--port-file")),
+            _ => usage(),
+        }
+    }
+
+    let handle = match serve(addr.as_str(), cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("pivotd: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = handle.addr();
+    println!("pivotd listening on {bound}");
+    if let Some(path) = port_file {
+        // Written atomically-enough for the CI poll loop: the content is
+        // only a few bytes and appears in one write.
+        if let Err(e) = std::fs::write(&path, format!("{}\n", bound.port())) {
+            eprintln!("pivotd: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    handle.join();
+    println!("pivotd: shutdown complete");
+}

@@ -1,0 +1,153 @@
+//! A blocking client for the pivotd wire protocol.
+
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use storypivot_types::{DocId, Error, Result, Snippet, SourceId, SourceKind, StoryId};
+
+use crate::proto::{frame, read_frame, Request, Response, StorySummary};
+use crate::stats::ServeStats;
+
+/// The outcome of a single-snippet ingest: either a story assignment or
+/// a BUSY push-back from a full shard queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestReply {
+    /// The snippet joined this per-source story.
+    Assigned(StoryId),
+    /// The shard queue was full; retry after the hinted backoff.
+    Busy {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+}
+
+/// One connection to a pivotd server. Requests are strictly
+/// request/response over the connection, so a `Client` is `!Sync` by
+/// design — open one per thread.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request and wait for its response frame.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        self.writer.write_all(&frame(|b| req.encode(b)))?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(Error::Io("server closed the connection".into())),
+        }
+    }
+
+    /// Send a request and fail on an error response.
+    fn request_ok(&mut self, req: &Request) -> Result<Response> {
+        self.request(req)?.into_result()
+    }
+
+    /// Register a source; the server allocates and returns its id.
+    pub fn add_source(&mut self, name: &str, kind: SourceKind, lag: i64) -> Result<SourceId> {
+        match self.request_ok(&Request::AddSource {
+            name: name.to_string(),
+            kind,
+            lag,
+        })? {
+            Response::SourceAdded(id) => Ok(id),
+            other => Err(unexpected("SourceAdded", &other)),
+        }
+    }
+
+    /// Ingest one snippet, surfacing BUSY to the caller.
+    pub fn ingest(&mut self, snippet: &Snippet) -> Result<IngestReply> {
+        match self.request_ok(&Request::IngestSnippet(snippet.clone()))? {
+            Response::Ingested(story) => Ok(IngestReply::Assigned(story)),
+            Response::Busy { retry_after_ms } => Ok(IngestReply::Busy { retry_after_ms }),
+            other => Err(unexpected("Ingested/Busy", &other)),
+        }
+    }
+
+    /// Ingest one snippet, sleeping out BUSY replies up to `max_retries`
+    /// times. Returns the story id and how many retries were needed.
+    pub fn ingest_retry(&mut self, snippet: &Snippet, max_retries: u32) -> Result<(StoryId, u32)> {
+        let mut retries = 0;
+        loop {
+            match self.ingest(snippet)? {
+                IngestReply::Assigned(story) => return Ok((story, retries)),
+                IngestReply::Busy { retry_after_ms } => {
+                    if retries >= max_retries {
+                        return Err(Error::Io(format!(
+                            "shard still busy after {max_retries} retries"
+                        )));
+                    }
+                    retries += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1) as u64));
+                }
+            }
+        }
+    }
+
+    /// Ingest a batch (the server blocks on full queues instead of BUSY).
+    pub fn ingest_batch(&mut self, batch: Vec<Snippet>) -> Result<u32> {
+        match self.request_ok(&Request::IngestBatch(batch))? {
+            Response::BatchIngested(n) => Ok(n),
+            other => Err(unexpected("BatchIngested", &other)),
+        }
+    }
+
+    /// The full per-source story partition, ordered by story id.
+    pub fn query_stories(&mut self) -> Result<Vec<StorySummary>> {
+        match self.request_ok(&Request::QueryStories)? {
+            Response::Stories(stories) => Ok(stories),
+            other => Err(unexpected("Stories", &other)),
+        }
+    }
+
+    /// One story's summary.
+    pub fn get_story(&mut self, id: StoryId) -> Result<StorySummary> {
+        match self.request_ok(&Request::GetStory(id))? {
+            Response::Story(story) => Ok(story),
+            other => Err(unexpected("Story", &other)),
+        }
+    }
+
+    /// Remove a document everywhere; returns how many snippets left.
+    pub fn remove_doc(&mut self, doc: DocId) -> Result<u32> {
+        match self.request_ok(&Request::RemoveDoc(doc))? {
+            Response::Removed(n) => Ok(n),
+            other => Err(unexpected("Removed", &other)),
+        }
+    }
+
+    /// Per-shard serving statistics.
+    pub fn stats(&mut self) -> Result<ServeStats> {
+        match self.request_ok(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Ask the server to drain, checkpoint, and stop. The ack arrives
+    /// only after every shard's state is durable.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.request_ok(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected("ShutdownAck", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> Error {
+    Error::Codec(format!("expected a {wanted} response, got {got:?}"))
+}

@@ -1,0 +1,38 @@
+//! Network serving layer for the StoryPivot engine.
+//!
+//! The paper's setting is a *stream*: "snippets are generated
+//! dynamically every time a news document is published online" (§2.4).
+//! This crate puts the engine behind a TCP wire so that stream can be
+//! real traffic instead of an in-process loop:
+//!
+//! - [`proto`] — a length-prefixed binary protocol over
+//!   `substrate::buf` (no serialization dependencies).
+//! - [`server`] — `pivotd`: shards the engine by source id across N
+//!   worker threads, routes frames through *bounded* queues, and
+//!   answers BUSY (with a retry-after hint) instead of buffering
+//!   unboundedly. Graceful SHUTDOWN drains every queue and writes a
+//!   final checkpoint per shard.
+//! - [`stats`] — per-shard counters and ingest-latency percentiles
+//!   surfaced through the STATS frame.
+//! - [`client`] — a blocking client for the protocol.
+//! - [`load`] — `loadgen`: replays a [`storypivot_gen`] corpus at a
+//!   target rate over M connections and reports throughput and
+//!   p50/p95/p99 latency.
+//!
+//! Everything is std-only (`std::net`, `std::thread`,
+//! `std::sync::mpsc`) per the workspace's hermetic-build guard.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod load;
+pub mod proto;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, IngestReply};
+pub use load::{replay, LoadOptions, LoadReport};
+pub use proto::{Request, Response, StorySummary, MAX_FRAME_LEN};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use stats::{ServeStats, ShardStats};

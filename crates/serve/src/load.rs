@@ -1,0 +1,247 @@
+//! The load generator: replay a [`storypivot_gen`] corpus against a
+//! running server and measure throughput and latency.
+//!
+//! Snippets are partitioned across M connections *by source* (source id
+//! mod M), so each source's stream stays on one connection and arrives
+//! at its shard in delivery order — the same ordering guarantee the
+//! in-process pipeline has. Each connection paces itself toward the
+//! target aggregate rate and retries BUSY replies after the server's
+//! hint.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use storypivot_gen::Corpus;
+use storypivot_substrate::timing::Histogram;
+use storypivot_types::{Error, Result, Snippet};
+
+use crate::client::{Client, IngestReply};
+
+/// Load-generation options.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Concurrent connections (sources are split across them).
+    pub connections: usize,
+    /// Target aggregate ingest rate in events/second (0 = as fast as
+    /// possible).
+    pub rate: u64,
+    /// How many BUSY replies to absorb per snippet before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            connections: 4,
+            rate: 0,
+            max_retries: 100,
+        }
+    }
+}
+
+/// What a replay measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Snippets successfully ingested.
+    pub events: u64,
+    /// BUSY replies absorbed (each one cost a retry round-trip).
+    pub busy_retries: u64,
+    /// Wall-clock time of the replay.
+    pub wall: Duration,
+    /// Per-request round-trip latency (nanoseconds).
+    pub latency: Histogram,
+}
+
+impl LoadReport {
+    /// Achieved throughput in events/second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.events as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Median round-trip latency in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.latency.percentile(0.50) as f64 / 1e3
+    }
+
+    /// 95th-percentile round-trip latency in microseconds.
+    pub fn p95_us(&self) -> f64 {
+        self.latency.percentile(0.95) as f64 / 1e3
+    }
+
+    /// 99th-percentile round-trip latency in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.latency.percentile(0.99) as f64 / 1e3
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} events in {:.2}s → {:.0} ev/s; rtt p50/p95/p99 {:.1}/{:.1}/{:.1} µs; {} busy retries",
+            self.events,
+            self.wall.as_secs_f64(),
+            self.throughput(),
+            self.p50_us(),
+            self.p95_us(),
+            self.p99_us(),
+            self.busy_retries,
+        )
+    }
+
+    /// A JSON object (same shape as the bench harness artifacts).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"events\": {},\n",
+                "  \"busy_retries\": {},\n",
+                "  \"wall_secs\": {:.6},\n",
+                "  \"throughput_ev_per_s\": {:.2},\n",
+                "  \"rtt_p50_us\": {:.2},\n",
+                "  \"rtt_p95_us\": {:.2},\n",
+                "  \"rtt_p99_us\": {:.2}\n",
+                "}}"
+            ),
+            self.events,
+            self.busy_retries,
+            self.wall.as_secs_f64(),
+            self.throughput(),
+            self.p50_us(),
+            self.p95_us(),
+            self.p99_us(),
+        )
+    }
+}
+
+/// Register the corpus's sources (connection 0) and replay its snippet
+/// stream over `connections` paced connections.
+///
+/// The server allocates source ids sequentially from zero against a
+/// fresh engine, which matches the corpus's own numbering; a mismatch
+/// (server not fresh) is an error.
+pub fn replay<A: ToSocketAddrs>(addr: A, corpus: &Corpus, opts: &LoadOptions) -> Result<LoadReport> {
+    if opts.connections == 0 {
+        return Err(Error::InvalidConfig("loadgen: connections must be >= 1".into()));
+    }
+    let addr: SocketAddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| Error::InvalidConfig("loadgen: address resolved to nothing".into()))?;
+
+    let mut setup = Client::connect(addr)?;
+    for source in &corpus.sources {
+        let got = setup.add_source(&source.name, source.kind, source.typical_lag)?;
+        if got != source.id {
+            return Err(Error::InvalidConfig(format!(
+                "server allocated source id {got} where the corpus expects {} — \
+                 is the server fresh?",
+                source.id
+            )));
+        }
+    }
+
+    // Partition by source, preserving delivery order within each lane.
+    let lanes = opts.connections;
+    let mut per_lane: Vec<Vec<Snippet>> = vec![Vec::new(); lanes];
+    for s in &corpus.snippets {
+        per_lane[s.source.raw() as usize % lanes].push(s.clone());
+    }
+    let per_lane_rate = opts.rate as f64 / lanes as f64;
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(lanes);
+    for lane in per_lane {
+        let max_retries = opts.max_retries;
+        handles.push(std::thread::spawn(move || -> Result<(u64, u64, Histogram)> {
+            let mut client = Client::connect(addr)?;
+            let mut hist = Histogram::new();
+            let mut events = 0u64;
+            let mut busy = 0u64;
+            let lane_start = Instant::now();
+            for (i, snippet) in lane.iter().enumerate() {
+                if per_lane_rate > 0.0 {
+                    // Pace against the schedule, not the previous send:
+                    // event i is due at i / rate seconds.
+                    let due = Duration::from_secs_f64(i as f64 / per_lane_rate);
+                    let elapsed = lane_start.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                }
+                let t = Instant::now();
+                let mut retries = 0u32;
+                loop {
+                    match client.ingest(snippet)? {
+                        IngestReply::Assigned(_) => break,
+                        IngestReply::Busy { retry_after_ms } => {
+                            busy += 1;
+                            retries += 1;
+                            if retries > max_retries {
+                                return Err(Error::Io(format!(
+                                    "shard still busy after {max_retries} retries"
+                                )));
+                            }
+                            std::thread::sleep(Duration::from_millis(
+                                retry_after_ms.max(1) as u64,
+                            ));
+                        }
+                    }
+                }
+                hist.record(t.elapsed().as_nanos() as u64);
+                events += 1;
+            }
+            Ok((events, busy, hist))
+        }));
+    }
+
+    let mut report = LoadReport {
+        events: 0,
+        busy_retries: 0,
+        wall: Duration::ZERO,
+        latency: Histogram::new(),
+    };
+    let mut failure = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((events, busy, hist))) => {
+                report.events += events;
+                report.busy_retries += busy;
+                report.latency.merge(&hist);
+            }
+            Ok(Err(e)) => failure = Some(e),
+            Err(_) => failure = Some(Error::Io("loadgen connection thread panicked".into())),
+        }
+    }
+    report.wall = start.elapsed();
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_and_summary_are_well_formed() {
+        let mut latency = Histogram::new();
+        for v in [1_000u64, 2_000, 50_000] {
+            latency.record(v);
+        }
+        let r = LoadReport {
+            events: 3,
+            busy_retries: 1,
+            wall: Duration::from_millis(30),
+            latency,
+        };
+        assert!(r.throughput() > 99.0 && r.throughput() < 101.0);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"events\": 3"));
+        assert!(json.contains("\"busy_retries\": 1"));
+        assert!(r.summary().contains("3 events"));
+    }
+}

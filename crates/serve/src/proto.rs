@@ -1,0 +1,682 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! len u32 (LE) | opcode u8 | body
+//! ```
+//!
+//! where `len` counts the opcode plus body. Requests use opcodes
+//! `0x01..=0x08`, responses `0x81..=0x8A`; snippets and sources reuse
+//! the store's binary codec, so a served snippet is byte-identical to a
+//! checkpointed one. Every decode path bounds-checks before touching
+//! bytes: torn frames, oversized length prefixes, garbage opcodes, and
+//! trailing bytes all surface as [`Error::Codec`] — never a panic.
+
+use std::io::{self, Read, Write};
+
+use storypivot_store::codec::{decode_snippet, encode_snippet};
+use storypivot_substrate::buf::{Buf, BufMut};
+use storypivot_types::{
+    DocId, Error, Result, Snippet, SnippetId, SourceId, SourceKind, StoryId, TimeRange,
+};
+
+use crate::stats::{ServeStats, ShardStats};
+
+/// Upper bound on one frame's payload (opcode + body). A length prefix
+/// above this is rejected *before* any allocation, so a hostile or
+/// corrupt peer cannot make the server reserve gigabytes.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+// ---- request opcodes -------------------------------------------------
+
+/// Register a source (body: kind u8, lag i64, name str).
+pub const OP_ADD_SOURCE: u8 = 0x01;
+/// Ingest one snippet (body: snippet).
+pub const OP_INGEST_SNIPPET: u8 = 0x02;
+/// Ingest a batch (body: count u32, snippets).
+pub const OP_INGEST_BATCH: u8 = 0x03;
+/// Query the per-source story partition (empty body).
+pub const OP_QUERY_STORIES: u8 = 0x04;
+/// Fetch one story (body: story u32).
+pub const OP_GET_STORY: u8 = 0x05;
+/// Remove a document everywhere (body: doc u32).
+pub const OP_REMOVE_DOC: u8 = 0x06;
+/// Fetch per-shard serving statistics (empty body).
+pub const OP_STATS: u8 = 0x07;
+/// Drain, checkpoint, and stop the server (empty body).
+pub const OP_SHUTDOWN: u8 = 0x08;
+
+// ---- response opcodes ------------------------------------------------
+
+/// Source registered (body: source u32).
+pub const OP_SOURCE_ADDED: u8 = 0x81;
+/// Snippet ingested (body: story u32).
+pub const OP_INGESTED: u8 = 0x82;
+/// Batch ingested (body: count u32).
+pub const OP_BATCH_INGESTED: u8 = 0x83;
+/// Story partition (body: count u32, summaries).
+pub const OP_STORIES: u8 = 0x84;
+/// One story (body: summary).
+pub const OP_STORY: u8 = 0x85;
+/// Document removed (body: count u32).
+pub const OP_REMOVED: u8 = 0x86;
+/// Serving statistics (body: shard count u32, shard stats).
+pub const OP_STATS_REPLY: u8 = 0x87;
+/// Server drained and checkpointed (empty body).
+pub const OP_SHUTDOWN_ACK: u8 = 0x88;
+/// Shard queue full — retry later (body: retry_after_ms u32).
+pub const OP_BUSY: u8 = 0x89;
+/// Request failed (body: code u8, message str).
+pub const OP_ERROR: u8 = 0x8A;
+
+// ---- bounded readers -------------------------------------------------
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        Err(Error::Codec(format!(
+            "truncated frame: need {n} bytes for {what}, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut impl Buf, what: &str) -> Result<u8> {
+    need(buf, 1, what)?;
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut impl Buf, what: &str) -> Result<u32> {
+    need(buf, 4, what)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_i64(buf: &mut impl Buf, what: &str) -> Result<i64> {
+    need(buf, 8, what)?;
+    Ok(buf.get_i64_le())
+}
+
+fn put_str(buf: &mut impl BufMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut impl Buf, what: &str) -> Result<String> {
+    let len = get_u32(buf, what)? as usize;
+    need(buf, len, what)?;
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| Error::Codec(format!("invalid utf-8 in {what}")))
+}
+
+// ---- requests --------------------------------------------------------
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a source; the server allocates the id and routes the
+    /// source to its shard.
+    AddSource {
+        /// Display name.
+        name: String,
+        /// Source kind.
+        kind: SourceKind,
+        /// Typical reporting lag in seconds.
+        lag: i64,
+    },
+    /// Ingest one snippet (BUSY backpressure applies).
+    IngestSnippet(Snippet),
+    /// Ingest a batch (blocks on full shard queues instead of BUSY).
+    IngestBatch(Vec<Snippet>),
+    /// The per-source story partition across all shards.
+    QueryStories,
+    /// One story's summary.
+    GetStory(StoryId),
+    /// Remove a document from every shard.
+    RemoveDoc(DocId),
+    /// Per-shard serving statistics.
+    Stats,
+    /// Drain queues, checkpoint every shard, stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode opcode + body (without the length prefix).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Request::AddSource { name, kind, lag } => {
+                buf.put_u8(OP_ADD_SOURCE);
+                buf.put_u8(kind.code());
+                buf.put_i64_le(*lag);
+                put_str(buf, name);
+            }
+            Request::IngestSnippet(s) => {
+                buf.put_u8(OP_INGEST_SNIPPET);
+                encode_snippet(buf, s);
+            }
+            Request::IngestBatch(batch) => {
+                buf.put_u8(OP_INGEST_BATCH);
+                buf.put_u32_le(batch.len() as u32);
+                for s in batch {
+                    encode_snippet(buf, s);
+                }
+            }
+            Request::QueryStories => buf.put_u8(OP_QUERY_STORIES),
+            Request::GetStory(id) => {
+                buf.put_u8(OP_GET_STORY);
+                buf.put_u32_le(id.raw());
+            }
+            Request::RemoveDoc(doc) => {
+                buf.put_u8(OP_REMOVE_DOC);
+                buf.put_u32_le(doc.raw());
+            }
+            Request::Stats => buf.put_u8(OP_STATS),
+            Request::Shutdown => buf.put_u8(OP_SHUTDOWN),
+        }
+    }
+
+    /// Decode a full frame payload (opcode + body); trailing bytes are
+    /// a codec error.
+    pub fn decode(mut payload: &[u8]) -> Result<Request> {
+        let buf = &mut payload;
+        let op = get_u8(buf, "request opcode")?;
+        let req = match op {
+            OP_ADD_SOURCE => {
+                let code = get_u8(buf, "source kind")?;
+                let kind = SourceKind::from_code(code)
+                    .ok_or_else(|| Error::Codec(format!("invalid source kind code {code}")))?;
+                let lag = get_i64(buf, "source lag")?;
+                let name = get_str(buf, "source name")?;
+                Request::AddSource { name, kind, lag }
+            }
+            OP_INGEST_SNIPPET => Request::IngestSnippet(decode_snippet(buf)?),
+            OP_INGEST_BATCH => {
+                let n = get_u32(buf, "batch count")? as usize;
+                // A snippet encodes to ≥ 29 bytes; reject absurd counts
+                // before allocating.
+                need(buf, n.saturating_mul(29), "batch snippets")?;
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    batch.push(decode_snippet(buf)?);
+                }
+                Request::IngestBatch(batch)
+            }
+            OP_QUERY_STORIES => Request::QueryStories,
+            OP_GET_STORY => Request::GetStory(StoryId::new(get_u32(buf, "story id")?)),
+            OP_REMOVE_DOC => Request::RemoveDoc(DocId::new(get_u32(buf, "doc id")?)),
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(Error::Codec(format!("unknown request opcode 0x{other:02x}"))),
+        };
+        if buf.has_remaining() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after request",
+                buf.remaining()
+            )));
+        }
+        Ok(req)
+    }
+}
+
+// ---- story summaries -------------------------------------------------
+
+/// A story as reported over the wire: identity, lifespan, members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorySummary {
+    /// The per-source story id.
+    pub id: StoryId,
+    /// The owning source.
+    pub source: SourceId,
+    /// The story's lifespan.
+    pub lifespan: TimeRange,
+    /// Member snippets, sorted by id.
+    pub members: Vec<SnippetId>,
+}
+
+fn encode_summary(buf: &mut impl BufMut, s: &StorySummary) {
+    buf.put_u32_le(s.id.raw());
+    buf.put_u32_le(s.source.raw());
+    buf.put_i64_le(s.lifespan.start.secs());
+    buf.put_i64_le(s.lifespan.end.secs());
+    buf.put_u32_le(s.members.len() as u32);
+    for m in &s.members {
+        buf.put_u32_le(m.raw());
+    }
+}
+
+fn decode_summary(buf: &mut impl Buf) -> Result<StorySummary> {
+    let id = StoryId::new(get_u32(buf, "story id")?);
+    let source = SourceId::new(get_u32(buf, "story source")?);
+    let start = get_i64(buf, "story start")?;
+    let end = get_i64(buf, "story end")?;
+    let n = get_u32(buf, "member count")? as usize;
+    need(buf, n.saturating_mul(4), "story members")?;
+    let mut members = Vec::with_capacity(n);
+    for _ in 0..n {
+        members.push(SnippetId::new(buf.get_u32_le()));
+    }
+    Ok(StorySummary {
+        id,
+        source,
+        lifespan: TimeRange::new(
+            storypivot_types::Timestamp::from_secs(start),
+            storypivot_types::Timestamp::from_secs(end),
+        ),
+        members,
+    })
+}
+
+// ---- responses -------------------------------------------------------
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The id allocated for a registered source.
+    SourceAdded(SourceId),
+    /// The per-source story the ingested snippet joined.
+    Ingested(StoryId),
+    /// How many snippets of a batch were ingested.
+    BatchIngested(u32),
+    /// The story partition, ordered by story id.
+    Stories(Vec<StorySummary>),
+    /// One story's summary.
+    Story(StorySummary),
+    /// How many snippets a document removal evicted.
+    Removed(u32),
+    /// Per-shard serving statistics.
+    Stats(ServeStats),
+    /// The server drained every queue and wrote its checkpoint.
+    ShutdownAck,
+    /// The target shard's queue is full; retry after the hint.
+    Busy {
+        /// Suggested client-side backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The request failed.
+    Error {
+        /// Coarse error class (see [`error_code`]).
+        code: u8,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Map an engine error to its wire code (1 unknown reference,
+/// 2 duplicate, 3 parse, 4 codec, 5 config, 6 invariant, 7 i/o).
+pub fn error_code(e: &Error) -> u8 {
+    match e {
+        Error::UnknownSnippet(_)
+        | Error::UnknownStory(_)
+        | Error::UnknownGlobalStory(_)
+        | Error::UnknownSource(_)
+        | Error::UnknownDocument(_) => 1,
+        Error::Duplicate(_) => 2,
+        Error::Parse(_) => 3,
+        Error::Codec(_) => 4,
+        Error::InvalidConfig(_) => 5,
+        Error::Invariant(_) => 6,
+        Error::Io(_) => 7,
+    }
+}
+
+impl Response {
+    /// The error response for an engine error.
+    pub fn from_error(e: &Error) -> Response {
+        Response::Error {
+            code: error_code(e),
+            message: e.to_string(),
+        }
+    }
+
+    /// Turn an error response back into an [`Error`] (client side).
+    pub fn into_result(self) -> Result<Response> {
+        match self {
+            Response::Error { code, message } => Err(match code {
+                3 => Error::Parse(message),
+                4 => Error::Codec(message),
+                5 => Error::InvalidConfig(message),
+                6 => Error::Invariant(message),
+                _ => Error::Io(format!("server error: {message}")),
+            }),
+            other => Ok(other),
+        }
+    }
+
+    /// Encode opcode + body (without the length prefix).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Response::SourceAdded(id) => {
+                buf.put_u8(OP_SOURCE_ADDED);
+                buf.put_u32_le(id.raw());
+            }
+            Response::Ingested(story) => {
+                buf.put_u8(OP_INGESTED);
+                buf.put_u32_le(story.raw());
+            }
+            Response::BatchIngested(n) => {
+                buf.put_u8(OP_BATCH_INGESTED);
+                buf.put_u32_le(*n);
+            }
+            Response::Stories(stories) => {
+                buf.put_u8(OP_STORIES);
+                buf.put_u32_le(stories.len() as u32);
+                for s in stories {
+                    encode_summary(buf, s);
+                }
+            }
+            Response::Story(s) => {
+                buf.put_u8(OP_STORY);
+                encode_summary(buf, s);
+            }
+            Response::Removed(n) => {
+                buf.put_u8(OP_REMOVED);
+                buf.put_u32_le(*n);
+            }
+            Response::Stats(stats) => {
+                buf.put_u8(OP_STATS_REPLY);
+                buf.put_u32_le(stats.shards.len() as u32);
+                for s in &stats.shards {
+                    s.encode(buf);
+                }
+            }
+            Response::ShutdownAck => buf.put_u8(OP_SHUTDOWN_ACK),
+            Response::Busy { retry_after_ms } => {
+                buf.put_u8(OP_BUSY);
+                buf.put_u32_le(*retry_after_ms);
+            }
+            Response::Error { code, message } => {
+                buf.put_u8(OP_ERROR);
+                buf.put_u8(*code);
+                put_str(buf, message);
+            }
+        }
+    }
+
+    /// Decode a full frame payload (opcode + body); trailing bytes are
+    /// a codec error.
+    pub fn decode(mut payload: &[u8]) -> Result<Response> {
+        let buf = &mut payload;
+        let op = get_u8(buf, "response opcode")?;
+        let resp = match op {
+            OP_SOURCE_ADDED => Response::SourceAdded(SourceId::new(get_u32(buf, "source id")?)),
+            OP_INGESTED => Response::Ingested(StoryId::new(get_u32(buf, "story id")?)),
+            OP_BATCH_INGESTED => Response::BatchIngested(get_u32(buf, "batch count")?),
+            OP_STORIES => {
+                let n = get_u32(buf, "story count")? as usize;
+                need(buf, n.saturating_mul(24), "story summaries")?;
+                let mut stories = Vec::with_capacity(n);
+                for _ in 0..n {
+                    stories.push(decode_summary(buf)?);
+                }
+                Response::Stories(stories)
+            }
+            OP_STORY => Response::Story(decode_summary(buf)?),
+            OP_REMOVED => Response::Removed(get_u32(buf, "removed count")?),
+            OP_STATS_REPLY => {
+                let n = get_u32(buf, "shard count")? as usize;
+                need(buf, n.saturating_mul(ShardStats::ENCODED_LEN), "shard stats")?;
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shards.push(ShardStats::decode(buf)?);
+                }
+                Response::Stats(ServeStats { shards })
+            }
+            OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            OP_BUSY => Response::Busy {
+                retry_after_ms: get_u32(buf, "retry hint")?,
+            },
+            OP_ERROR => {
+                let code = get_u8(buf, "error code")?;
+                let message = get_str(buf, "error message")?;
+                Response::Error { code, message }
+            }
+            other => return Err(Error::Codec(format!("unknown response opcode 0x{other:02x}"))),
+        };
+        if buf.has_remaining() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after response",
+                buf.remaining()
+            )));
+        }
+        Ok(resp)
+    }
+}
+
+// ---- shard-stats codec (kept next to the other wire formats) ---------
+
+impl ShardStats {
+    /// Fixed encoded size in bytes.
+    pub const ENCODED_LEN: usize = 4 * 5 + 8 * 8;
+
+    /// Append the wire encoding.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.shard);
+        buf.put_u32_le(self.sources);
+        buf.put_u32_le(self.queue_depth);
+        buf.put_u32_le(self.queue_capacity);
+        buf.put_u32_le(self.stories as u32);
+        buf.put_u64_le(self.snippets);
+        buf.put_u64_le(self.ingested);
+        buf.put_u64_le(self.queries);
+        buf.put_u64_le(self.busy_rejections);
+        buf.put_u64_le(self.ingest_count);
+        buf.put_u64_le(self.ingest_p50_ns);
+        buf.put_u64_le(self.ingest_p95_ns);
+        buf.put_u64_le(self.ingest_p99_ns);
+    }
+
+    /// Decode one shard's stats.
+    pub fn decode(buf: &mut impl Buf) -> Result<ShardStats> {
+        need(buf, Self::ENCODED_LEN, "shard stats")?;
+        Ok(ShardStats {
+            shard: buf.get_u32_le(),
+            sources: buf.get_u32_le(),
+            queue_depth: buf.get_u32_le(),
+            queue_capacity: buf.get_u32_le(),
+            stories: buf.get_u32_le() as u64,
+            snippets: buf.get_u64_le(),
+            ingested: buf.get_u64_le(),
+            queries: buf.get_u64_le(),
+            busy_rejections: buf.get_u64_le(),
+            ingest_count: buf.get_u64_le(),
+            ingest_p50_ns: buf.get_u64_le(),
+            ingest_p95_ns: buf.get_u64_le(),
+            ingest_p99_ns: buf.get_u64_le(),
+        })
+    }
+}
+
+// ---- frame I/O -------------------------------------------------------
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Encode a request or response into a ready-to-send frame.
+pub fn frame(encode: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    payload.extend_from_slice(&[0, 0, 0, 0]);
+    encode(&mut payload);
+    let len = (payload.len() - 4) as u32;
+    payload[..4].copy_from_slice(&len.to_le_bytes());
+    payload
+}
+
+/// Read one frame's payload. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; a torn frame (EOF mid-length or mid-body), an empty
+/// frame, or an oversized length prefix is [`Error::Codec`] — and the
+/// oversized case is rejected *before* allocating.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(Error::Codec(format!(
+                    "torn frame: connection closed after {filled} of 4 length bytes"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 {
+        return Err(Error::Codec("empty frame (no opcode)".into()));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Codec(format!(
+            "oversized frame: {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            Error::Codec(format!("torn frame: connection closed inside a {len}-byte frame"))
+        } else {
+            Error::Io(e.to_string())
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_types::{EntityId, EventType, TermId, Timestamp};
+
+    fn sample_snippet(id: u32) -> Snippet {
+        Snippet::builder(SnippetId::new(id), SourceId::new(2), Timestamp::from_ymd(2014, 7, 17))
+            .doc(DocId::new(5))
+            .entity(EntityId::new(1), 1.5)
+            .term(TermId::new(9), 0.25)
+            .event_type(EventType::Accident)
+            .headline("MH17 down — früh")
+            .build()
+    }
+
+    fn round_trip_request(req: Request) {
+        let f = frame(|b| req.encode(b));
+        let mut r: &[u8] = &f;
+        let payload = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+        assert!(!r.has_remaining());
+    }
+
+    fn round_trip_response(resp: Response) {
+        let f = frame(|b| resp.encode(b));
+        let mut r: &[u8] = &f;
+        let payload = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        round_trip_request(Request::AddSource {
+            name: "Ümlaut News".into(),
+            kind: SourceKind::Blog,
+            lag: -3600,
+        });
+        round_trip_request(Request::IngestSnippet(sample_snippet(7)));
+        round_trip_request(Request::IngestBatch(vec![sample_snippet(1), sample_snippet(2)]));
+        round_trip_request(Request::IngestBatch(Vec::new()));
+        round_trip_request(Request::QueryStories);
+        round_trip_request(Request::GetStory(StoryId::new(513)));
+        round_trip_request(Request::RemoveDoc(DocId::new(5)));
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        round_trip_response(Response::SourceAdded(SourceId::new(3)));
+        round_trip_response(Response::Ingested(StoryId::new(1 << 24)));
+        round_trip_response(Response::BatchIngested(9000));
+        round_trip_response(Response::Stories(vec![StorySummary {
+            id: StoryId::new(42),
+            source: SourceId::new(0),
+            lifespan: TimeRange::new(Timestamp::from_secs(-5), Timestamp::from_secs(99)),
+            members: vec![SnippetId::new(1), SnippetId::new(2)],
+        }]));
+        round_trip_response(Response::Removed(3));
+        round_trip_response(Response::Stats(ServeStats {
+            shards: vec![ShardStats {
+                shard: 1,
+                sources: 2,
+                queue_depth: 3,
+                queue_capacity: 64,
+                stories: 17,
+                snippets: 1000,
+                ingested: 999,
+                queries: 5,
+                busy_rejections: 7,
+                ingest_count: 999,
+                ingest_p50_ns: 1_000,
+                ingest_p95_ns: 5_000,
+                ingest_p99_ns: 9_000,
+            }],
+        }));
+        round_trip_response(Response::ShutdownAck);
+        round_trip_response(Response::Busy { retry_after_ms: 10 });
+        round_trip_response(Response::Error {
+            code: 4,
+            message: "codec error: torn".into(),
+        });
+    }
+
+    #[test]
+    fn garbage_opcodes_are_codec_errors() {
+        assert!(matches!(Request::decode(&[0x7F]), Err(Error::Codec(_))));
+        assert!(matches!(Response::decode(&[0x01]), Err(Error::Codec(_))));
+        assert!(matches!(Request::decode(&[]), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Vec::new();
+        Request::QueryStories.encode(&mut payload);
+        payload.push(0xEE);
+        assert!(matches!(Request::decode(&payload), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&u32::MAX.to_le_bytes());
+        framed.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(&mut &framed[..]).unwrap_err();
+        assert!(err.to_string().contains("oversized"), "{err}");
+    }
+
+    #[test]
+    fn torn_frames_are_codec_errors_clean_eof_is_none() {
+        // Clean EOF at a boundary.
+        assert_eq!(read_frame(&mut &[][..]).unwrap(), None);
+        // EOF inside the length prefix.
+        let err = read_frame(&mut &[1u8, 0][..]).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        // EOF inside the body.
+        let full = frame(|b| Request::Stats.encode(b));
+        let err = read_frame(&mut &full[..full.len() - 1][..]).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        // Zero-length frame.
+        let err = read_frame(&mut &[0u8, 0, 0, 0][..]).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn absurd_batch_count_rejected_before_allocation() {
+        let mut payload = Vec::new();
+        payload.put_u8(OP_INGEST_BATCH);
+        payload.put_u32_le(u32::MAX);
+        assert!(matches!(Request::decode(&payload), Err(Error::Codec(_))));
+    }
+}

@@ -1,0 +1,635 @@
+//! The sharded, backpressured TCP server.
+//!
+//! Topology: one acceptor thread, one handler thread per connection,
+//! and N *shard* worker threads. Each shard owns a full
+//! [`DynamicPivot`] engine holding a disjoint subset of sources
+//! (`source id mod N`), so identification — which is per-source by
+//! construction (paper §2.1) — is embarrassingly parallel across
+//! shards, and alignment runs per shard over its own sources.
+//!
+//! Handlers never touch an engine: every frame becomes a [`Job`] routed
+//! to its shard through a bounded queue ([`substrate::queue::Bounded`]).
+//! When an ingest hits a full queue the handler replies BUSY with a
+//! retry-after hint instead of buffering — memory is bounded by
+//! `shards × queue_depth` jobs no matter how fast clients push. Batch
+//! ingests and control frames (query/stats/shutdown) block on the queue
+//! instead: they are few, and blocking keeps their semantics simple.
+//!
+//! SHUTDOWN drains: a `Drain` job is pushed behind all accepted work on
+//! every shard, each shard flushes its engine (final alignment +
+//! refinement) and writes a [`core::checkpoint`] file, the queues are
+//! closed, and only then is the ack sent.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use storypivot_core::config::PivotConfig;
+use storypivot_core::pipeline::{DynamicPivot, PipelinePolicy};
+use storypivot_core::refine::story_source;
+use storypivot_substrate::queue::{Bounded, PushError};
+use storypivot_substrate::timing::Histogram;
+use storypivot_types::{DocId, Error, Result, Snippet, Source, SourceId, SourceKind, StoryId};
+
+use crate::proto::{frame, read_frame, Request, Response, StorySummary};
+use crate::stats::{ServeStats, ShardStats};
+
+/// The maximum number of sources the story-id partitioning scheme
+/// supports (see `core::identify::STORY_ID_STRIDE`).
+const MAX_SOURCES: u32 = 256;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of shard worker threads (engines). Sources are routed by
+    /// `source id mod shards`.
+    pub shards: usize,
+    /// Bounded depth of each shard's job queue; a full queue turns
+    /// single-snippet ingests into BUSY replies.
+    pub queue_depth: usize,
+    /// Engine configuration applied to every shard.
+    pub pivot: PivotConfig,
+    /// Per-shard incremental re-alignment period (snippets); see
+    /// [`PipelinePolicy::align_every`].
+    pub align_every: usize,
+    /// Where shutdown checkpoints are written (`shard{i}.spvc`);
+    /// `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// The retry-after hint carried by BUSY replies, in milliseconds.
+    pub retry_after_ms: u32,
+    /// Artificial per-job delay in each shard worker. Zero in
+    /// production; tests use it to hold a queue full deterministically.
+    pub worker_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            queue_depth: 1024,
+            pivot: PivotConfig::default(),
+            align_every: 256,
+            checkpoint_dir: None,
+            retry_after_ms: 10,
+            worker_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The reply half of a shard job. `sync_channel(1)` so a shard can
+/// always deliver without blocking on a slow handler.
+type Reply = SyncSender<Response>;
+
+/// Work routed to one shard.
+enum Job {
+    AddSource(Source, Reply),
+    Ingest(Snippet, Reply),
+    IngestMany(Vec<Snippet>, Reply),
+    Query(Reply),
+    GetStory(StoryId, Reply),
+    RemoveDoc(DocId, Reply),
+    Stats(Reply),
+    /// Flush + checkpoint; the shard replies once its state is durable.
+    Drain(Reply),
+}
+
+/// State shared between the acceptor, handlers, and [`ServerHandle`].
+struct Shared {
+    queues: Vec<Bounded<Job>>,
+    busy_counters: Vec<Arc<AtomicU64>>,
+    next_source: AtomicU32,
+    shutting_down: AtomicBool,
+    done: AtomicBool,
+    retry_after_ms: u32,
+}
+
+impl Shared {
+    fn shard_of_source(&self, source: SourceId) -> usize {
+        source.raw() as usize % self.queues.len()
+    }
+}
+
+/// A running server: its bound address plus the thread handles needed
+/// to wait for a client-driven SHUTDOWN.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a SHUTDOWN has completed (queues closed, checkpoints
+    /// written, acceptor stopping).
+    pub fn is_done(&self) -> bool {
+        self.shared.done.load(Ordering::SeqCst)
+    }
+
+    /// Block until the server shuts down (a client must send SHUTDOWN),
+    /// then join every shard worker and the acceptor.
+    pub fn join(mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+/// Bind and start serving. `addr` may use port 0 for an ephemeral port;
+/// the bound address is available via [`ServerHandle::addr`].
+pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandle> {
+    if cfg.shards == 0 {
+        return Err(Error::InvalidConfig("serve: shards must be >= 1".into()));
+    }
+    if cfg.queue_depth == 0 {
+        return Err(Error::InvalidConfig("serve: queue_depth must be >= 1".into()));
+    }
+    cfg.pivot.validate()?;
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let queues: Vec<Bounded<Job>> = (0..cfg.shards).map(|_| Bounded::new(cfg.queue_depth)).collect();
+    let busy_counters: Vec<Arc<AtomicU64>> =
+        (0..cfg.shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let shared = Arc::new(Shared {
+        queues: queues.clone(),
+        busy_counters: busy_counters.clone(),
+        next_source: AtomicU32::new(0),
+        shutting_down: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        retry_after_ms: cfg.retry_after_ms,
+    });
+
+    let mut workers = Vec::with_capacity(cfg.shards);
+    for (idx, queue) in queues.into_iter().enumerate() {
+        let shard = ShardWorker {
+            idx,
+            engine: DynamicPivot::new(
+                cfg.pivot.clone(),
+                PipelinePolicy {
+                    align_every: cfg.align_every,
+                    ..PipelinePolicy::default()
+                },
+            ),
+            hist: Histogram::new(),
+            ingested: 0,
+            queries: 0,
+            busy: Arc::clone(&busy_counters[idx]),
+            queue,
+            checkpoint_dir: cfg.checkpoint_dir.clone(),
+            worker_delay: cfg.worker_delay,
+        };
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("pivot-shard-{idx}"))
+                .spawn(move || shard.run())
+                .map_err(|e| Error::Io(format!("spawn shard worker: {e}")))?,
+        );
+    }
+
+    let accept_shared = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("pivot-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .map_err(|e| Error::Io(format!("spawn acceptor: {e}")))?;
+
+    Ok(ServerHandle {
+        addr: bound,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.done.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let conn_shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("pivot-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// One connection: read frame → route → write response, until the peer
+/// closes or a protocol error desynchronises the stream.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean close at a frame boundary.
+            Ok(None) => return,
+            Err(e) => {
+                // Torn/oversized frame: report once (best effort) and
+                // close — the stream position is no longer trustworthy.
+                let resp = Response::from_error(&e);
+                let _ = writer.write_all(&frame(|b| resp.encode(b)));
+                let _ = writer.flush();
+                return;
+            }
+        };
+        let (resp, close_after) = match Request::decode(&payload) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                (dispatch(&shared, req), is_shutdown)
+            }
+            // Garbage opcode / truncated body: reply, then close.
+            Err(e) => (Response::from_error(&e), true),
+        };
+        if writer.write_all(&frame(|b| resp.encode(b))).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if close_after {
+            return;
+        }
+    }
+}
+
+fn reply_channel() -> (Reply, std::sync::mpsc::Receiver<Response>) {
+    std::sync::mpsc::sync_channel(1)
+}
+
+/// Await one shard's reply; a dead shard (worker exited or panicked)
+/// becomes an error response rather than a hang.
+fn await_reply(rx: std::sync::mpsc::Receiver<Response>) -> Response {
+    rx.recv().unwrap_or(Response::Error {
+        code: 7,
+        message: "shard worker unavailable".into(),
+    })
+}
+
+/// Push a control-plane job, blocking while the queue is full. Returns
+/// an error response when the queue is closed (server shutting down).
+fn push_blocking(queue: &Bounded<Job>, job: Job) -> Option<Response> {
+    match queue.push(job) {
+        Ok(()) => None,
+        Err(_) => Some(Response::Error {
+            code: 7,
+            message: "server is shutting down".into(),
+        }),
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
+    match req {
+        Request::AddSource { name, kind, lag } => add_source(shared, name, kind, lag),
+        Request::IngestSnippet(snippet) => ingest_one(shared, snippet),
+        Request::IngestBatch(batch) => ingest_batch(shared, batch),
+        Request::QueryStories => broadcast_merge(shared, Job::Query, |responses| {
+            let mut stories = Vec::new();
+            for r in responses {
+                match r {
+                    Response::Stories(mut s) => stories.append(&mut s),
+                    other => return other,
+                }
+            }
+            stories.sort_unstable_by_key(|s: &StorySummary| s.id);
+            Response::Stories(stories)
+        }),
+        Request::GetStory(id) => {
+            let shard = shared.shard_of_source(story_source(id));
+            let (tx, rx) = reply_channel();
+            if let Some(err) = push_blocking(&shared.queues[shard], Job::GetStory(id, tx)) {
+                return err;
+            }
+            await_reply(rx)
+        }
+        Request::RemoveDoc(doc) => broadcast_merge(shared, move |tx| Job::RemoveDoc(doc, tx), {
+            move |responses| {
+                let mut total = 0u32;
+                for r in responses {
+                    match r {
+                        Response::Removed(n) => total += n,
+                        other => return other,
+                    }
+                }
+                if total == 0 {
+                    Response::from_error(&Error::UnknownDocument(doc))
+                } else {
+                    Response::Removed(total)
+                }
+            }
+        }),
+        Request::Stats => broadcast_merge(shared, Job::Stats, |responses| {
+            let mut shards = Vec::new();
+            for r in responses {
+                match r {
+                    Response::Stats(s) => shards.extend(s.shards),
+                    other => return other,
+                }
+            }
+            shards.sort_unstable_by_key(|s: &ShardStats| s.shard);
+            Response::Stats(ServeStats { shards })
+        }),
+        Request::Shutdown => shutdown(shared),
+    }
+}
+
+fn add_source(shared: &Arc<Shared>, name: String, kind: SourceKind, lag: i64) -> Response {
+    let id = shared.next_source.fetch_add(1, Ordering::SeqCst);
+    if id >= MAX_SOURCES {
+        return Response::from_error(&Error::InvalidConfig(format!(
+            "source limit reached ({MAX_SOURCES}): story-id partitioning supports at most \
+             {MAX_SOURCES} sources"
+        )));
+    }
+    let source = Source::new(SourceId::new(id), name, kind).with_lag(lag);
+    let shard = shared.shard_of_source(source.id);
+    let (tx, rx) = reply_channel();
+    if let Some(err) = push_blocking(&shared.queues[shard], Job::AddSource(source, tx)) {
+        return err;
+    }
+    await_reply(rx)
+}
+
+/// The BUSY fast path: one snippet, one `try_push`. A full shard queue
+/// is the client's problem (retry after the hint), never the server's
+/// memory.
+fn ingest_one(shared: &Arc<Shared>, snippet: Snippet) -> Response {
+    let shard = shared.shard_of_source(snippet.source);
+    let (tx, rx) = reply_channel();
+    match shared.queues[shard].try_push(Job::Ingest(snippet, tx)) {
+        Ok(()) => await_reply(rx),
+        Err(PushError::Full(_)) => {
+            shared.busy_counters[shard].fetch_add(1, Ordering::Relaxed);
+            Response::Busy {
+                retry_after_ms: shared.retry_after_ms,
+            }
+        }
+        Err(PushError::Closed(_)) => Response::Error {
+            code: 7,
+            message: "server is shutting down".into(),
+        },
+    }
+}
+
+/// Batch ingest: split by shard (preserving order within each shard),
+/// block on full queues — a bulk load wants backpressure, not retries —
+/// and sum the per-shard counts.
+fn ingest_batch(shared: &Arc<Shared>, batch: Vec<Snippet>) -> Response {
+    let n_shards = shared.queues.len();
+    let mut by_shard: Vec<Vec<Snippet>> = vec![Vec::new(); n_shards];
+    for s in batch {
+        let shard = shared.shard_of_source(s.source);
+        by_shard[shard].push(s);
+    }
+    let mut pending = Vec::new();
+    for (shard, sub) in by_shard.into_iter().enumerate() {
+        if sub.is_empty() {
+            continue;
+        }
+        let (tx, rx) = reply_channel();
+        if let Some(err) = push_blocking(&shared.queues[shard], Job::IngestMany(sub, tx)) {
+            return err;
+        }
+        pending.push(rx);
+    }
+    let mut total = 0u32;
+    for rx in pending {
+        match await_reply(rx) {
+            Response::BatchIngested(n) => total += n,
+            other => return other,
+        }
+    }
+    Response::BatchIngested(total)
+}
+
+/// Send one job to every shard and merge the replies.
+fn broadcast_merge(
+    shared: &Arc<Shared>,
+    make_job: impl Fn(Reply) -> Job,
+    merge: impl FnOnce(Vec<Response>) -> Response,
+) -> Response {
+    let mut pending = Vec::with_capacity(shared.queues.len());
+    for queue in &shared.queues {
+        let (tx, rx) = reply_channel();
+        if let Some(err) = push_blocking(queue, make_job(tx)) {
+            return err;
+        }
+        pending.push(rx);
+    }
+    merge(pending.into_iter().map(await_reply).collect())
+}
+
+/// Drain + checkpoint every shard, close the queues, stop accepting.
+/// Idempotent: concurrent or repeated SHUTDOWNs all ack.
+fn shutdown(shared: &Arc<Shared>) -> Response {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        // Another connection is already driving the shutdown; wait for
+        // it to finish so the ack means "durable".
+        while !shared.done.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        return Response::ShutdownAck;
+    }
+    let mut pending = Vec::with_capacity(shared.queues.len());
+    for queue in &shared.queues {
+        let (tx, rx) = reply_channel();
+        // The Drain sits behind all previously accepted work: by the
+        // time a shard replies, its queue prefix has been fully applied.
+        if push_blocking(queue, Job::Drain(tx)).is_none() {
+            pending.push(rx);
+        }
+    }
+    let mut failure = None;
+    for rx in pending {
+        match await_reply(rx) {
+            Response::ShutdownAck => {}
+            other => failure = Some(other),
+        }
+    }
+    for queue in &shared.queues {
+        queue.close();
+    }
+    shared.done.store(true, Ordering::SeqCst);
+    failure.unwrap_or(Response::ShutdownAck)
+}
+
+// ---- shard worker ----------------------------------------------------
+
+struct ShardWorker {
+    idx: usize,
+    engine: DynamicPivot,
+    hist: Histogram,
+    ingested: u64,
+    queries: u64,
+    busy: Arc<AtomicU64>,
+    queue: Bounded<Job>,
+    checkpoint_dir: Option<PathBuf>,
+    worker_delay: Duration,
+}
+
+impl ShardWorker {
+    fn run(mut self) {
+        while let Some(job) = self.queue.pop() {
+            if !self.worker_delay.is_zero() {
+                std::thread::sleep(self.worker_delay);
+            }
+            // A dropped receiver (handler gone) is not an error.
+            let _ = match job {
+                Job::AddSource(source, reply) => reply.send(self.add_source(source)),
+                Job::Ingest(snippet, reply) => reply.send(self.ingest(snippet)),
+                Job::IngestMany(batch, reply) => reply.send(self.ingest_many(batch)),
+                Job::Query(reply) => reply.send(self.query()),
+                Job::GetStory(id, reply) => reply.send(self.get_story(id)),
+                Job::RemoveDoc(doc, reply) => reply.send(self.remove_doc(doc)),
+                Job::Stats(reply) => reply.send(self.stats()),
+                Job::Drain(reply) => reply.send(self.drain()),
+            };
+        }
+    }
+
+    fn add_source(&mut self, source: Source) -> Response {
+        match self.engine.pivot_mut().add_source_registered(source) {
+            Ok(id) => Response::SourceAdded(id),
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    fn ingest(&mut self, snippet: Snippet) -> Response {
+        let t = Instant::now();
+        match self.engine.ingest(snippet) {
+            Ok(story) => {
+                self.hist.record(t.elapsed().as_nanos() as u64);
+                self.ingested += 1;
+                Response::Ingested(story)
+            }
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    fn ingest_many(&mut self, batch: Vec<Snippet>) -> Response {
+        let mut count = 0u32;
+        for snippet in batch {
+            let t = Instant::now();
+            match self.engine.ingest(snippet) {
+                Ok(_) => {
+                    self.hist.record(t.elapsed().as_nanos() as u64);
+                    self.ingested += 1;
+                    count += 1;
+                }
+                Err(e) => {
+                    return Response::Error {
+                        code: crate::proto::error_code(&e),
+                        message: format!("{e} (after {count} snippets of the batch)"),
+                    }
+                }
+            }
+        }
+        Response::BatchIngested(count)
+    }
+
+    fn summaries(&self) -> Vec<StorySummary> {
+        let pivot = self.engine.pivot();
+        pivot
+            .story_partition()
+            .into_iter()
+            .map(|(id, members)| StorySummary {
+                id,
+                source: story_source(id),
+                lifespan: pivot.story(id).expect("partitioned story exists").lifespan(),
+                members,
+            })
+            .collect()
+    }
+
+    fn query(&mut self) -> Response {
+        self.queries += 1;
+        Response::Stories(self.summaries())
+    }
+
+    fn get_story(&mut self, id: StoryId) -> Response {
+        self.queries += 1;
+        match self.engine.pivot().story(id) {
+            Some(state) => {
+                let mut members = state.story.members.clone();
+                members.sort_unstable();
+                Response::Story(StorySummary {
+                    id,
+                    source: state.source(),
+                    lifespan: state.lifespan(),
+                    members,
+                })
+            }
+            None => Response::from_error(&Error::UnknownStory(id)),
+        }
+    }
+
+    fn remove_doc(&mut self, doc: DocId) -> Response {
+        match self.engine.pivot_mut().remove_document(doc) {
+            Ok(n) => Response::Removed(n as u32),
+            // Sharding splits documents across engines: "unknown here"
+            // just means zero local snippets; the router sums.
+            Err(Error::UnknownDocument(_)) => Response::Removed(0),
+            Err(e) => Response::from_error(&e),
+        }
+    }
+
+    fn stats(&mut self) -> Response {
+        let pivot = self.engine.pivot();
+        Response::Stats(ServeStats {
+            shards: vec![ShardStats {
+                shard: self.idx as u32,
+                sources: pivot.sources().len() as u32,
+                queue_depth: self.queue.len() as u32,
+                queue_capacity: self.queue.capacity() as u32,
+                stories: pivot.story_count() as u64,
+                snippets: pivot.store().len() as u64,
+                ingested: self.ingested,
+                queries: self.queries,
+                busy_rejections: self.busy.load(Ordering::Relaxed),
+                ingest_count: self.hist.count(),
+                ingest_p50_ns: self.hist.percentile(0.50),
+                ingest_p95_ns: self.hist.percentile(0.95),
+                ingest_p99_ns: self.hist.percentile(0.99),
+            }],
+        })
+    }
+
+    fn drain(&mut self) -> Response {
+        self.engine.flush();
+        if let Some(dir) = &self.checkpoint_dir {
+            let path = dir.join(format!("shard{}.spvc", self.idx));
+            let bytes = self.engine.pivot().save_checkpoint();
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|_| std::fs::File::create(&path).and_then(|mut f| f.write_all(&bytes)))
+            {
+                return Response::Error {
+                    code: 7,
+                    message: format!("checkpoint {} failed: {e}", path.display()),
+                };
+            }
+        }
+        Response::ShutdownAck
+    }
+}

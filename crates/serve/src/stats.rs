@@ -1,0 +1,122 @@
+//! Per-shard serving statistics surfaced through the STATS frame.
+
+/// One shard's counters and latency percentiles at the moment the
+/// STATS job reached it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Shard index (0-based).
+    pub shard: u32,
+    /// Sources registered on this shard.
+    pub sources: u32,
+    /// Jobs currently waiting in the shard queue.
+    pub queue_depth: u32,
+    /// The shard queue's fixed capacity.
+    pub queue_capacity: u32,
+    /// Per-source stories alive on this shard.
+    pub stories: u64,
+    /// Snippets stored on this shard.
+    pub snippets: u64,
+    /// Snippets ingested since startup (includes removed ones).
+    pub ingested: u64,
+    /// Query jobs (story partition / single story) served.
+    pub queries: u64,
+    /// Ingests rejected with BUSY because this shard's queue was full.
+    pub busy_rejections: u64,
+    /// Observations in the ingest latency histogram.
+    pub ingest_count: u64,
+    /// Median per-snippet ingest latency (engine time, nanoseconds).
+    pub ingest_p50_ns: u64,
+    /// 95th-percentile ingest latency (nanoseconds).
+    pub ingest_p95_ns: u64,
+    /// 99th-percentile ingest latency (nanoseconds).
+    pub ingest_p99_ns: u64,
+}
+
+/// The whole server's statistics: one entry per shard, ordered by
+/// shard index.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Per-shard statistics.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServeStats {
+    /// Snippets stored across all shards.
+    pub fn total_snippets(&self) -> u64 {
+        self.shards.iter().map(|s| s.snippets).sum()
+    }
+
+    /// Snippets ingested across all shards since startup.
+    pub fn total_ingested(&self) -> u64 {
+        self.shards.iter().map(|s| s.ingested).sum()
+    }
+
+    /// BUSY rejections across all shards.
+    pub fn total_busy(&self) -> u64 {
+        self.shards.iter().map(|s| s.busy_rejections).sum()
+    }
+
+    /// Stories alive across all shards.
+    pub fn total_stories(&self) -> u64 {
+        self.shards.iter().map(|s| s.stories).sum()
+    }
+
+    /// A compact multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "shard {}: {} sources, {} stories, {} snippets, queue {}/{}, \
+                 ingested {} (busy {}), ingest p50/p95/p99 {:.1}/{:.1}/{:.1} µs",
+                s.shard,
+                s.sources,
+                s.stories,
+                s.snippets,
+                s.queue_depth,
+                s.queue_capacity,
+                s.ingested,
+                s.busy_rejections,
+                s.ingest_p50_ns as f64 / 1e3,
+                s.ingest_p95_ns as f64 / 1e3,
+                s.ingest_p99_ns as f64 / 1e3,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_across_shards() {
+        let stats = ServeStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    snippets: 10,
+                    ingested: 12,
+                    busy_rejections: 1,
+                    stories: 3,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    snippets: 5,
+                    ingested: 5,
+                    busy_rejections: 0,
+                    stories: 2,
+                    ..ShardStats::default()
+                },
+            ],
+        };
+        assert_eq!(stats.total_snippets(), 15);
+        assert_eq!(stats.total_ingested(), 17);
+        assert_eq!(stats.total_busy(), 1);
+        assert_eq!(stats.total_stories(), 5);
+        assert_eq!(stats.render().lines().count(), 2);
+    }
+}

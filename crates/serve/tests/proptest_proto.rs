@@ -1,0 +1,163 @@
+//! Property tests: every wire-protocol frame round-trips through
+//! encode → frame → read_frame → decode for randomized contents, and
+//! the frame reader never panics on arbitrary byte soup.
+
+use storypivot_serve::proto::{frame, read_frame, Request, Response, StorySummary};
+use storypivot_serve::stats::{ServeStats, ShardStats};
+use storypivot_substrate::prop;
+use storypivot_substrate::rng::{RngExt, StdRng};
+use storypivot_types::{
+    DocId, EntityId, EventType, Snippet, SnippetId, SourceId, SourceKind, StoryId, TermId,
+    TimeRange, Timestamp,
+};
+
+fn random_weight(rng: &mut StdRng) -> f32 {
+    // Sixteenths are exactly representable, so equality after the
+    // bit-level round-trip is exact equality of the original value.
+    rng.random_range(1..2000u32) as f32 / 16.0
+}
+
+fn random_snippet(rng: &mut StdRng) -> Snippet {
+    let mut b = Snippet::builder(
+        SnippetId::new(rng.random()),
+        SourceId::new(rng.random_range(0..256u32)),
+        Timestamp::from_secs(rng.random_range(-4_000_000_000i64..4_000_000_000)),
+    )
+    .doc(DocId::new(rng.random()))
+    .event_type(EventType::ALL[rng.random_range(0..EventType::ALL.len())])
+    .headline(prop::unicode_string(rng, 0, 40));
+    for _ in 0..rng.random_range(0..6usize) {
+        b = b.entity(EntityId::new(rng.random_range(0..10_000u32)), random_weight(rng));
+    }
+    for _ in 0..rng.random_range(0..6usize) {
+        b = b.term(TermId::new(rng.random_range(0..10_000u32)), random_weight(rng));
+    }
+    b.build()
+}
+
+fn random_summary(rng: &mut StdRng) -> StorySummary {
+    StorySummary {
+        id: StoryId::new(rng.random()),
+        source: SourceId::new(rng.random_range(0..256u32)),
+        lifespan: TimeRange::new(
+            Timestamp::from_secs(rng.random_range(-1_000_000i64..1_000_000)),
+            Timestamp::from_secs(rng.random_range(-1_000_000i64..1_000_000)),
+        ),
+        members: prop::vec_with(rng, 0, 12, |r| SnippetId::new(r.random())),
+    }
+}
+
+fn random_shard_stats(rng: &mut StdRng) -> ShardStats {
+    ShardStats {
+        shard: rng.random_range(0..64u32),
+        sources: rng.random_range(0..256u32),
+        queue_depth: rng.random(),
+        queue_capacity: rng.random(),
+        stories: rng.random_range(0..1u64 << 32),
+        snippets: rng.random(),
+        ingested: rng.random(),
+        queries: rng.random(),
+        busy_rejections: rng.random(),
+        ingest_count: rng.random(),
+        ingest_p50_ns: rng.random(),
+        ingest_p95_ns: rng.random(),
+        ingest_p99_ns: rng.random(),
+    }
+}
+
+fn random_request(rng: &mut StdRng) -> Request {
+    match rng.random_range(0..8u32) {
+        0 => Request::AddSource {
+            name: prop::unicode_string(rng, 0, 30),
+            kind: SourceKind::ALL[rng.random_range(0..SourceKind::ALL.len())],
+            lag: rng.random_range(-1_000_000i64..1_000_000),
+        },
+        1 => Request::IngestSnippet(random_snippet(rng)),
+        2 => Request::IngestBatch(prop::vec_with(rng, 0, 8, random_snippet)),
+        3 => Request::QueryStories,
+        4 => Request::GetStory(StoryId::new(rng.random())),
+        5 => Request::RemoveDoc(DocId::new(rng.random())),
+        6 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+fn random_response(rng: &mut StdRng) -> Response {
+    match rng.random_range(0..10u32) {
+        0 => Response::SourceAdded(SourceId::new(rng.random_range(0..256u32))),
+        1 => Response::Ingested(StoryId::new(rng.random())),
+        2 => Response::BatchIngested(rng.random()),
+        3 => Response::Stories(prop::vec_with(rng, 0, 6, random_summary)),
+        4 => Response::Story(random_summary(rng)),
+        5 => Response::Removed(rng.random()),
+        6 => Response::Stats(ServeStats {
+            shards: prop::vec_with(rng, 0, 8, random_shard_stats),
+        }),
+        7 => Response::ShutdownAck,
+        8 => Response::Busy {
+            retry_after_ms: rng.random(),
+        },
+        _ => Response::Error {
+            code: rng.random(),
+            message: prop::unicode_string(rng, 0, 60),
+        },
+    }
+}
+
+#[test]
+fn prop_requests_round_trip() {
+    prop::run(256, |rng| {
+        let req = random_request(rng);
+        let bytes = frame(|b| req.encode(b));
+        let mut r: &[u8] = &bytes;
+        let payload = read_frame(&mut r).expect("well-formed frame").expect("non-empty");
+        assert_eq!(Request::decode(&payload).expect("decodes"), req);
+        assert!(r.is_empty(), "no bytes left after one frame");
+    });
+}
+
+#[test]
+fn prop_responses_round_trip() {
+    prop::run(256, |rng| {
+        let resp = random_response(rng);
+        let bytes = frame(|b| resp.encode(b));
+        let mut r: &[u8] = &bytes;
+        let payload = read_frame(&mut r).expect("well-formed frame").expect("non-empty");
+        assert_eq!(Response::decode(&payload).expect("decodes"), resp);
+    });
+}
+
+#[test]
+fn prop_back_to_back_frames_stream_cleanly() {
+    prop::run(64, |rng| {
+        let reqs = prop::vec_with(rng, 1, 5, random_request);
+        let mut wire = Vec::new();
+        for req in &reqs {
+            wire.extend_from_slice(&frame(|b| req.encode(b)));
+        }
+        let mut r: &[u8] = &wire;
+        for req in &reqs {
+            let payload = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(&Request::decode(&payload).unwrap(), req);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF at the end");
+    });
+}
+
+#[test]
+fn prop_decoder_never_panics_on_byte_soup() {
+    prop::run(256, |rng| {
+        // Truncations of a valid frame plus pure garbage: decode and
+        // read_frame may reject, but must never panic.
+        let req = random_request(rng);
+        let valid = frame(|b| req.encode(b));
+        let cut = rng.random_range(0..=valid.len());
+        let mut torn: &[u8] = &valid[..cut];
+        let _ = read_frame(&mut torn);
+        let garbage: Vec<u8> = prop::vec_with(rng, 0, 64, |r| r.random());
+        let _ = Request::decode(&garbage);
+        let _ = Response::decode(&garbage);
+        let mut soup: &[u8] = &garbage;
+        let _ = read_frame(&mut soup);
+    });
+}

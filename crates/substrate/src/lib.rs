@@ -19,7 +19,11 @@
 //!   per-case seeds, generator helpers, and failing-seed replay via an
 //!   environment variable. Replaces `proptest`.
 //! * [`timing`] — a micro-benchmark runner (warmup + timed iterations,
-//!   median/p95 reporting). Replaces `criterion`.
+//!   median/p95 reporting) plus a log-bucketed latency
+//!   [`timing::Histogram`]. Replaces `criterion`.
+//! * [`queue`] — [`queue::Bounded<T>`], a bounded MPMC queue with depth
+//!   gauges and close-and-drain semantics (the slice of
+//!   `crossbeam-channel` the serving layer needs).
 //!
 //! Everything here is deterministic: the same seed produces the same
 //! corpus, the same property-test cases, and the same experiment tables
@@ -30,10 +34,13 @@
 
 pub mod buf;
 pub mod prop;
+pub mod queue;
 pub mod rng;
 pub mod shared;
 pub mod timing;
 
 pub use buf::{Buf, BufMut, ByteBuf};
+pub use queue::Bounded;
+pub use timing::Histogram;
 pub use rng::{RngCore, RngExt, SliceRandom, StdRng, Zipf};
 pub use shared::Shared;

@@ -62,6 +62,7 @@ pub use storypivot_demo as demo;
 pub use storypivot_eval as eval;
 pub use storypivot_extract as extract;
 pub use storypivot_gen as gen;
+pub use storypivot_serve as serve;
 pub use storypivot_sketch as sketch;
 pub use storypivot_store as store;
 pub use storypivot_substrate as substrate;

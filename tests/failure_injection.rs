@@ -159,3 +159,160 @@ fn same_document_snippets_share_doc_removal() {
     assert_eq!(pivot.remove_document(doc).unwrap(), 3);
     assert!(pivot.store().is_empty());
 }
+
+// ---- wire-protocol faults against a live server ----------------------
+//
+// The serving layer faces the network, so its failure injection runs
+// against a real loopback pivotd: torn frames, oversized length
+// prefixes, garbage opcodes, and mid-frame disconnects must produce
+// clean protocol errors (or a clean close) — never a panic, a wedged
+// acceptor, or a leaked shard thread. Each scenario ends by proving the
+// server still serves and shuts down gracefully.
+
+mod wire_faults {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    use storypivot::serve::client::Client;
+    use storypivot::serve::proto::{frame, read_frame, Request, Response, MAX_FRAME_LEN};
+    use storypivot::serve::server::{serve, ServerConfig, ServerHandle};
+    use storypivot::types::{EntityId, Snippet, SnippetId, SourceId, SourceKind, Timestamp};
+
+    fn tiny_server() -> ServerHandle {
+        serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                shards: 2,
+                align_every: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// The liveness probe every scenario ends with: a fresh client can
+    /// register, ingest, query, and gracefully stop the server — and
+    /// `join` returns, i.e. no shard or acceptor thread leaked.
+    fn assert_alive_and_shutdown(handle: ServerHandle) {
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.add_source("probe", SourceKind::Wire, 0).unwrap();
+        let snippet = Snippet::builder(SnippetId::new(0), SourceId::new(0), Timestamp::EPOCH)
+            .entity(EntityId::new(1), 1.0)
+            .build();
+        client.ingest_retry(&snippet, 100).unwrap();
+        assert_eq!(client.query_stories().unwrap().len(), 1);
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    fn read_error_response(stream: &mut TcpStream) -> Response {
+        let payload = read_frame(stream).unwrap().expect("server must reply before closing");
+        Response::decode(&payload).unwrap()
+    }
+
+    #[test]
+    fn torn_length_prefix_is_a_clean_close() {
+        let handle = tiny_server();
+        {
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            raw.write_all(&[0x07, 0x00]).unwrap(); // 2 of 4 length bytes
+            // Dropping the stream tears the frame mid-prefix.
+        }
+        assert_alive_and_shutdown(handle);
+    }
+
+    #[test]
+    fn mid_frame_disconnect_does_not_wedge_the_server() {
+        let handle = tiny_server();
+        {
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            raw.write_all(&100u32.to_le_bytes()).unwrap();
+            raw.write_all(&[0x04; 10]).unwrap(); // 10 of the promised 100 bytes
+        }
+        assert_alive_and_shutdown(handle);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_with_an_error_frame() {
+        let handle = tiny_server();
+        {
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            match read_error_response(&mut raw) {
+                Response::Error { code, message } => {
+                    assert_eq!(code, 4, "oversized frame is a codec error: {message}");
+                    assert!(message.contains(&MAX_FRAME_LEN.to_string()));
+                }
+                other => panic!("expected an error response, got {other:?}"),
+            }
+            // The server closes the desynchronised stream afterwards.
+            let mut rest = Vec::new();
+            raw.read_to_end(&mut rest).unwrap();
+            assert!(rest.is_empty());
+        }
+        assert_alive_and_shutdown(handle);
+    }
+
+    #[test]
+    fn garbage_opcode_gets_an_error_response() {
+        let handle = tiny_server();
+        {
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            raw.write_all(&1u32.to_le_bytes()).unwrap();
+            raw.write_all(&[0x7F]).unwrap(); // no such opcode
+            match read_error_response(&mut raw) {
+                Response::Error { code, .. } => assert_eq!(code, 4),
+                other => panic!("expected an error response, got {other:?}"),
+            }
+        }
+        assert_alive_and_shutdown(handle);
+    }
+
+    #[test]
+    fn truncated_request_body_gets_an_error_response() {
+        let handle = tiny_server();
+        {
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            // A valid GET_STORY frame is 5 bytes (opcode + u32); promise
+            // and deliver only the opcode plus two body bytes.
+            raw.write_all(&3u32.to_le_bytes()).unwrap();
+            raw.write_all(&[0x05, 0x01, 0x02]).unwrap();
+            match read_error_response(&mut raw) {
+                Response::Error { code, .. } => assert_eq!(code, 4),
+                other => panic!("expected an error response, got {other:?}"),
+            }
+        }
+        assert_alive_and_shutdown(handle);
+    }
+
+    #[test]
+    fn fault_barrage_then_normal_traffic() {
+        // Many hostile connections in a row, mixed shapes, then the
+        // liveness probe — the acceptor must survive all of it.
+        let handle = tiny_server();
+        for i in 0..20u32 {
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            match i % 4 {
+                0 => raw.write_all(&[0xFF]).unwrap(),
+                1 => {
+                    raw.write_all(&((MAX_FRAME_LEN) + 1 + i).to_le_bytes()).unwrap();
+                }
+                2 => {
+                    raw.write_all(&8u32.to_le_bytes()).unwrap();
+                    raw.write_all(&[0xAA; 3]).unwrap();
+                }
+                _ => {
+                    // A syntactically valid frame whose body is noise.
+                    let junk = frame(|b| {
+                        Request::GetStory(storypivot::types::StoryId::new(i)).encode(b);
+                        b.extend_from_slice(&[0xEE; 5]); // trailing bytes
+                    });
+                    raw.write_all(&junk).unwrap();
+                }
+            }
+            // Connections drop immediately; the server may or may not
+            // manage to reply — either way it must not wedge.
+        }
+        assert_alive_and_shutdown(handle);
+    }
+}

@@ -1,0 +1,287 @@
+//! End-to-end serving tests: a loopback pivotd server must reach the
+//! same story partition as in-process ingest of the same corpus, BUSY
+//! backpressure must engage (and recover) under a tiny queue, and a
+//! graceful SHUTDOWN must leave a restorable checkpoint.
+
+use std::path::PathBuf;
+
+use storypivot::core::config::PivotConfig;
+use storypivot::core::pipeline::{DynamicPivot, PipelinePolicy};
+use storypivot::core::pivot::StoryPivot;
+use storypivot::gen::{CorpusBuilder, GenConfig};
+use storypivot::serve::client::Client;
+use storypivot::serve::load::{replay, LoadOptions};
+use storypivot::serve::server::{serve, ServerConfig};
+use storypivot::serve::IngestReply;
+use storypivot::types::{EntityId, Snippet, SnippetId, SourceKind, TermId, Timestamp};
+
+/// The story partition as (story id, sorted member ids), sorted by id —
+/// the serving layer's summaries and the engine's own partition project
+/// onto the same shape.
+type Partition = Vec<(u32, Vec<u32>)>;
+
+fn partition_of_engine(pivot: &StoryPivot) -> Partition {
+    pivot
+        .story_partition()
+        .into_iter()
+        .map(|(id, members)| (id.raw(), members.into_iter().map(|m| m.raw()).collect()))
+        .collect()
+}
+
+fn partition_of_summaries(summaries: &[storypivot::serve::StorySummary]) -> Partition {
+    let mut out: Partition = summaries
+        .iter()
+        .map(|s| (s.id.raw(), s.members.iter().map(|m| m.raw()).collect()))
+        .collect();
+    out.sort();
+    out
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("storypivot-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// align_every = 0 makes the pipeline flush-only, so the engine's state
+/// is a pure function of the per-shard ingest sequence — exactly what
+/// the wire adds nothing to. That makes served-vs-in-process equality
+/// exact rather than approximate.
+fn flush_only_config(shards: usize, checkpoint_dir: Option<PathBuf>) -> ServerConfig {
+    ServerConfig {
+        shards,
+        align_every: 0,
+        checkpoint_dir,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn served_partition_matches_in_process_and_checkpoint_restores() {
+    let corpus = CorpusBuilder::new(
+        GenConfig::default().with_seed(42).with_sources(4).with_target_snippets(300),
+    )
+    .build();
+    let ckpt = scratch_dir("single");
+
+    let handle = serve("127.0.0.1:0", flush_only_config(1, Some(ckpt.clone()))).unwrap();
+    let addr = handle.addr();
+
+    let report = replay(addr, &corpus, &LoadOptions { connections: 1, ..LoadOptions::default() })
+        .unwrap();
+    assert_eq!(report.events as usize, corpus.len());
+
+    // In-process twin: same config, same policy, same delivery order.
+    let mut twin = DynamicPivot::new(
+        PivotConfig::default(),
+        PipelinePolicy { align_every: 0, ..PipelinePolicy::default() },
+    );
+    for source in &corpus.sources {
+        twin.pivot_mut().add_source_with_lag(
+            source.name.clone(),
+            source.kind,
+            source.typical_lag,
+        );
+    }
+    for snippet in &corpus.snippets {
+        twin.ingest(snippet.clone()).unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let served = partition_of_summaries(&client.query_stories().unwrap());
+    assert_eq!(served, partition_of_engine(twin.pivot()), "served partition must match in-process");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.total_ingested() as usize, corpus.len());
+    assert_eq!(stats.shards.len(), 1);
+
+    // Graceful shutdown: the ack means drained + checkpointed.
+    client.shutdown().unwrap();
+    handle.join();
+    let ckpt_file = ckpt.join("shard0.spvc");
+    assert!(ckpt_file.exists(), "shutdown must write {}", ckpt_file.display());
+
+    // The checkpoint restores the *flushed* engine (drain runs a final
+    // align + refine before saving) — flush the twin to match.
+    twin.flush();
+    let bytes = std::fs::read(&ckpt_file).unwrap();
+    let restored = StoryPivot::load_checkpoint(PivotConfig::default(), &bytes).unwrap();
+    assert_eq!(
+        partition_of_engine(&restored),
+        partition_of_engine(twin.pivot()),
+        "restored checkpoint must match the flushed in-process engine"
+    );
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
+
+#[test]
+fn sharded_server_matches_sharded_in_process_replica() {
+    let corpus = CorpusBuilder::new(
+        GenConfig::default().with_seed(43).with_sources(6).with_target_snippets(400),
+    )
+    .build();
+
+    let shards = 3;
+    let handle = serve("127.0.0.1:0", flush_only_config(shards, None)).unwrap();
+    let addr = handle.addr();
+
+    // Connections = shards, so lane k (sources ≡ k mod 3) feeds shard k
+    // in exactly per-lane delivery order.
+    let report = replay(
+        addr,
+        &corpus,
+        &LoadOptions { connections: shards, ..LoadOptions::default() },
+    )
+    .unwrap();
+    assert_eq!(report.events as usize, corpus.len());
+
+    // In-process replica of the sharded topology.
+    let mut replicas: Vec<DynamicPivot> = (0..shards)
+        .map(|_| {
+            DynamicPivot::new(
+                PivotConfig::default(),
+                PipelinePolicy { align_every: 0, ..PipelinePolicy::default() },
+            )
+        })
+        .collect();
+    for source in &corpus.sources {
+        let shard = source.id.raw() as usize % shards;
+        replicas[shard].pivot_mut().add_source_registered(source.clone()).unwrap();
+    }
+    for snippet in &corpus.snippets {
+        let shard = snippet.source.raw() as usize % shards;
+        replicas[shard].ingest(snippet.clone()).unwrap();
+    }
+    let mut expected: Partition = replicas
+        .iter()
+        .flat_map(|dp| partition_of_engine(dp.pivot()))
+        .collect();
+    expected.sort();
+
+    let mut client = Client::connect(addr).unwrap();
+    let served = partition_of_summaries(&client.query_stories().unwrap());
+    assert_eq!(served, expected, "sharded served partition must match the sharded replica");
+
+    // Story ids are partitioned by source, so per-source identification
+    // is shard-invariant: every source contributes the same stories it
+    // would in any other topology.
+    let single_sourced: std::collections::BTreeSet<u32> = served
+        .iter()
+        .map(|(id, _)| id / storypivot::core::identify::STORY_ID_STRIDE)
+        .collect();
+    assert!(single_sourced.len() > 1, "multiple sources must own stories");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn tiny_queue_pushes_back_with_busy_and_recovers() {
+    let cfg = ServerConfig {
+        shards: 1,
+        queue_depth: 1,
+        align_every: 0,
+        retry_after_ms: 5,
+        worker_delay: std::time::Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+
+    let mut setup = Client::connect(addr).unwrap();
+    setup.add_source("slow", SourceKind::Wire, 0).unwrap();
+
+    // Three producers hammer a 1-deep queue served at 10 ms/job: pushes
+    // must bounce with BUSY, and retrying must land every snippet.
+    let producers = 3u32;
+    let per_producer = 5u32;
+    let mut threads = Vec::new();
+    for p in 0..producers {
+        threads.push(std::thread::spawn(move || -> (u64, u32) {
+            let mut client = Client::connect(addr).unwrap();
+            let mut busy = 0u64;
+            for i in 0..per_producer {
+                let id = p * per_producer + i;
+                let snippet = Snippet::builder(
+                    SnippetId::new(id),
+                    storypivot::types::SourceId::new(0),
+                    Timestamp::from_secs(i as i64 * 3_600),
+                )
+                .entity(EntityId::new(id % 3), 1.0)
+                .term(TermId::new(id % 3), 1.0)
+                .build();
+                // First a raw attempt so BUSY is observable, then retry
+                // until the snippet lands.
+                match client.ingest(&snippet).unwrap() {
+                    IngestReply::Assigned(_) => {}
+                    IngestReply::Busy { retry_after_ms } => {
+                        busy += 1;
+                        assert!(retry_after_ms > 0, "BUSY must carry a retry hint");
+                        std::thread::sleep(std::time::Duration::from_millis(retry_after_ms as u64));
+                        client.ingest_retry(&snippet, 1_000).unwrap();
+                    }
+                }
+            }
+            (busy, per_producer)
+        }));
+    }
+    let mut busy_total = 0u64;
+    let mut sent = 0u32;
+    for t in threads {
+        let (busy, n) = t.join().unwrap();
+        busy_total += busy;
+        sent += n;
+    }
+    assert_eq!(sent, producers * per_producer);
+    assert!(
+        busy_total > 0,
+        "three producers on a 1-deep, 10ms-per-job queue must see BUSY at least once"
+    );
+
+    // Every snippet eventually landed, and the server counted the
+    // rejections it issued.
+    let stats = setup.stats().unwrap();
+    assert_eq!(stats.total_ingested(), (producers * per_producer) as u64);
+    assert!(stats.total_busy() >= busy_total);
+
+    setup.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_drains_pending_work() {
+    let cfg = ServerConfig {
+        shards: 2,
+        align_every: 0,
+        worker_delay: std::time::Duration::from_millis(2),
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    client.add_source("a", SourceKind::Wire, 0).unwrap();
+    client.add_source("b", SourceKind::Blog, 0).unwrap();
+    let batch: Vec<Snippet> = (0..40u32)
+        .map(|i| {
+            Snippet::builder(
+                SnippetId::new(i),
+                storypivot::types::SourceId::new(i % 2),
+                Timestamp::from_secs(i as i64 * 3_600),
+            )
+            .entity(EntityId::new(i % 5), 1.0)
+            .build()
+        })
+        .collect();
+    assert_eq!(client.ingest_batch(batch).unwrap(), 40);
+
+    // Two concurrent SHUTDOWNs: both must ack, neither may hang.
+    let second = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.shutdown()
+    });
+    client.shutdown().unwrap();
+    second.join().unwrap().unwrap();
+    handle.join();
+}
