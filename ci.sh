@@ -24,25 +24,57 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 cargo run -p storypivot-bench --bin harness --release -- e1 --quick --json "$SMOKE_DIR/bench"
 test -s "$SMOKE_DIR/bench/BENCH_e1.json"
 
+# Poll a pivotd --port-file until the daemon binds; dies if the daemon does.
+wait_port() { # args: port_file pid
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "pivotd died before binding"; exit 1; }
+        sleep 0.1
+    done
+    test -s "$1" || { echo "pivotd never wrote its port file"; exit 1; }
+    cat "$1"
+}
+
 echo "==> smoke: serve (pivotd + loadgen round trip)"
 cargo run -p storypivot-serve --bin pivotd --release -- \
     --addr 127.0.0.1:0 --shards 2 \
     --checkpoint-dir "$SMOKE_DIR/ckpt" --port-file "$SMOKE_DIR/port" &
 PIVOTD_PID=$!
-for _ in $(seq 1 100); do
-    [ -s "$SMOKE_DIR/port" ] && break
-    kill -0 "$PIVOTD_PID" 2>/dev/null || { echo "pivotd died before binding"; exit 1; }
-    sleep 0.1
-done
-test -s "$SMOKE_DIR/port" || { echo "pivotd never wrote its port file"; exit 1; }
-PORT="$(cat "$SMOKE_DIR/port")"
+PORT="$(wait_port "$SMOKE_DIR/port" "$PIVOTD_PID")"
 cargo run -p storypivot-serve --bin loadgen --release -- \
     --addr "127.0.0.1:$PORT" --quick --json "$SMOKE_DIR/BENCH_serve.json" --shutdown
 # SHUTDOWN must terminate the daemon gracefully (exit 0) and leave one
-# checkpoint per shard.
+# generation-numbered checkpoint per shard.
 wait "$PIVOTD_PID"
-test -s "$SMOKE_DIR/ckpt/shard0.spvc"
-test -s "$SMOKE_DIR/ckpt/shard1.spvc"
+ls "$SMOKE_DIR"/ckpt/shard0.g*.spvc >/dev/null
+ls "$SMOKE_DIR"/ckpt/shard1.g*.spvc >/dev/null
 test -s "$SMOKE_DIR/BENCH_serve.json"
+
+echo "==> smoke: crash recovery (kill -9, WAL replay must restore the partition)"
+CRASH_DIR="$SMOKE_DIR/crash"
+mkdir -p "$CRASH_DIR"
+cargo run -p storypivot-serve --bin pivotd --release -- \
+    --addr 127.0.0.1:0 --shards 2 --align-every 0 --fsync always \
+    --wal-dir "$CRASH_DIR/wal" --checkpoint-dir "$CRASH_DIR/ckpt" \
+    --port-file "$CRASH_DIR/port" &
+PIVOTD_PID=$!
+PORT="$(wait_port "$CRASH_DIR/port" "$PIVOTD_PID")"
+cargo run -p storypivot-serve --bin loadgen --release -- \
+    --addr "127.0.0.1:$PORT" --quick --partition-file "$CRASH_DIR/before.txt"
+test -s "$CRASH_DIR/before.txt"
+# No drain, no checkpoint, no warning: the journal is all that's left.
+kill -9 "$PIVOTD_PID"
+wait "$PIVOTD_PID" || true
+rm -f "$CRASH_DIR/port"
+cargo run -p storypivot-serve --bin pivotd --release -- \
+    --addr 127.0.0.1:0 --shards 2 --align-every 0 --fsync always \
+    --wal-dir "$CRASH_DIR/wal" --checkpoint-dir "$CRASH_DIR/ckpt" \
+    --port-file "$CRASH_DIR/port" &
+PIVOTD_PID=$!
+PORT="$(wait_port "$CRASH_DIR/port" "$PIVOTD_PID")"
+cargo run -p storypivot-serve --bin loadgen --release -- \
+    --addr "127.0.0.1:$PORT" --query-only --partition-file "$CRASH_DIR/after.txt" --shutdown
+wait "$PIVOTD_PID"
+cmp "$CRASH_DIR/before.txt" "$CRASH_DIR/after.txt"
 
 echo "CI OK"

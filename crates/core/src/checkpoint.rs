@@ -169,6 +169,110 @@ impl StoryPivot {
     }
 }
 
+// ---- generation-numbered checkpoint files ----------------------------
+//
+// A long-running daemon checkpoints *while serving*, so checkpoint
+// writes must never be able to destroy the previous good state: each
+// checkpoint is a new file `shard{i}.g{generation}.spvc`, written to a
+// `.tmp` sibling and atomically renamed into place. Loading walks the
+// generations newest-first and skips anything that fails to decode —
+// a crash mid-write (or a corrupt disk) costs one generation, not the
+// shard. Old generations beyond a small keep-window are pruned after a
+// successful write.
+
+/// How many checkpoint generations [`write_generation`] retains.
+pub const KEPT_GENERATIONS: u64 = 2;
+
+fn generation_file(shard: usize, generation: u64) -> String {
+    format!("shard{shard}.g{generation:010}.spvc")
+}
+
+/// Parse `shard{i}.g{generation}.spvc` back into its generation, when
+/// the name belongs to `shard`.
+fn parse_generation(name: &str, shard: usize) -> Option<u64> {
+    let rest = name.strip_prefix(&format!("shard{shard}.g"))?;
+    rest.strip_suffix(".spvc")?.parse().ok()
+}
+
+/// Atomically persist checkpoint `bytes` as generation `generation` of
+/// `shard` under `dir` (created if absent): write `*.tmp`, fsync,
+/// rename. A crash at any point leaves either the old generation set or
+/// the old set plus the complete new file — never a half-written
+/// checkpoint under the real name. Prunes generations older than
+/// [`KEPT_GENERATIONS`]. Returns the final path.
+pub fn write_generation(
+    dir: &std::path::Path,
+    shard: usize,
+    generation: u64,
+    bytes: &[u8],
+) -> Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| Error::Io(format!("create {}: {e}", dir.display())))?;
+    let final_path = dir.join(generation_file(shard, generation));
+    let tmp_path = final_path.with_extension("spvc.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp_path)
+            .map_err(|e| Error::Io(format!("create {}: {e}", tmp_path.display())))?;
+        use std::io::Write as _;
+        f.write_all(bytes)
+            .and_then(|_| f.sync_all())
+            .map_err(|e| Error::Io(format!("write {}: {e}", tmp_path.display())))?;
+    }
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| Error::Io(format!("rename to {}: {e}", final_path.display())))?;
+    // Prune old generations (best effort — a leftover file only wastes
+    // space, it can never shadow a newer generation).
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Some(g) = entry.file_name().to_str().and_then(|n| parse_generation(n, shard)) {
+                if g + KEPT_GENERATIONS <= generation {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+    Ok(final_path)
+}
+
+/// Load the newest generation of `shard`'s checkpoint that decodes
+/// cleanly, returning the restored engine and its generation number.
+/// Corrupt or truncated generations are skipped with a warning on
+/// stderr; a missing directory or no usable generation is `Ok(None)`
+/// (cold start). Leftover `*.tmp` files are ignored by construction.
+pub fn load_newest(
+    dir: &std::path::Path,
+    shard: usize,
+    config: crate::config::PivotConfig,
+) -> Result<Option<(StoryPivot, u64)>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(Error::Io(format!("read {}: {e}", dir.display()))),
+    };
+    let mut generations: Vec<u64> = entries
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().and_then(|n| parse_generation(n, shard)))
+        .collect();
+    generations.sort_unstable_by(|a, b| b.cmp(a));
+    for generation in generations {
+        let path = dir.join(generation_file(shard, generation));
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("checkpoint: skipping unreadable {}: {e}", path.display());
+                continue;
+            }
+        };
+        match StoryPivot::load_checkpoint(config.clone(), &bytes) {
+            Ok(pivot) => return Ok(Some((pivot, generation))),
+            Err(e) => {
+                eprintln!("checkpoint: skipping corrupt {}: {e}", path.display());
+            }
+        }
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +366,75 @@ mod tests {
         let mut trailing = bytes;
         trailing.push(0);
         assert!(StoryPivot::load_checkpoint(PivotConfig::default(), &trailing).is_err());
+    }
+
+    #[test]
+    fn generation_store_writes_atomically_and_loads_newest_valid() {
+        let dir = std::env::temp_dir()
+            .join(format!("storypivot-ckpt-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Cold start: nothing there.
+        assert!(load_newest(&dir, 0, PivotConfig::default()).unwrap().is_none());
+
+        let mut pivot = populated();
+        pivot.align();
+        write_generation(&dir, 0, 1, &pivot.save_checkpoint()).unwrap();
+        let before_g2 = pivot.store().len();
+        // Mutate, checkpoint again at generation 2.
+        let id = pivot.fresh_snippet_id();
+        let s = Snippet::builder(id, SourceId::new(0), Timestamp::from_secs(7 * DAY))
+            .doc(pivot.fresh_doc_id())
+            .entity(EntityId::new(1), 1.0)
+            .build();
+        pivot.ingest(s).unwrap();
+        write_generation(&dir, 0, 2, &pivot.save_checkpoint()).unwrap();
+
+        let (restored, generation) = load_newest(&dir, 0, PivotConfig::default())
+            .unwrap()
+            .expect("a generation must load");
+        assert_eq!(generation, 2);
+        assert_eq!(restored.store().len(), before_g2 + 1);
+
+        // Corrupt generation 2: the loader must fall back to 1 with a
+        // warning instead of failing.
+        let g2 = dir.join("shard0.g0000000002.spvc");
+        let mut bytes = std::fs::read(&g2).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&g2, &bytes).unwrap();
+        let (fallback, generation) = load_newest(&dir, 0, PivotConfig::default())
+            .unwrap()
+            .expect("generation 1 must still load");
+        assert_eq!(generation, 1);
+        assert_eq!(fallback.store().len(), before_g2);
+
+        // A stale .tmp (crash mid-write) is invisible to the loader.
+        std::fs::write(dir.join("shard0.g0000000009.spvc.tmp"), b"half-written").unwrap();
+        assert_eq!(load_newest(&dir, 0, PivotConfig::default()).unwrap().unwrap().1, 1);
+
+        // Other shards' files don't interfere.
+        assert!(load_newest(&dir, 1, PivotConfig::default()).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_pruning_keeps_a_bounded_window() {
+        let dir = std::env::temp_dir()
+            .join(format!("storypivot-ckpt-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pivot = populated();
+        let bytes = pivot.save_checkpoint();
+        for generation in 1..=5u64 {
+            write_generation(&dir, 0, generation, &bytes).unwrap();
+        }
+        let kept: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(kept.len() as u64, KEPT_GENERATIONS, "kept {kept:?}");
+        assert!(kept.iter().any(|n| n.contains("g0000000005")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -62,6 +62,21 @@ impl DynamicPivot {
         }
     }
 
+    /// Wrap an already-populated engine (e.g. one restored from a
+    /// checkpoint) in a dynamic pipeline. The alignment clock starts
+    /// fresh: the first post-restore snippet anchors event time, and
+    /// count-based alignment counts from zero.
+    pub fn from_pivot(pivot: StoryPivot, policy: PipelinePolicy) -> Self {
+        DynamicPivot {
+            pivot,
+            policy,
+            since_align: 0,
+            auto_aligns: 0,
+            max_event_time: None,
+            last_align_event_time: None,
+        }
+    }
+
     /// The wrapped engine (read access).
     pub fn pivot(&self) -> &StoryPivot {
         &self.pivot

@@ -8,6 +8,12 @@
 //! Prints achieved throughput and round-trip p50/p95/p99; `--json PATH`
 //! additionally writes the report as a JSON artifact, and `--shutdown`
 //! sends SHUTDOWN (drain + checkpoint) after the replay.
+//!
+//! `--partition-file PATH` writes the server's story partition (one
+//! canonical line per story) after the replay; with `--query-only` the
+//! replay is skipped entirely, so two partition files — one from the
+//! loaded server, one from a restarted server — can prove crash
+//! recovery byte-for-byte.
 
 use std::path::PathBuf;
 
@@ -18,9 +24,27 @@ use storypivot_serve::load::{replay, LoadOptions};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--events N] [--sources N] [--conns N] \
-         [--rate EV_PER_S] [--seed N] [--json PATH] [--quick] [--stats] [--shutdown]"
+         [--rate EV_PER_S] [--seed N] [--json PATH] [--quick] [--stats] [--shutdown] \
+         [--partition-file PATH] [--query-only]"
     );
     std::process::exit(2);
+}
+
+/// Canonical text rendering of the story partition: one sorted line per
+/// story, identical for identical partitions.
+fn render_partition(stories: &[storypivot_serve::StorySummary]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for s in stories {
+        let mut members: Vec<u32> = s.members.iter().map(|m| m.raw()).collect();
+        members.sort_unstable();
+        let _ = write!(out, "story {} source {} members", s.id.raw(), s.source.raw());
+        for m in members {
+            let _ = write!(out, " {m}");
+        }
+        out.push('\n');
+    }
+    out
 }
 
 fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
@@ -42,6 +66,8 @@ fn main() {
     let mut json: Option<PathBuf> = None;
     let mut want_stats = false;
     let mut want_shutdown = false;
+    let mut query_only = false;
+    let mut partition_file: Option<PathBuf> = None;
     let mut opts = LoadOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +86,10 @@ fn main() {
             }
             "--stats" => want_stats = true,
             "--shutdown" => want_shutdown = true,
+            "--query-only" => query_only = true,
+            "--partition-file" => {
+                partition_file = Some(parse::<PathBuf>(&mut args, "--partition-file"))
+            }
             _ => usage(),
         }
     }
@@ -68,35 +98,59 @@ fn main() {
         usage();
     };
 
-    eprintln!("generating corpus: ~{events} events over {sources} sources (seed {seed})");
-    let corpus = CorpusBuilder::new(
-        GenConfig::default()
-            .with_seed(seed)
-            .with_sources(sources)
-            .with_target_snippets(events),
-    )
-    .build();
-    eprintln!(
-        "replaying {} snippets over {} connections (rate: {})",
-        corpus.len(),
-        opts.connections,
-        if opts.rate == 0 { "unlimited".to_string() } else { format!("{} ev/s", opts.rate) }
-    );
+    if !query_only {
+        eprintln!("generating corpus: ~{events} events over {sources} sources (seed {seed})");
+        let corpus = CorpusBuilder::new(
+            GenConfig::default()
+                .with_seed(seed)
+                .with_sources(sources)
+                .with_target_snippets(events),
+        )
+        .build();
+        eprintln!(
+            "replaying {} snippets over {} connections (rate: {})",
+            corpus.len(),
+            opts.connections,
+            if opts.rate == 0 { "unlimited".to_string() } else { format!("{} ev/s", opts.rate) }
+        );
 
-    let report = match replay(addr.as_str(), &corpus, &opts) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("loadgen: {e}");
-            std::process::exit(1);
+        let report = match replay(addr.as_str(), &corpus, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("{}", report.summary());
+        if let Some(path) = &json {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("loadgen: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
         }
-    };
-    println!("{}", report.summary());
-    if let Some(path) = &json {
-        if let Err(e) = std::fs::write(path, report.to_json()) {
+    }
+
+    if let Some(path) = &partition_file {
+        let mut client = match Client::connect(addr.as_str()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("loadgen: connect for partition query failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let stories = match client.query_stories() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("loadgen: partition query failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, render_partition(&stories)) {
             eprintln!("loadgen: cannot write {}: {e}", path.display());
             std::process::exit(1);
         }
-        eprintln!("wrote {}", path.display());
+        eprintln!("wrote partition ({} stories) to {}", stories.len(), path.display());
     }
 
     if want_stats || want_shutdown {

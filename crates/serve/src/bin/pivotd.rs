@@ -3,19 +3,26 @@
 //! ```text
 //! pivotd --addr 127.0.0.1:7411 --shards 4 --checkpoint-dir ./ckpt
 //! pivotd --addr 127.0.0.1:0 --port-file /tmp/pivotd.port   # ephemeral
+//! pivotd --wal-dir ./wal --checkpoint-dir ./ckpt --fsync every:64
 //! ```
 //!
+//! With `--wal-dir` every mutation is journaled before it is applied
+//! and startup replays the journal on top of the newest checkpoint —
+//! `kill -9` loses nothing that was acknowledged under `--fsync always`.
 //! Runs until a client sends SHUTDOWN; the daemon then drains every
 //! shard queue, writes one checkpoint per shard, and exits 0.
 
 use std::path::PathBuf;
 
 use storypivot_serve::server::{serve, ServerConfig};
+use storypivot_substrate::wal::SyncPolicy;
 
 fn usage() -> ! {
     eprintln!(
         "usage: pivotd [--addr HOST:PORT] [--shards N] [--queue-depth N] \
-         [--align-every N] [--retry-after-ms N] [--checkpoint-dir DIR] [--port-file PATH]"
+         [--align-every N] [--retry-after-ms N] [--checkpoint-dir DIR] \
+         [--wal-dir DIR] [--fsync always|never|every:N] \
+         [--checkpoint-every-bytes N] [--port-file PATH]"
     );
     std::process::exit(2);
 }
@@ -44,6 +51,11 @@ fn main() {
             "--align-every" => cfg.align_every = parse(&mut args, "--align-every"),
             "--retry-after-ms" => cfg.retry_after_ms = parse(&mut args, "--retry-after-ms"),
             "--checkpoint-dir" => cfg.checkpoint_dir = Some(parse::<PathBuf>(&mut args, "--checkpoint-dir")),
+            "--wal-dir" => cfg.wal_dir = Some(parse::<PathBuf>(&mut args, "--wal-dir")),
+            "--fsync" => cfg.fsync = parse::<SyncPolicy>(&mut args, "--fsync"),
+            "--checkpoint-every-bytes" => {
+                cfg.checkpoint_every_bytes = parse(&mut args, "--checkpoint-every-bytes")
+            }
             "--port-file" => port_file = Some(parse::<PathBuf>(&mut args, "--port-file")),
             _ => usage(),
         }

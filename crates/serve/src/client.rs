@@ -4,6 +4,7 @@ use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use storypivot_substrate::rng::splitmix64;
 use storypivot_types::{DocId, Error, Result, Snippet, SourceId, SourceKind, StoryId};
 
 use crate::proto::{frame, read_frame, Request, Response, StorySummary};
@@ -20,6 +21,57 @@ pub enum IngestReply {
         /// Suggested backoff in milliseconds.
         retry_after_ms: u32,
     },
+}
+
+/// Jittered exponential backoff for BUSY replies: the first sleep
+/// honors the server's retry-after hint, every further BUSY doubles the
+/// window, each sleep is drawn uniformly from the upper half of the
+/// window (decorrelating synchronized clients), and `cap_ms` bounds any
+/// single sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Attempts allowed in total (the initial try plus retries);
+    /// exhausting them yields [`Error::Busy`]. Values below 1 behave
+    /// as 1.
+    pub max_attempts: u32,
+    /// Floor for the first backoff window, in milliseconds (raised to
+    /// the server's hint when the hint is larger).
+    pub base_ms: u64,
+    /// Ceiling on any single sleep, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_attempts: 8,
+            base_ms: 1,
+            cap_ms: 250,
+        }
+    }
+}
+
+/// The sleep before retry number `attempt` (1-based), in milliseconds.
+/// Pure so callers and tests can reason about bounds; `jitter_state`
+/// threads the deterministic jitter stream.
+fn backoff_delay_ms(
+    policy: BackoffPolicy,
+    hint_ms: u32,
+    attempt: u32,
+    jitter_state: &mut u64,
+) -> u64 {
+    let hint = hint_ms as u64;
+    let cap = policy.cap_ms.max(1);
+    let window = policy
+        .base_ms
+        .max(hint)
+        .max(1)
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+        .min(cap);
+    let low = window / 2;
+    let jittered = low + splitmix64(jitter_state) % (window - low + 1);
+    // Never undercut the server's hint (unless the cap itself does).
+    jittered.max(hint.min(cap))
 }
 
 /// One connection to a pivotd server. Requests are strictly
@@ -98,6 +150,35 @@ impl Client {
         }
     }
 
+    /// Ingest one snippet with jittered exponential backoff on BUSY.
+    /// Returns the story id and how many retries were needed; once
+    /// `policy.max_attempts` tries all came back BUSY the typed
+    /// [`Error::Busy`] is returned (with the attempt count) so callers
+    /// can tell saturation apart from I/O failure. Jitter is
+    /// deterministic per snippet id.
+    pub fn ingest_backoff(
+        &mut self,
+        snippet: &Snippet,
+        policy: BackoffPolicy,
+    ) -> Result<(StoryId, u32)> {
+        let mut jitter_state = 0x9E37_79B9_7F4A_7C15u64 ^ snippet.id.raw() as u64;
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.ingest(snippet)? {
+                IngestReply::Assigned(story) => return Ok((story, attempts - 1)),
+                IngestReply::Busy { retry_after_ms } => {
+                    if attempts >= max_attempts {
+                        return Err(Error::Busy { attempts });
+                    }
+                    let ms = backoff_delay_ms(policy, retry_after_ms, attempts, &mut jitter_state);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+            }
+        }
+    }
+
     /// Ingest a batch (the server blocks on full queues instead of BUSY).
     pub fn ingest_batch(&mut self, batch: Vec<Snippet>) -> Result<u32> {
         match self.request_ok(&Request::IngestBatch(batch))? {
@@ -150,4 +231,62 @@ impl Client {
 
 fn unexpected(wanted: &str, got: &Response) -> Error {
     Error::Codec(format!("expected a {wanted} response, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_honors_hint_grows_and_caps() {
+        let policy = BackoffPolicy {
+            max_attempts: 10,
+            base_ms: 1,
+            cap_ms: 200,
+        };
+        let mut state = 42u64;
+        for attempt in 1..=12u32 {
+            let d = backoff_delay_ms(policy, 10, attempt, &mut state);
+            assert!(d >= 10, "attempt {attempt}: {d} ms undercuts the hint");
+            assert!(d <= 200, "attempt {attempt}: {d} ms exceeds the cap");
+            // The window for retry k is hint * 2^(k-1), capped.
+            let window = (10u64 << (attempt - 1).min(16)).min(200);
+            assert!(d <= window, "attempt {attempt}: {d} ms outside window {window}");
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_spread() {
+        let policy = BackoffPolicy::default();
+        let run = |seed: u64| {
+            let mut state = seed;
+            (1..=6u32)
+                .map(|a| backoff_delay_ms(policy, 8, a, &mut state))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        // Different jitter streams must not march in lockstep.
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn backoff_tolerates_degenerate_policies() {
+        let mut state = 1u64;
+        // Zero everything: still returns a sane (>= 0, <= 1ms) delay.
+        let policy = BackoffPolicy {
+            max_attempts: 0,
+            base_ms: 0,
+            cap_ms: 0,
+        };
+        let d = backoff_delay_ms(policy, 0, 1, &mut state);
+        assert!(d <= 1);
+        // A hint above the cap is clamped to the cap.
+        let policy = BackoffPolicy {
+            max_attempts: 3,
+            base_ms: 1,
+            cap_ms: 5,
+        };
+        let d = backoff_delay_ms(policy, 1000, 1, &mut state);
+        assert_eq!(d, 5);
+    }
 }

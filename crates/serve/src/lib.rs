@@ -10,8 +10,12 @@
 //! - [`server`] — `pivotd`: shards the engine by source id across N
 //!   worker threads, routes frames through *bounded* queues, and
 //!   answers BUSY (with a retry-after hint) instead of buffering
-//!   unboundedly. Graceful SHUTDOWN drains every queue and writes a
-//!   final checkpoint per shard.
+//!   unboundedly. Mutations are journaled to a per-shard write-ahead
+//!   log before they touch the engine; startup recovers each shard
+//!   from its newest checkpoint generation plus the WAL tail, and
+//!   worker panics are supervised (engine rebuild, two-strike
+//!   dead-letter quarantine). Graceful SHUTDOWN drains every queue and
+//!   writes a final checkpoint per shard.
 //! - [`stats`] — per-shard counters and ingest-latency percentiles
 //!   surfaced through the STATS frame.
 //! - [`client`] — a blocking client for the protocol.
@@ -31,8 +35,8 @@ pub mod proto;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, IngestReply};
+pub use client::{BackoffPolicy, Client, IngestReply};
 pub use load::{replay, LoadOptions, LoadReport};
 pub use proto::{Request, Response, StorySummary, MAX_FRAME_LEN};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ServerConfig, ServerHandle, POISON_HEADLINE};
 pub use stats::{ServeStats, ShardStats};

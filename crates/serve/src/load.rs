@@ -5,8 +5,9 @@
 //! mod M), so each source's stream stays on one connection and arrives
 //! at its shard in delivery order — the same ordering guarantee the
 //! in-process pipeline has. Each connection paces itself toward the
-//! target aggregate rate and retries BUSY replies after the server's
-//! hint.
+//! target aggregate rate and absorbs BUSY replies with the client's
+//! jittered exponential backoff (seeded per snippet, honoring the
+//! server's retry-after hint).
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -15,7 +16,7 @@ use storypivot_gen::Corpus;
 use storypivot_substrate::timing::Histogram;
 use storypivot_types::{Error, Result, Snippet};
 
-use crate::client::{Client, IngestReply};
+use crate::client::{BackoffPolicy, Client};
 
 /// Load-generation options.
 #[derive(Debug, Clone)]
@@ -152,8 +153,13 @@ pub fn replay<A: ToSocketAddrs>(addr: A, corpus: &Corpus, opts: &LoadOptions) ->
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(lanes);
+    // BUSY handling: jittered exponential backoff honoring the
+    // server's retry-after hint, with a typed error on exhaustion.
+    let backoff = BackoffPolicy {
+        max_attempts: opts.max_retries.saturating_add(1),
+        ..BackoffPolicy::default()
+    };
     for lane in per_lane {
-        let max_retries = opts.max_retries;
         handles.push(std::thread::spawn(move || -> Result<(u64, u64, Histogram)> {
             let mut client = Client::connect(addr)?;
             let mut hist = Histogram::new();
@@ -171,24 +177,8 @@ pub fn replay<A: ToSocketAddrs>(addr: A, corpus: &Corpus, opts: &LoadOptions) ->
                     }
                 }
                 let t = Instant::now();
-                let mut retries = 0u32;
-                loop {
-                    match client.ingest(snippet)? {
-                        IngestReply::Assigned(_) => break,
-                        IngestReply::Busy { retry_after_ms } => {
-                            busy += 1;
-                            retries += 1;
-                            if retries > max_retries {
-                                return Err(Error::Io(format!(
-                                    "shard still busy after {max_retries} retries"
-                                )));
-                            }
-                            std::thread::sleep(Duration::from_millis(
-                                retry_after_ms.max(1) as u64,
-                            ));
-                        }
-                    }
-                }
+                let (_, retries) = client.ingest_backoff(snippet, backoff)?;
+                busy += retries as u64;
                 hist.record(t.elapsed().as_nanos() as u64);
                 events += 1;
             }

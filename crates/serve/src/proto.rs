@@ -304,7 +304,8 @@ pub enum Response {
 }
 
 /// Map an engine error to its wire code (1 unknown reference,
-/// 2 duplicate, 3 parse, 4 codec, 5 config, 6 invariant, 7 i/o).
+/// 2 duplicate, 3 parse, 4 codec, 5 config, 6 invariant, 7 i/o,
+/// 8 busy-after-retries).
 pub fn error_code(e: &Error) -> u8 {
     match e {
         Error::UnknownSnippet(_)
@@ -318,6 +319,7 @@ pub fn error_code(e: &Error) -> u8 {
         Error::InvalidConfig(_) => 5,
         Error::Invariant(_) => 6,
         Error::Io(_) => 7,
+        Error::Busy { .. } => 8,
     }
 }
 
@@ -448,7 +450,7 @@ impl Response {
 
 impl ShardStats {
     /// Fixed encoded size in bytes.
-    pub const ENCODED_LEN: usize = 4 * 5 + 8 * 8;
+    pub const ENCODED_LEN: usize = 4 * 5 + 8 * 12;
 
     /// Append the wire encoding.
     pub fn encode(&self, buf: &mut impl BufMut) {
@@ -465,6 +467,10 @@ impl ShardStats {
         buf.put_u64_le(self.ingest_p50_ns);
         buf.put_u64_le(self.ingest_p95_ns);
         buf.put_u64_le(self.ingest_p99_ns);
+        buf.put_u64_le(self.wal_bytes);
+        buf.put_u64_le(self.last_checkpoint_age_ops);
+        buf.put_u64_le(self.restarts);
+        buf.put_u64_le(self.quarantined);
     }
 
     /// Decode one shard's stats.
@@ -484,6 +490,10 @@ impl ShardStats {
             ingest_p50_ns: buf.get_u64_le(),
             ingest_p95_ns: buf.get_u64_le(),
             ingest_p99_ns: buf.get_u64_le(),
+            wal_bytes: buf.get_u64_le(),
+            last_checkpoint_age_ops: buf.get_u64_le(),
+            restarts: buf.get_u64_le(),
+            quarantined: buf.get_u64_le(),
         })
     }
 }
@@ -622,6 +632,10 @@ mod tests {
                 ingest_p50_ns: 1_000,
                 ingest_p95_ns: 5_000,
                 ingest_p99_ns: 9_000,
+                wal_bytes: 4096,
+                last_checkpoint_age_ops: 42,
+                restarts: 1,
+                quarantined: 2,
             }],
         }));
         round_trip_response(Response::ShutdownAck);

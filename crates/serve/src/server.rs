@@ -1,4 +1,4 @@
-//! The sharded, backpressured TCP server.
+//! The sharded, backpressured, crash-safe TCP server.
 //!
 //! Topology: one acceptor thread, one handler thread per connection,
 //! and N *shard* worker threads. Each shard owns a full
@@ -15,13 +15,37 @@
 //! ingests and control frames (query/stats/shutdown) block on the queue
 //! instead: they are few, and blocking keeps their semantics simple.
 //!
+//! # Durability
+//!
+//! With a `wal_dir` configured, every state-changing job is journaled
+//! to the shard's write-ahead log ([`substrate::wal`], payloads are
+//! [`core::oplog::ReplayOp`]) *before* it touches the engine. On
+//! startup each shard loads its newest valid generation checkpoint
+//! (`shard{i}.g{N}.spvc`, written atomically via temp file + rename)
+//! and replays the WAL tail on top; replay is idempotent, so the crash
+//! window between "checkpoint written" and "WAL truncated" is safe.
+//! Once the WAL grows past `checkpoint_every_bytes` the shard writes a
+//! fresh generation and truncates the log, bounding recovery time.
+//!
+//! # Supervision
+//!
+//! A panic inside an engine apply is caught in the worker
+//! (`catch_unwind`); the shard's engine is rebuilt from checkpoint +
+//! WAL and the worker keeps draining its queue — other shards never
+//! notice. An operation that panics the shard *again* during the
+//! rebuild replay is quarantined: appended to the shard's dead-letter
+//! file (`shard{i}.dead`), skipped by all future replays, and rejected
+//! if resubmitted. STATS reports `restarts` and `quarantined` per
+//! shard.
+//!
 //! SHUTDOWN drains: a `Drain` job is pushed behind all accepted work on
 //! every shard, each shard flushes its engine (final alignment +
-//! refinement) and writes a [`core::checkpoint`] file, the queues are
+//! refinement) and writes a checkpoint generation, the queues are
 //! closed, and only then is the ack sent.
 
-use std::io::Write as _;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
@@ -29,11 +53,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use storypivot_core::checkpoint;
 use storypivot_core::config::PivotConfig;
+use storypivot_core::oplog::{replay_op, ReplayOp};
 use storypivot_core::pipeline::{DynamicPivot, PipelinePolicy};
 use storypivot_core::refine::story_source;
 use storypivot_substrate::queue::{Bounded, PushError};
 use storypivot_substrate::timing::Histogram;
+use storypivot_substrate::wal::{self, SyncPolicy, Wal};
 use storypivot_types::{DocId, Error, Result, Snippet, Source, SourceId, SourceKind, StoryId};
 
 use crate::proto::{frame, read_frame, Request, Response, StorySummary};
@@ -42,6 +69,13 @@ use crate::stats::{ServeStats, ShardStats};
 /// The maximum number of sources the story-id partitioning scheme
 /// supports (see `core::identify::STORY_ID_STRIDE`).
 const MAX_SOURCES: u32 = 256;
+
+/// Ingesting a snippet with this exact headline makes the owning shard
+/// worker panic — **in debug builds only** — providing a failure
+/// injection hook for exercising the supervision path (engine restart,
+/// two-strike dead-letter quarantine) from integration tests. Release
+/// builds treat it as an ordinary headline.
+pub const POISON_HEADLINE: &str = "__pivotd_poison_panic__";
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -57,9 +91,20 @@ pub struct ServerConfig {
     /// Per-shard incremental re-alignment period (snippets); see
     /// [`PipelinePolicy::align_every`].
     pub align_every: usize,
-    /// Where shutdown checkpoints are written (`shard{i}.spvc`);
-    /// `None` disables checkpointing.
+    /// Where checkpoint generations are written
+    /// (`shard{i}.g{N}.spvc`, atomic temp-file + rename); `None`
+    /// disables checkpointing.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Where per-shard write-ahead logs live (`shard{i}.wal`); `None`
+    /// disables journaling (and with it crash recovery of un-checkpointed
+    /// work).
+    pub wal_dir: Option<PathBuf>,
+    /// When each WAL append is forced to disk.
+    pub fsync: SyncPolicy,
+    /// Write a checkpoint generation and truncate the WAL once it
+    /// exceeds this many bytes (0 disables size-triggered checkpoints;
+    /// requires both `wal_dir` and `checkpoint_dir`).
+    pub checkpoint_every_bytes: u64,
     /// The retry-after hint carried by BUSY replies, in milliseconds.
     pub retry_after_ms: u32,
     /// Artificial per-job delay in each shard worker. Zero in
@@ -75,6 +120,9 @@ impl Default for ServerConfig {
             pivot: PivotConfig::default(),
             align_every: 256,
             checkpoint_dir: None,
+            wal_dir: None,
+            fsync: SyncPolicy::Always,
+            checkpoint_every_bytes: 8 * 1024 * 1024,
             retry_after_ms: 10,
             worker_delay: Duration::ZERO,
         }
@@ -149,6 +197,10 @@ impl ServerHandle {
 
 /// Bind and start serving. `addr` may use port 0 for an ephemeral port;
 /// the bound address is available via [`ServerHandle::addr`].
+///
+/// Before any client is accepted, every shard recovers: newest valid
+/// checkpoint generation, then WAL tail replay. Source-id allocation
+/// resumes past the highest recovered source.
 pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandle> {
     if cfg.shards == 0 {
         return Err(Error::InvalidConfig("serve: shards must be >= 1".into()));
@@ -164,34 +216,38 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
     let queues: Vec<Bounded<Job>> = (0..cfg.shards).map(|_| Bounded::new(cfg.queue_depth)).collect();
     let busy_counters: Vec<Arc<AtomicU64>> =
         (0..cfg.shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
+
+    // Recover every shard before serving: clients must never observe a
+    // partially recovered partition.
+    let mut shard_workers = Vec::with_capacity(cfg.shards);
+    for (idx, queue) in queues.iter().enumerate() {
+        shard_workers.push(ShardWorker::recover(
+            idx,
+            &cfg,
+            Arc::clone(&busy_counters[idx]),
+            queue.clone(),
+        )?);
+    }
+    // Resume source-id allocation past everything the checkpoints and
+    // WALs brought back.
+    let next_source = shard_workers
+        .iter()
+        .flat_map(|w| w.engine.pivot().sources().into_iter().map(|s| s.id.raw()))
+        .max()
+        .map_or(0, |m| m + 1);
+
     let shared = Arc::new(Shared {
         queues: queues.clone(),
-        busy_counters: busy_counters.clone(),
-        next_source: AtomicU32::new(0),
+        busy_counters,
+        next_source: AtomicU32::new(next_source),
         shutting_down: AtomicBool::new(false),
         done: AtomicBool::new(false),
         retry_after_ms: cfg.retry_after_ms,
     });
 
     let mut workers = Vec::with_capacity(cfg.shards);
-    for (idx, queue) in queues.into_iter().enumerate() {
-        let shard = ShardWorker {
-            idx,
-            engine: DynamicPivot::new(
-                cfg.pivot.clone(),
-                PipelinePolicy {
-                    align_every: cfg.align_every,
-                    ..PipelinePolicy::default()
-                },
-            ),
-            hist: Histogram::new(),
-            ingested: 0,
-            queries: 0,
-            busy: Arc::clone(&busy_counters[idx]),
-            queue,
-            checkpoint_dir: cfg.checkpoint_dir.clone(),
-            worker_delay: cfg.worker_delay,
-        };
+    for shard in shard_workers {
+        let idx = shard.idx;
         workers.push(
             std::thread::Builder::new()
                 .name(format!("pivot-shard-{idx}"))
@@ -217,16 +273,24 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     loop {
         if shared.done.load(Ordering::SeqCst) {
+            // Grace sweep: the kernel may have completed handshakes (or
+            // have SYNs in flight) that dropping the listener would RST
+            // mid-request. Serve them for a short window — post-done
+            // dispatch acks SHUTDOWN immediately and rejects mutations
+            // with a typed shutting-down error — so a client that
+            // connected concurrently with shutdown gets a well-formed
+            // reply instead of a connection reset.
+            let grace = Instant::now() + Duration::from_millis(50);
+            while Instant::now() < grace {
+                match listener.accept() {
+                    Ok((stream, _)) => spawn_handler(stream, &shared),
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
             return;
         }
         match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nodelay(true);
-                let conn_shared = Arc::clone(&shared);
-                let _ = std::thread::Builder::new()
-                    .name("pivot-conn".into())
-                    .spawn(move || handle_connection(stream, conn_shared));
-            }
+            Ok((stream, _)) => spawn_handler(stream, &shared),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
@@ -235,9 +299,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+fn spawn_handler(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let conn_shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name("pivot-conn".into())
+        .spawn(move || handle_connection(stream, conn_shared));
+}
+
 /// One connection: read frame → route → write response, until the peer
 /// closes or a protocol error desynchronises the stream.
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    use std::io::Write as _;
     let mut reader = std::io::BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -477,19 +550,162 @@ fn shutdown(shared: &Arc<Shared>) -> Response {
 
 // ---- shard worker ----------------------------------------------------
 
+/// What a successfully applied mutation produced.
+enum Applied {
+    Source(SourceId),
+    Story(StoryId),
+    Removed(u32),
+}
+
+/// The debug-only failure-injection hook: runs in both the live apply
+/// path and the rebuild replay path, so an injected panic is
+/// deterministic across restarts (which is what earns it a second
+/// strike and the quarantine).
+fn poison_check(op: &ReplayOp) {
+    if cfg!(debug_assertions) {
+        if let ReplayOp::Ingest(snippet) = op {
+            if snippet.content.headline == POISON_HEADLINE {
+                panic!("injected poison snippet (debug-only failure hook)");
+            }
+        }
+    }
+}
+
+/// Apply one mutation to a live engine. Shared by the serving path and
+/// (via [`replay_op`]'s equivalent semantics) mirrored by recovery.
+fn apply_live(engine: &mut DynamicPivot, op: &ReplayOp) -> Result<Applied> {
+    poison_check(op);
+    match op {
+        ReplayOp::AddSource(source) => engine
+            .pivot_mut()
+            .add_source_registered(source.clone())
+            .map(Applied::Source),
+        ReplayOp::Ingest(snippet) => engine.ingest(snippet.clone()).map(Applied::Story),
+        ReplayOp::RemoveDoc(doc) => match engine.pivot_mut().remove_document(*doc) {
+            Ok(n) => Ok(Applied::Removed(n as u32)),
+            // Sharding splits documents across engines: "unknown here"
+            // just means zero local snippets; the router sums.
+            Err(Error::UnknownDocument(_)) => Ok(Applied::Removed(0)),
+            Err(e) => Err(e),
+        },
+    }
+}
+
 struct ShardWorker {
     idx: usize,
     engine: DynamicPivot,
+    /// Engine config + pipeline policy, kept for rebuilds.
+    pivot_cfg: PivotConfig,
+    policy: PipelinePolicy,
     hist: Histogram,
     ingested: u64,
     queries: u64,
     busy: Arc<AtomicU64>,
     queue: Bounded<Job>,
     checkpoint_dir: Option<PathBuf>,
+    checkpoint_every_bytes: u64,
     worker_delay: Duration,
+    wal: Option<Wal>,
+    wal_path: Option<PathBuf>,
+    /// Dead-letter file for quarantined ops (next to the WAL, or the
+    /// checkpoint dir when journaling is off).
+    dead_path: Option<PathBuf>,
+    dead: Option<Wal>,
+    /// Newest checkpoint generation written or loaded so far.
+    generation: u64,
+    ops_since_checkpoint: u64,
+    restarts: u64,
+    quarantined: u64,
+    /// Panic count per op fingerprint; two strikes quarantine.
+    strikes: HashMap<u64, u32>,
+    /// Fingerprints of dead-lettered ops: skipped on replay, rejected
+    /// on resubmission.
+    quarantine: HashSet<u64>,
 }
 
 impl ShardWorker {
+    /// Build shard `idx` from durable state: load the dead-letter set,
+    /// open (and tail-repair) the WAL, restore the newest valid
+    /// checkpoint generation, and replay the WAL tail on top.
+    fn recover(
+        idx: usize,
+        cfg: &ServerConfig,
+        busy: Arc<AtomicU64>,
+        queue: Bounded<Job>,
+    ) -> Result<ShardWorker> {
+        let policy = PipelinePolicy {
+            align_every: cfg.align_every,
+            ..PipelinePolicy::default()
+        };
+        let state_dir = cfg.wal_dir.as_ref().or(cfg.checkpoint_dir.as_ref());
+        let dead_path = state_dir.map(|d| d.join(format!("shard{idx}.dead")));
+
+        let mut quarantine = HashSet::new();
+        let mut quarantined = 0u64;
+        if let Some(path) = &dead_path {
+            match wal::scan(path) {
+                Ok(scan) => {
+                    for payload in &scan.records {
+                        if let Ok(op) = ReplayOp::decode(payload) {
+                            if quarantine.insert(op.fingerprint()) {
+                                quarantined += 1;
+                            }
+                        }
+                    }
+                }
+                Err(e) => eprintln!(
+                    "pivotd: shard {idx}: dead-letter file {} unreadable: {e}",
+                    path.display()
+                ),
+            }
+        }
+
+        let mut worker = ShardWorker {
+            idx,
+            engine: DynamicPivot::new(cfg.pivot.clone(), policy),
+            pivot_cfg: cfg.pivot.clone(),
+            policy,
+            hist: Histogram::new(),
+            ingested: 0,
+            queries: 0,
+            busy,
+            queue,
+            checkpoint_dir: cfg.checkpoint_dir.clone(),
+            checkpoint_every_bytes: cfg.checkpoint_every_bytes,
+            worker_delay: cfg.worker_delay,
+            wal: None,
+            wal_path: None,
+            dead_path,
+            dead: None,
+            generation: 0,
+            ops_since_checkpoint: 0,
+            restarts: 0,
+            quarantined,
+            strikes: HashMap::new(),
+            quarantine,
+        };
+
+        if let Some(wal_dir) = &cfg.wal_dir {
+            std::fs::create_dir_all(wal_dir)
+                .map_err(|e| Error::Io(format!("create {}: {e}", wal_dir.display())))?;
+            let path = wal_dir.join(format!("shard{idx}.wal"));
+            let (wal, scan) = Wal::open(&path, cfg.fsync)
+                .map_err(|e| Error::Io(format!("open wal {}: {e}", path.display())))?;
+            if scan.damaged() {
+                eprintln!(
+                    "pivotd: shard {idx}: wal {} had a torn tail; dropped {} trailing bytes",
+                    path.display(),
+                    scan.dropped_bytes
+                );
+            }
+            worker.wal_path = Some(path);
+            worker.wal = Some(wal);
+        }
+
+        worker.rebuild();
+        Ok(worker)
+    }
+
     fn run(mut self) {
         while let Some(job) = self.queue.pop() {
             if !self.worker_delay.is_zero() {
@@ -509,21 +725,213 @@ impl ShardWorker {
         }
     }
 
+    /// Journal, then apply under `catch_unwind`. A panic rebuilds the
+    /// engine from durable state and replies with an error instead of
+    /// killing the worker; the op's strike count decides quarantine.
+    fn mutate(&mut self, op: ReplayOp) -> Result<Applied> {
+        let fp = op.fingerprint();
+        if self.quarantine.contains(&fp) {
+            return Err(Error::Invariant(format!(
+                "operation {fp:#018x} is quarantined on shard {} \
+                 (dead-lettered after repeated panics)",
+                self.idx
+            )));
+        }
+        if let Some(w) = &mut self.wal {
+            w.append(&op.to_bytes())
+                .map_err(|e| Error::Io(format!("shard {} wal append: {e}", self.idx)))?;
+        }
+        let engine = &mut self.engine;
+        match catch_unwind(AssertUnwindSafe(|| apply_live(engine, &op))) {
+            Ok(result) => {
+                if result.is_ok() {
+                    self.ops_since_checkpoint += 1;
+                    self.maybe_checkpoint();
+                }
+                result
+            }
+            Err(_) => {
+                self.restarts += 1;
+                *self.strikes.entry(fp).or_insert(0) += 1;
+                self.rebuild();
+                let quarantined_now = self.quarantine.contains(&fp);
+                Err(Error::Invariant(format!(
+                    "shard {} panicked applying the operation; engine rebuilt from \
+                     checkpoint + wal{}",
+                    self.idx,
+                    if quarantined_now {
+                        " and the operation was quarantined"
+                    } else {
+                        ""
+                    }
+                )))
+            }
+        }
+    }
+
+    /// Reconstruct the engine from the newest valid checkpoint plus the
+    /// WAL tail. An op that panics during replay earns a strike; at two
+    /// strikes it is dead-lettered, and the replay restarts without it.
+    /// Terminates: every restart either quarantines an op or arms its
+    /// second strike.
+    fn rebuild(&mut self) {
+        loop {
+            let mut engine = self.engine_from_checkpoint();
+            let records = match &self.wal_path {
+                Some(path) => match wal::scan(path) {
+                    Ok(scan) => scan.records,
+                    Err(e) => {
+                        eprintln!(
+                            "pivotd: shard {}: wal scan failed during rebuild: {e}",
+                            self.idx
+                        );
+                        Vec::new()
+                    }
+                },
+                None => Vec::new(),
+            };
+            let mut repanicked = false;
+            for payload in &records {
+                let op = match ReplayOp::decode(payload) {
+                    Ok(op) => op,
+                    Err(e) => {
+                        eprintln!("pivotd: shard {}: undecodable wal record skipped: {e}", self.idx);
+                        continue;
+                    }
+                };
+                let fp = op.fingerprint();
+                if self.quarantine.contains(&fp) {
+                    continue;
+                }
+                match catch_unwind(AssertUnwindSafe(|| replay_with_poison(&mut engine, &op))) {
+                    Ok(Ok(_)) => {}
+                    Ok(Err(e)) => eprintln!(
+                        "pivotd: shard {}: replay error (op skipped): {e}",
+                        self.idx
+                    ),
+                    Err(_) => {
+                        self.restarts += 1;
+                        let strikes = self.strikes.entry(fp).or_insert(0);
+                        *strikes += 1;
+                        if *strikes >= 2 {
+                            self.quarantine_op(&op);
+                        }
+                        repanicked = true;
+                        break;
+                    }
+                }
+            }
+            if !repanicked {
+                self.engine = engine;
+                return;
+            }
+        }
+    }
+
+    /// Newest valid checkpoint generation, or a fresh engine.
+    fn engine_from_checkpoint(&mut self) -> DynamicPivot {
+        if let Some(dir) = &self.checkpoint_dir {
+            match checkpoint::load_newest(dir, self.idx, self.pivot_cfg.clone()) {
+                Ok(Some((pivot, generation))) => {
+                    self.generation = self.generation.max(generation);
+                    return DynamicPivot::from_pivot(pivot, self.policy);
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!(
+                    "pivotd: shard {}: checkpoint load failed ({e}); starting empty",
+                    self.idx
+                ),
+            }
+        }
+        DynamicPivot::new(self.pivot_cfg.clone(), self.policy)
+    }
+
+    /// Dead-letter an op: remember its fingerprint and append its bytes
+    /// to `shard{i}.dead` so the quarantine survives restarts.
+    fn quarantine_op(&mut self, op: &ReplayOp) {
+        let fp = op.fingerprint();
+        if !self.quarantine.insert(fp) {
+            return;
+        }
+        self.quarantined += 1;
+        eprintln!(
+            "pivotd: shard {}: quarantining operation {fp:#018x} after repeated panics",
+            self.idx
+        );
+        if let Some(path) = &self.dead_path {
+            let outcome = match self.dead.as_mut() {
+                Some(d) => d.append(&op.to_bytes()).map(|_| ()),
+                None => match Wal::open(path, SyncPolicy::Always) {
+                    Ok((mut d, _)) => {
+                        let r = d.append(&op.to_bytes()).map(|_| ());
+                        self.dead = Some(d);
+                        r
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            if let Err(e) = outcome {
+                eprintln!(
+                    "pivotd: shard {}: dead-letter write to {} failed: {e}",
+                    self.idx,
+                    path.display()
+                );
+            }
+        }
+    }
+
+    /// Size-triggered checkpoint: once the WAL is past the threshold,
+    /// persist a generation and truncate the log.
+    fn maybe_checkpoint(&mut self) {
+        if self.checkpoint_every_bytes == 0 || self.checkpoint_dir.is_none() {
+            return;
+        }
+        let due = self
+            .wal
+            .as_ref()
+            .is_some_and(|w| w.len() >= self.checkpoint_every_bytes);
+        if due {
+            if let Err(e) = self.checkpoint_now() {
+                eprintln!("pivotd: shard {}: periodic checkpoint failed: {e}", self.idx);
+            }
+        }
+    }
+
+    /// Write checkpoint generation N+1 (atomic temp-file + rename),
+    /// then truncate the WAL. Crashing between the two is safe: replay
+    /// of the stale tail is idempotent.
+    fn checkpoint_now(&mut self) -> Result<()> {
+        let Some(dir) = self.checkpoint_dir.clone() else {
+            return Ok(());
+        };
+        let bytes = self.engine.pivot().save_checkpoint();
+        self.generation += 1;
+        checkpoint::write_generation(&dir, self.idx, self.generation, &bytes)?;
+        if let Some(w) = &mut self.wal {
+            w.reset()
+                .map_err(|e| Error::Io(format!("shard {} wal reset: {e}", self.idx)))?;
+        }
+        self.ops_since_checkpoint = 0;
+        Ok(())
+    }
+
     fn add_source(&mut self, source: Source) -> Response {
-        match self.engine.pivot_mut().add_source_registered(source) {
-            Ok(id) => Response::SourceAdded(id),
+        match self.mutate(ReplayOp::AddSource(source)) {
+            Ok(Applied::Source(id)) => Response::SourceAdded(id),
+            Ok(_) => internal_shape_error(),
             Err(e) => Response::from_error(&e),
         }
     }
 
     fn ingest(&mut self, snippet: Snippet) -> Response {
         let t = Instant::now();
-        match self.engine.ingest(snippet) {
-            Ok(story) => {
+        match self.mutate(ReplayOp::Ingest(snippet)) {
+            Ok(Applied::Story(story)) => {
                 self.hist.record(t.elapsed().as_nanos() as u64);
                 self.ingested += 1;
                 Response::Ingested(story)
             }
+            Ok(_) => internal_shape_error(),
             Err(e) => Response::from_error(&e),
         }
     }
@@ -532,12 +940,13 @@ impl ShardWorker {
         let mut count = 0u32;
         for snippet in batch {
             let t = Instant::now();
-            match self.engine.ingest(snippet) {
-                Ok(_) => {
+            match self.mutate(ReplayOp::Ingest(snippet)) {
+                Ok(Applied::Story(_)) => {
                     self.hist.record(t.elapsed().as_nanos() as u64);
                     self.ingested += 1;
                     count += 1;
                 }
+                Ok(_) => return internal_shape_error(),
                 Err(e) => {
                     return Response::Error {
                         code: crate::proto::error_code(&e),
@@ -586,11 +995,9 @@ impl ShardWorker {
     }
 
     fn remove_doc(&mut self, doc: DocId) -> Response {
-        match self.engine.pivot_mut().remove_document(doc) {
-            Ok(n) => Response::Removed(n as u32),
-            // Sharding splits documents across engines: "unknown here"
-            // just means zero local snippets; the router sums.
-            Err(Error::UnknownDocument(_)) => Response::Removed(0),
+        match self.mutate(ReplayOp::RemoveDoc(doc)) {
+            Ok(Applied::Removed(n)) => Response::Removed(n),
+            Ok(_) => internal_shape_error(),
             Err(e) => Response::from_error(&e),
         }
     }
@@ -612,24 +1019,38 @@ impl ShardWorker {
                 ingest_p50_ns: self.hist.percentile(0.50),
                 ingest_p95_ns: self.hist.percentile(0.95),
                 ingest_p99_ns: self.hist.percentile(0.99),
+                wal_bytes: self.wal.as_ref().map_or(0, |w| w.len()),
+                last_checkpoint_age_ops: self.ops_since_checkpoint,
+                restarts: self.restarts,
+                quarantined: self.quarantined,
             }],
         })
     }
 
     fn drain(&mut self) -> Response {
         self.engine.flush();
-        if let Some(dir) = &self.checkpoint_dir {
-            let path = dir.join(format!("shard{}.spvc", self.idx));
-            let bytes = self.engine.pivot().save_checkpoint();
-            if let Err(e) = std::fs::create_dir_all(dir)
-                .and_then(|_| std::fs::File::create(&path).and_then(|mut f| f.write_all(&bytes)))
-            {
+        if self.checkpoint_dir.is_some() {
+            if let Err(e) = self.checkpoint_now() {
                 return Response::Error {
                     code: 7,
-                    message: format!("checkpoint {} failed: {e}", path.display()),
+                    message: format!("shard {} checkpoint failed: {e}", self.idx),
                 };
             }
         }
         Response::ShutdownAck
+    }
+}
+
+/// Recovery-side apply: same idempotent semantics as [`replay_op`],
+/// plus the poison hook so an injected panic reproduces during replay.
+fn replay_with_poison(engine: &mut DynamicPivot, op: &ReplayOp) -> Result<bool> {
+    poison_check(op);
+    replay_op(engine, op)
+}
+
+fn internal_shape_error() -> Response {
+    Response::Error {
+        code: 6,
+        message: "internal: mutation produced a mismatched result shape".into(),
     }
 }

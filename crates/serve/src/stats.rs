@@ -30,6 +30,18 @@ pub struct ShardStats {
     pub ingest_p95_ns: u64,
     /// 99th-percentile ingest latency (nanoseconds).
     pub ingest_p99_ns: u64,
+    /// Bytes currently in this shard's write-ahead log (0 when the WAL
+    /// is disabled or freshly truncated by a checkpoint).
+    pub wal_bytes: u64,
+    /// Mutating operations applied since the last checkpoint (the
+    /// replay debt a crash right now would incur).
+    pub last_checkpoint_age_ops: u64,
+    /// Panics caught in this shard's worker; each one rebuilt the
+    /// engine from checkpoint + WAL.
+    pub restarts: u64,
+    /// Operations quarantined to the dead-letter file after killing the
+    /// shard twice.
+    pub quarantined: u64,
 }
 
 /// The whole server's statistics: one entry per shard, ordered by
@@ -61,6 +73,16 @@ impl ServeStats {
         self.shards.iter().map(|s| s.stories).sum()
     }
 
+    /// Worker restarts (caught panics) across all shards.
+    pub fn total_restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Quarantined (dead-lettered) operations across all shards.
+    pub fn total_quarantined(&self) -> u64 {
+        self.shards.iter().map(|s| s.quarantined).sum()
+    }
+
     /// A compact multi-line human-readable rendering.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -69,7 +91,8 @@ impl ServeStats {
             let _ = writeln!(
                 out,
                 "shard {}: {} sources, {} stories, {} snippets, queue {}/{}, \
-                 ingested {} (busy {}), ingest p50/p95/p99 {:.1}/{:.1}/{:.1} µs",
+                 ingested {} (busy {}), ingest p50/p95/p99 {:.1}/{:.1}/{:.1} µs, \
+                 wal {} B (age {} ops), restarts {}, quarantined {}",
                 s.shard,
                 s.sources,
                 s.stories,
@@ -81,6 +104,10 @@ impl ServeStats {
                 s.ingest_p50_ns as f64 / 1e3,
                 s.ingest_p95_ns as f64 / 1e3,
                 s.ingest_p99_ns as f64 / 1e3,
+                s.wal_bytes,
+                s.last_checkpoint_age_ops,
+                s.restarts,
+                s.quarantined,
             );
         }
         out

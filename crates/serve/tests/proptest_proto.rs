@@ -62,6 +62,10 @@ fn random_shard_stats(rng: &mut StdRng) -> ShardStats {
         ingest_p50_ns: rng.random(),
         ingest_p95_ns: rng.random(),
         ingest_p99_ns: rng.random(),
+        wal_bytes: rng.random(),
+        last_checkpoint_age_ops: rng.random(),
+        restarts: rng.random(),
+        quarantined: rng.random(),
     }
 }
 

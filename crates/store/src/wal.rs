@@ -21,6 +21,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
+use storypivot_substrate::wal::crc32;
 use storypivot_types::{DocId, Error, Result, Snippet, SnippetId, SourceId};
 
 use crate::codec::{decode_snippet, decode_source, encode_snippet, encode_source};
@@ -31,20 +32,6 @@ const KIND_REMOVE: u8 = 2;
 const KIND_ADD_SOURCE: u8 = 3;
 const KIND_REMOVE_SOURCE: u8 = 4;
 const KIND_REMOVE_DOC: u8 = 5;
-
-/// CRC-32 (IEEE 802.3, reflected) — implemented locally so the codec
-/// stays dependency-free.
-fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
 
 /// An append-only mutation log.
 #[derive(Debug)]

@@ -24,6 +24,9 @@
 //! * [`queue`] — [`queue::Bounded<T>`], a bounded MPMC queue with depth
 //!   gauges and close-and-drain semantics (the slice of
 //!   `crossbeam-channel` the serving layer needs).
+//! * [`wal`] — a generic CRC-framed append-only journal with
+//!   configurable fsync policy and torn-tail repair, the durability
+//!   primitive under `pivotd`'s per-shard write-ahead logs.
 //!
 //! Everything here is deterministic: the same seed produces the same
 //! corpus, the same property-test cases, and the same experiment tables
@@ -38,9 +41,11 @@ pub mod queue;
 pub mod rng;
 pub mod shared;
 pub mod timing;
+pub mod wal;
 
 pub use buf::{Buf, BufMut, ByteBuf};
 pub use queue::Bounded;
 pub use timing::Histogram;
 pub use rng::{RngCore, RngExt, SliceRandom, StdRng, Zipf};
 pub use shared::Shared;
+pub use wal::{SyncPolicy, Wal};

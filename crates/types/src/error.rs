@@ -30,6 +30,12 @@ pub enum Error {
     Invariant(String),
     /// Underlying I/O failure (carries the rendered source error).
     Io(String),
+    /// The server stayed busy through every allowed retry; carries the
+    /// number of attempts made before giving up.
+    Busy {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -46,6 +52,9 @@ impl fmt::Display for Error {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Invariant(msg) => write!(f, "invariant violation: {msg}"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::Busy { attempts } => {
+                write!(f, "server busy after {attempts} attempts")
+            }
         }
     }
 }

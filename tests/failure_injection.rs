@@ -316,3 +316,130 @@ mod wire_faults {
         assert_alive_and_shutdown(handle);
     }
 }
+
+/// Shard supervision under injected panics. The poison hook only exists
+/// in debug builds ([`storypivot::serve::server::POISON_HEADLINE`]), so
+/// this module is compiled out of release test runs.
+#[cfg(debug_assertions)]
+mod shard_supervision {
+    use std::path::{Path, PathBuf};
+
+    use storypivot::serve::client::Client;
+    use storypivot::serve::server::{serve, ServerConfig, POISON_HEADLINE};
+    use storypivot::substrate::wal::SyncPolicy;
+    use storypivot::types::{EntityId, Snippet, SnippetId, SourceId, SourceKind, Timestamp};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("storypivot-poison-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_config(wal: &Path, ckpt: &Path) -> ServerConfig {
+        ServerConfig {
+            shards: 2,
+            align_every: 0,
+            wal_dir: Some(wal.to_path_buf()),
+            checkpoint_dir: Some(ckpt.to_path_buf()),
+            fsync: SyncPolicy::Always,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn snippet(id: u32, source: u32, headline: &str) -> Snippet {
+        Snippet::builder(SnippetId::new(id), SourceId::new(source), Timestamp::EPOCH)
+            .entity(EntityId::new(1), 1.0)
+            .headline(headline)
+            .build()
+    }
+
+    #[test]
+    fn poisoned_shard_restarts_quarantines_and_keeps_siblings_serving() {
+        let wal = scratch("wal");
+        let ckpt = scratch("ckpt");
+        let handle = serve("127.0.0.1:0", durable_config(&wal, &ckpt)).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // Source 0 → shard 0, source 1 → shard 1.
+        client.add_source("victim", SourceKind::Wire, 0).unwrap();
+        client.add_source("bystander", SourceKind::Wire, 0).unwrap();
+        client.ingest_retry(&snippet(0, 0, "fine"), 10).unwrap();
+        client.ingest_retry(&snippet(1, 1, "fine too"), 10).unwrap();
+
+        // Strike 1: the live apply panics. Strike 2: the op re-panics
+        // out of the WAL during the rebuild replay. One submission is
+        // therefore enough to dead-letter it.
+        let poison = snippet(2, 0, POISON_HEADLINE);
+        let err = client.ingest(&poison).expect_err("poison must surface as an error");
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "unexpected error: {msg}");
+
+        // The poisoned shard restarted and keeps serving its queue...
+        client.ingest_retry(&snippet(3, 0, "still alive"), 10).unwrap();
+        // ...and the sibling shard never noticed.
+        client.ingest_retry(&snippet(4, 1, "unaffected"), 10).unwrap();
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.shards.len(), 2);
+        assert!(
+            stats.shards[0].restarts >= 2,
+            "live panic + replay panic, got {}",
+            stats.shards[0].restarts
+        );
+        assert_eq!(stats.shards[0].quarantined, 1);
+        assert_eq!(stats.shards[1].restarts, 0);
+        assert_eq!(stats.shards[1].quarantined, 0);
+        assert!(wal.join("shard0.dead").exists(), "quarantine must be dead-lettered");
+
+        // Resubmitting the identical op is rejected *before* the engine
+        // (no new panic, no new restart).
+        let err = client.ingest(&poison).expect_err("quarantined op must be rejected");
+        assert!(err.to_string().contains("quarantined"), "got: {err}");
+        let stats2 = client.stats().unwrap();
+        assert_eq!(stats2.shards[0].restarts, stats.shards[0].restarts);
+
+        // The partition holds exactly the four good snippets.
+        let stories = client.query_stories().unwrap();
+        let members: usize = stories.iter().map(|s| s.members.len()).sum();
+        assert_eq!(members, 4);
+
+        client.shutdown().unwrap();
+        handle.join();
+        let _ = std::fs::remove_dir_all(&wal);
+        let _ = std::fs::remove_dir_all(&ckpt);
+    }
+
+    #[test]
+    fn quarantine_survives_a_clean_restart() {
+        let wal = scratch("wal-persist");
+        let ckpt = scratch("ckpt-persist");
+        {
+            let handle = serve("127.0.0.1:0", durable_config(&wal, &ckpt)).unwrap();
+            let mut client = Client::connect(handle.addr()).unwrap();
+            client.add_source("victim", SourceKind::Wire, 0).unwrap();
+            client.ingest_retry(&snippet(0, 0, "good"), 10).unwrap();
+            client.ingest(&snippet(1, 0, POISON_HEADLINE)).expect_err("poison");
+            client.shutdown().unwrap();
+            handle.join();
+        }
+        // Same durable state, fresh process (in-process stand-in): the
+        // dead-letter file re-arms the quarantine before any replay.
+        let handle = serve("127.0.0.1:0", durable_config(&wal, &ckpt)).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.shards[0].quarantined, 1);
+        assert_eq!(stats.shards[0].restarts, 0, "no replay panic: the op is skipped");
+        let err = client.ingest(&snippet(1, 0, POISON_HEADLINE)).expect_err("still dead");
+        assert!(err.to_string().contains("quarantined"), "got: {err}");
+        // Recovered data intact, engine fully serviceable.
+        let stories = client.query_stories().unwrap();
+        assert_eq!(stories.iter().map(|s| s.members.len()).sum::<usize>(), 1);
+        client.ingest_retry(&snippet(2, 0, "fresh"), 10).unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+        let _ = std::fs::remove_dir_all(&wal);
+        let _ = std::fs::remove_dir_all(&ckpt);
+    }
+}

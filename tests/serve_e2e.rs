@@ -96,17 +96,19 @@ fn served_partition_matches_in_process_and_checkpoint_restores() {
     assert_eq!(stats.total_ingested() as usize, corpus.len());
     assert_eq!(stats.shards.len(), 1);
 
-    // Graceful shutdown: the ack means drained + checkpointed.
+    // Graceful shutdown: the ack means drained + checkpointed (a
+    // generation-numbered file written atomically via temp + rename).
     client.shutdown().unwrap();
     handle.join();
-    let ckpt_file = ckpt.join("shard0.spvc");
-    assert!(ckpt_file.exists(), "shutdown must write {}", ckpt_file.display());
+    let (restored, generation) =
+        storypivot::core::checkpoint::load_newest(&ckpt, 0, PivotConfig::default())
+            .unwrap()
+            .expect("shutdown must write a shard 0 checkpoint generation");
+    assert!(generation >= 1, "shutdown checkpoint must carry a generation");
 
     // The checkpoint restores the *flushed* engine (drain runs a final
     // align + refine before saving) — flush the twin to match.
     twin.flush();
-    let bytes = std::fs::read(&ckpt_file).unwrap();
-    let restored = StoryPivot::load_checkpoint(PivotConfig::default(), &bytes).unwrap();
     assert_eq!(
         partition_of_engine(&restored),
         partition_of_engine(twin.pivot()),
