@@ -20,7 +20,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> smoke: bench harness e1 (quick, json artifact)"
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+PIVOTD_PID=""
+# If a smoke step dies mid-script, the daemon it spawned must not
+# outlive the CI run: kill any live pivotd before sweeping the
+# scratch dir. KILL is safe here — crash recovery is a tested path.
+cleanup() {
+    if [ -n "$PIVOTD_PID" ] && kill -0 "$PIVOTD_PID" 2>/dev/null; then
+        kill -9 "$PIVOTD_PID" 2>/dev/null || true
+        wait "$PIVOTD_PID" 2>/dev/null || true
+    fi
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
 cargo run -p storypivot-bench --bin harness --release -- e1 --quick --json "$SMOKE_DIR/bench"
 test -s "$SMOKE_DIR/bench/BENCH_e1.json"
 
@@ -42,10 +53,14 @@ cargo run -p storypivot-serve --bin pivotd --release -- \
 PIVOTD_PID=$!
 PORT="$(wait_port "$SMOKE_DIR/port" "$PIVOTD_PID")"
 cargo run -p storypivot-serve --bin loadgen --release -- \
-    --addr "127.0.0.1:$PORT" --quick --json "$SMOKE_DIR/BENCH_serve.json" --shutdown
+    --addr "127.0.0.1:$PORT" --quick --json "$SMOKE_DIR/BENCH_serve.json" \
+    --metrics --shutdown > "$SMOKE_DIR/metrics.txt"
+# The merged exposition made it over the wire.
+grep -q '^storypivot_ingest_total ' "$SMOKE_DIR/metrics.txt"
 # SHUTDOWN must terminate the daemon gracefully (exit 0) and leave one
 # generation-numbered checkpoint per shard.
 wait "$PIVOTD_PID"
+PIVOTD_PID=""
 ls "$SMOKE_DIR"/ckpt/shard0.g*.spvc >/dev/null
 ls "$SMOKE_DIR"/ckpt/shard1.g*.spvc >/dev/null
 test -s "$SMOKE_DIR/BENCH_serve.json"
@@ -75,6 +90,7 @@ PORT="$(wait_port "$CRASH_DIR/port" "$PIVOTD_PID")"
 cargo run -p storypivot-serve --bin loadgen --release -- \
     --addr "127.0.0.1:$PORT" --query-only --partition-file "$CRASH_DIR/after.txt" --shutdown
 wait "$PIVOTD_PID"
+PIVOTD_PID=""
 cmp "$CRASH_DIR/before.txt" "$CRASH_DIR/after.txt"
 
 echo "CI OK"

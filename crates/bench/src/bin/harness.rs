@@ -17,13 +17,16 @@
 //!   e9  document add/remove latency                (§4.2.1)
 //!   e10 identification scoring ablation            (design choice)
 //!   wal (e12) journal fsync cost + recovery replay (durability)
+//!   metrics (e13) instrumentation overhead         (observability)
 
 use std::time::Instant;
 
 use storypivot_bench::{corpus_constant_density, corpus_fixed_period, ingest_all, pivot_for, OMEGA};
+use storypivot_substrate::metrics::Registry;
 use storypivot_substrate::rng::{RngExt, StdRng};
 use storypivot_substrate::wal::{self, SyncPolicy, Wal};
 use storypivot_core::config::PivotConfig;
+use storypivot_core::metrics::EngineMetrics;
 use storypivot_core::oplog::{replay_op, ReplayOp};
 use storypivot_core::pipeline::{DynamicPivot, PipelinePolicy};
 use storypivot_eval::run::{alignment_scores, identification_scores, run, RunOptions};
@@ -112,7 +115,7 @@ fn main() {
     }
     let scale = if quick { Scale::quick() } else { Scale::full() };
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "wal"]
+        wanted = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "wal", "metrics"]
             .map(String::from)
             .to_vec();
     }
@@ -136,8 +139,9 @@ fn main() {
             "e9" => e9(seed),
             "e10" => e10(&scale, seed),
             "wal" | "e12" => e12_wal(&scale, seed),
+            "metrics" | "e13" => e13_metrics(&scale, seed),
             other => {
-                eprintln!("unknown experiment {other:?} (use e1..e10, wal, or all)");
+                eprintln!("unknown experiment {other:?} (use e1..e10, wal, metrics, or all)");
                 continue;
             }
         };
@@ -684,6 +688,66 @@ fn e12_wal(scale: &Scale, seed: u64) -> Table {
     }
 
     let _ = std::fs::remove_dir_all(&dir);
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E13 — instrumentation overhead: the same ingest stream into three
+/// engines — metrics detached (the default), attached to a *disabled*
+/// registry (one `None` branch per operation, the compiled-out
+/// configuration), and attached to a live registry (atomic counters +
+/// mutexed histograms). Best-of-N per configuration to suppress
+/// scheduler noise; DESIGN.md §8 budgets the live overhead at < 5%.
+fn e13_metrics(scale: &Scale, seed: u64) -> Table {
+    println!("\n## E13 — metrics instrumentation overhead (observability)\n");
+    const TRIALS: usize = 5;
+    let corpus = corpus_fixed_period(scale.mid, 10, seed ^ 47);
+    let cfg = PivotConfig::temporal(OMEGA);
+    let names = ["detached (default)", "disabled registry", "live registry"];
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..TRIALS {
+        for (slot, best_ns) in best.iter_mut().enumerate() {
+            let registry = match slot {
+                0 => None,
+                1 => Some(Registry::disabled()),
+                _ => Some(Registry::new()),
+            };
+            let mut pivot = pivot_for(&corpus, cfg.clone());
+            if let Some(r) = &registry {
+                pivot.set_metrics(EngineMetrics::register(r));
+            }
+            let t = Instant::now();
+            for s in &corpus.snippets {
+                pivot.ingest(s.clone()).unwrap();
+            }
+            let nanos = t.elapsed().as_nanos() as f64 / corpus.len() as f64;
+            *best_ns = best_ns.min(nanos);
+            if let Some(r) = registry.filter(Registry::is_enabled) {
+                // The timing is only meaningful if the live run really
+                // recorded its work.
+                assert_eq!(
+                    r.snapshot().counter_value("storypivot_ingest_total", &[]),
+                    Some(corpus.len() as u64),
+                    "live registry must count every ingest"
+                );
+            }
+        }
+    }
+    println!("best of {TRIALS} trials per configuration\n");
+    let mut table = Table::new(["config", "events", "ns/event", "overhead vs detached"]);
+    for (slot, name) in names.iter().enumerate() {
+        let overhead = if slot == 0 {
+            "baseline".to_string()
+        } else {
+            format!("{:+.2}%", (best[slot] - best[0]) / best[0] * 100.0)
+        };
+        table.row([
+            name.to_string(),
+            corpus.len().to_string(),
+            format!("{:.0}", best[slot]),
+            overhead,
+        ]);
+    }
     print!("{}", table.to_markdown());
     table
 }

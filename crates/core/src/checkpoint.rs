@@ -56,6 +56,7 @@ fn get_u64(buf: &mut &[u8], what: &str) -> Result<u64> {
 impl StoryPivot {
     /// Serialize the engine's full state.
     pub fn save_checkpoint(&self) -> Vec<u8> {
+        let timer = self.metrics.checkpoint_save_duration.start();
         let store_bytes = encode_store(&self.store);
         let mut out = Vec::with_capacity(store_bytes.len() + 64);
         out.extend_from_slice(MAGIC);
@@ -81,6 +82,7 @@ impl StoryPivot {
         out.extend_from_slice(&self.snippet_ids.allocated().to_le_bytes());
         out.extend_from_slice(&self.doc_ids.allocated().to_le_bytes());
         out.extend_from_slice(&self.source_ids.allocated().to_le_bytes());
+        drop(timer);
         out
     }
 

@@ -31,6 +31,7 @@ pub mod checkpoint;
 pub mod explain;
 pub mod config;
 pub mod identify;
+pub mod metrics;
 pub mod oplog;
 pub mod pipeline;
 pub mod pivot;
@@ -44,6 +45,7 @@ pub use align::{AlignOutcome, Aligner};
 pub use config::{AlignConfig, IdentifyConfig, MatchMode, PivotConfig, SketchConfig};
 pub use explain::{explain_assignment, explain_counterparts, Explanation};
 pub use identify::{Identifier, IdentifyDecision};
+pub use metrics::EngineMetrics;
 pub use oplog::{replay_op, ReplayOp};
 pub use pipeline::DynamicPivot;
 pub use pivot::StoryPivot;

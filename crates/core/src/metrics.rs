@@ -1,0 +1,168 @@
+//! Pre-registered engine metric handles.
+//!
+//! [`EngineMetrics`] bundles every counter and duration histogram the
+//! engine records on its hot paths — identification, alignment,
+//! refinement, maintenance, checkpointing — as cheap detached handles
+//! from a [`storypivot_substrate::metrics::Registry`]. The default is
+//! fully detached (every operation is a no-op costing one `None`
+//! branch), so the engine pays for observability only when a registry
+//! is attached via [`crate::pivot::StoryPivot::set_metrics`].
+//!
+//! Counter semantics are shard-invariant: every name here counts
+//! per-source work, so summing the registries of N shard engines
+//! yields exactly the values one unsharded engine would report on the
+//! same corpus. The serving layer's `METRICS` opcode relies on this
+//! when it merges per-shard snapshots into one exposition.
+
+use storypivot_substrate::metrics::{Counter, HistogramMetric, Registry};
+
+/// Handles for every engine-side metric family (see module docs).
+#[derive(Clone, Default)]
+pub struct EngineMetrics {
+    /// `storypivot_ingest_total` — snippets ingested.
+    pub ingest_total: Counter,
+    /// `storypivot_identify_compared_total` — candidate snippet
+    /// comparisons performed (the candidate-scan width of E1).
+    pub identify_compared_total: Counter,
+    /// `storypivot_identify_assigned_total` — snippets that joined an
+    /// existing story.
+    pub identify_assigned_total: Counter,
+    /// `storypivot_identify_new_story_total` — snippets that opened a
+    /// new story.
+    pub identify_new_story_total: Counter,
+    /// `storypivot_identify_merge_total` — stories absorbed by merge
+    /// evidence.
+    pub identify_merge_total: Counter,
+    /// `storypivot_identify_split_total` — stories split by the
+    /// maintenance pass.
+    pub identify_split_total: Counter,
+    /// `storypivot_maintenance_runs_total` — merge/split maintenance
+    /// passes executed.
+    pub maintenance_runs_total: Counter,
+    /// `storypivot_align_runs_total` — alignment passes (full or
+    /// incremental).
+    pub align_runs_total: Counter,
+    /// `storypivot_align_pairs_total` — candidate story pairs scored.
+    pub align_pairs_total: Counter,
+    /// `storypivot_refine_moves_total` — snippets moved by refinement.
+    pub refine_moves_total: Counter,
+    /// `storypivot_refine_rounds_total` — refinement rounds executed.
+    pub refine_rounds_total: Counter,
+    /// `storypivot_identify_duration_ns` — per-snippet identification
+    /// time.
+    pub identify_duration: HistogramMetric,
+    /// `storypivot_align_duration_ns` — per-pass alignment time.
+    pub align_duration: HistogramMetric,
+    /// `storypivot_refine_duration_ns` — per-call refinement time
+    /// (includes the re-alignments it triggers).
+    pub refine_duration: HistogramMetric,
+    /// `storypivot_checkpoint_save_duration_ns` — checkpoint
+    /// serialization time.
+    pub checkpoint_save_duration: HistogramMetric,
+    /// `storypivot_checkpoint_load_duration_ns` — checkpoint
+    /// deserialization time.
+    pub checkpoint_load_duration: HistogramMetric,
+}
+
+impl std::fmt::Debug for EngineMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineMetrics").finish_non_exhaustive()
+    }
+}
+
+impl EngineMetrics {
+    /// Register every engine family in `registry` and return live
+    /// handles (no-op handles when the registry is disabled).
+    pub fn register(registry: &Registry) -> Self {
+        EngineMetrics {
+            ingest_total: registry
+                .counter("storypivot_ingest_total", "Snippets ingested."),
+            identify_compared_total: registry.counter(
+                "storypivot_identify_compared_total",
+                "Candidate snippet comparisons performed during identification.",
+            ),
+            identify_assigned_total: registry.counter(
+                "storypivot_identify_assigned_total",
+                "Snippets assigned to an existing story.",
+            ),
+            identify_new_story_total: registry.counter(
+                "storypivot_identify_new_story_total",
+                "Snippets that opened a new story.",
+            ),
+            identify_merge_total: registry.counter(
+                "storypivot_identify_merge_total",
+                "Stories absorbed into another story by merge evidence.",
+            ),
+            identify_split_total: registry.counter(
+                "storypivot_identify_split_total",
+                "Stories split into fragments by the maintenance pass.",
+            ),
+            maintenance_runs_total: registry.counter(
+                "storypivot_maintenance_runs_total",
+                "Merge/split maintenance passes executed.",
+            ),
+            align_runs_total: registry.counter(
+                "storypivot_align_runs_total",
+                "Alignment passes executed (full or incremental).",
+            ),
+            align_pairs_total: registry.counter(
+                "storypivot_align_pairs_total",
+                "Candidate story pairs scored by the aligner.",
+            ),
+            refine_moves_total: registry.counter(
+                "storypivot_refine_moves_total",
+                "Snippets moved between stories by refinement.",
+            ),
+            refine_rounds_total: registry.counter(
+                "storypivot_refine_rounds_total",
+                "Refinement rounds executed.",
+            ),
+            identify_duration: registry.histogram(
+                "storypivot_identify_duration_ns",
+                "Per-snippet identification time in nanoseconds.",
+            ),
+            align_duration: registry.histogram(
+                "storypivot_align_duration_ns",
+                "Per-pass alignment time in nanoseconds.",
+            ),
+            refine_duration: registry.histogram(
+                "storypivot_refine_duration_ns",
+                "Per-call refinement time in nanoseconds.",
+            ),
+            checkpoint_save_duration: registry.histogram(
+                "storypivot_checkpoint_save_duration_ns",
+                "Checkpoint serialization time in nanoseconds.",
+            ),
+            checkpoint_load_duration: registry.histogram(
+                "storypivot_checkpoint_load_duration_ns",
+                "Checkpoint deserialization time in nanoseconds.",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_handles_are_detached() {
+        let m = EngineMetrics::default();
+        m.ingest_total.inc();
+        assert_eq!(m.ingest_total.get(), 0);
+        m.identify_duration.record(5);
+        assert_eq!(m.identify_duration.count(), 0);
+    }
+
+    #[test]
+    fn registered_handles_share_the_registry() {
+        let registry = Registry::new();
+        let a = EngineMetrics::register(&registry);
+        let b = EngineMetrics::register(&registry);
+        a.ingest_total.add(2);
+        b.ingest_total.inc();
+        assert_eq!(a.ingest_total.get(), 3);
+        let text = registry.render();
+        assert!(text.contains("storypivot_ingest_total 3"));
+    }
+}

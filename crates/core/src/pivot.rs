@@ -13,6 +13,7 @@ use storypivot_types::{
 use crate::align::{AlignOutcome, Aligner};
 use crate::config::PivotConfig;
 use crate::identify::{Identifier, IdentifyDecision, STORY_ID_STRIDE};
+use crate::metrics::EngineMetrics;
 use crate::refine::{refine_once, RefineReport};
 use crate::state::StoryState;
 
@@ -55,6 +56,7 @@ pub struct StoryPivot {
     pub(crate) source_ids: IdGen<SourceId>,
     pub(crate) snippet_ids: IdGen<SnippetId>,
     pub(crate) doc_ids: IdGen<DocId>,
+    pub(crate) metrics: EngineMetrics,
 }
 
 impl StoryPivot {
@@ -80,12 +82,25 @@ impl StoryPivot {
             source_ids: IdGen::new(),
             snippet_ids: IdGen::new(),
             doc_ids: IdGen::new(),
+            metrics: EngineMetrics::default(),
         })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &PivotConfig {
         &self.config
+    }
+
+    /// Attach engine metric handles (default: detached no-ops). The
+    /// serving layer registers one set per shard registry; summing the
+    /// shard registries reproduces an unsharded engine's counters.
+    pub fn set_metrics(&mut self, metrics: EngineMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// The attached engine metric handles.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
     }
 
     /// Read access to the underlying event store.
@@ -203,13 +218,25 @@ impl StoryPivot {
             .get_mut(&source)
             .ok_or(Error::UnknownSource(source))?;
         self.store.insert(snippet.clone())?;
+        let timer = self.metrics.identify_duration.start();
         let decision = ident.assign(&snippet, &self.store);
+        drop(timer);
+        self.metrics.ingest_total.inc();
+        self.metrics.identify_compared_total.add(decision.compared as u64);
+        if decision.created {
+            self.metrics.identify_new_story_total.inc();
+        } else {
+            self.metrics.identify_assigned_total.inc();
+        }
+        self.metrics.identify_merge_total.add(decision.merged.len() as u64);
         self.dirty.insert(decision.story);
         for &m in &decision.merged {
             self.dirty.insert(m);
         }
         if ident.maintenance_due() {
+            self.metrics.maintenance_runs_total.inc();
             let report = ident.maintain(&self.store);
+            self.metrics.identify_split_total.add(report.splits.len() as u64);
             for (orig, fragments) in report.splits {
                 self.dirty.insert(orig);
                 self.dirty.extend(fragments);
@@ -277,20 +304,62 @@ impl StoryPivot {
         for t in touched.into_iter().flatten() {
             self.dirty.insert(t);
         }
+        // The parallel path records only the ingest count; per-decision
+        // counters stay on the sequential (serving) path.
+        self.metrics.ingest_total.add(total as u64);
         Ok(total)
     }
 
     // ---- removal ---------------------------------------------------------
 
     /// Remove one snippet (store + story), marking its story dirty.
+    ///
+    /// The cached alignment outcome is scrubbed immediately: queries
+    /// issued between the removal and the next (incremental) alignment
+    /// must not surface the removed snippet, nor a story whose last
+    /// snippet just vanished.
     pub fn remove_snippet(&mut self, id: SnippetId) -> Result<()> {
         let snippet = self.store.remove(id)?;
         if let Some(ident) = self.identifiers.get_mut(&snippet.source) {
             if let Some(story) = ident.remove_snippet(&snippet, &self.store) {
                 self.dirty.insert(story);
+                let story_died = ident.story(story).is_none();
+                self.scrub_outcome(id, story, story_died);
             }
         }
         Ok(())
+    }
+
+    /// Evict a removed snippet (and, when it was the story's last
+    /// member, its now-dead story) from the cached [`AlignOutcome`] so
+    /// reads stay consistent until the next alignment rebuilds it.
+    fn scrub_outcome(&mut self, snippet: SnippetId, story: StoryId, story_died: bool) {
+        let Some(outcome) = self.outcome.as_mut() else { return };
+        outcome.snippet_to_global.remove(&snippet);
+        if let Some(&gid) = outcome.story_to_global.get(&story) {
+            if let Ok(idx) = outcome.global_stories.binary_search_by_key(&gid, |g| g.id) {
+                let g = &mut outcome.global_stories[idx];
+                g.members.retain(|&(m, _)| m != snippet);
+                if story_died {
+                    g.member_stories.retain(|&s| s != story);
+                    let mut sources: Vec<SourceId> = g
+                        .member_stories
+                        .iter()
+                        .map(|&s| crate::refine::story_source(s))
+                        .collect();
+                    sources.sort_unstable();
+                    sources.dedup();
+                    g.sources = sources;
+                }
+                if g.member_stories.is_empty() {
+                    outcome.global_stories.remove(idx);
+                }
+            }
+        }
+        if story_died {
+            outcome.story_to_global.remove(&story);
+            outcome.accepted_pairs.retain(|&(a, b)| a != story && b != story);
+        }
     }
 
     /// Remove a whole document (the demo's remove-document interaction,
@@ -346,7 +415,9 @@ impl StoryPivot {
         sources.sort_unstable();
         for source in sources {
             let ident = self.identifiers.get_mut(&source).expect("listed source");
+            self.metrics.maintenance_runs_total.inc();
             let report = ident.maintain(&self.store);
+            self.metrics.identify_split_total.add(report.splits.len() as u64);
             for (orig, fragments) in report.splits {
                 self.dirty.insert(orig);
                 self.dirty.extend(fragments.iter().copied());
@@ -374,7 +445,11 @@ impl StoryPivot {
 
     /// Run story alignment from scratch and return the outcome.
     pub fn align(&mut self) -> &AlignOutcome {
+        let timer = self.metrics.align_duration.start();
         let outcome = self.aligner.align(&self.collect_states(), &self.store);
+        drop(timer);
+        self.metrics.align_runs_total.inc();
+        self.metrics.align_pairs_total.add(outcome.pairs_scored as u64);
         self.dirty.clear();
         self.outcome = Some(outcome);
         self.outcome.as_ref().expect("just set")
@@ -384,6 +459,7 @@ impl StoryPivot {
     /// story are rescored; everything else reuses the previous outcome.
     /// Falls back to a full pass when no previous outcome exists.
     pub fn align_incremental(&mut self) -> &AlignOutcome {
+        let timer = self.metrics.align_duration.start();
         let outcome = match &self.outcome {
             Some(prev) => self.aligner.align_incremental(
                 &self.collect_states(),
@@ -393,6 +469,9 @@ impl StoryPivot {
             ),
             None => self.aligner.align(&self.collect_states(), &self.store),
         };
+        drop(timer);
+        self.metrics.align_runs_total.inc();
+        self.metrics.align_pairs_total.add(outcome.pairs_scored as u64);
         self.dirty.clear();
         self.outcome = Some(outcome);
         self.outcome.as_ref().expect("just set")
@@ -409,6 +488,7 @@ impl StoryPivot {
     /// between rounds, until a round makes no move or the configured
     /// round budget is exhausted.
     pub fn refine(&mut self) -> RefineReport {
+        let timer = self.metrics.refine_duration.start();
         let mut report = RefineReport::default();
         for _ in 0..self.config.refine.max_rounds {
             if self.outcome.is_none() || !self.dirty.is_empty() {
@@ -433,6 +513,9 @@ impl StoryPivot {
             report.moves.extend(moves);
             self.align_incremental();
         }
+        drop(timer);
+        self.metrics.refine_moves_total.add(report.move_count() as u64);
+        self.metrics.refine_rounds_total.add(report.rounds as u64);
         report
     }
 
@@ -824,5 +907,94 @@ mod tests {
         let pivot = StoryPivot::new(PivotConfig::default());
         assert!(pivot.global_stories().is_empty());
         assert!(pivot.alignment().is_none());
+    }
+
+    #[test]
+    fn removing_last_snippet_scrubs_alignment_and_window() {
+        use crate::query::{query_stories, StoryQuery};
+
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        let a = pivot.add_source("a", SourceKind::Newspaper);
+        let b = pivot.add_source("b", SourceKind::Newspaper);
+        // A healthy cross-source story plus a lone single-snippet story
+        // in source a with disjoint content.
+        for day in 0..3 {
+            snip(&mut pivot, a, day, &[1, 2], &[10, 11]);
+            snip(&mut pivot, b, day, &[1, 2], &[10, 11]);
+        }
+        let lone = snip(&mut pivot, a, 1, &[77, 78], &[90, 91]);
+        let lone_story = pivot.story_of(lone).unwrap();
+        pivot.align();
+        let before = pivot.global_stories().len();
+        assert_eq!(before, 2);
+
+        pivot.remove_snippet(lone).unwrap();
+
+        // The dead story must vanish from alignment results, not linger
+        // until the next align pass.
+        assert_eq!(pivot.global_stories().len(), before - 1);
+        let outcome = pivot.alignment().unwrap();
+        assert!(!outcome.snippet_to_global.contains_key(&lone));
+        assert!(!outcome.story_to_global.contains_key(&lone_story));
+        assert!(outcome
+            .global_stories
+            .iter()
+            .all(|g| !g.member_stories.contains(&lone_story)
+                && g.members.iter().all(|&(m, _)| m != lone)));
+        // Queries over the cached alignment see no trace of it either.
+        let hits = query_stories(&pivot, &StoryQuery::entity(EntityId::new(77)));
+        assert!(hits.is_empty());
+        // No stale window-index entry survives in the store.
+        assert!(pivot
+            .store()
+            .window(a, Timestamp::from_secs(DAY), 10 * DAY)
+            .iter()
+            .all(|s| s.id != lone));
+
+        // Removing a non-last snippet keeps the story but drops the
+        // member from the cached alignment.
+        let keep = snip(&mut pivot, a, 3, &[1, 2], &[10, 11]);
+        pivot.align();
+        pivot.remove_snippet(keep).unwrap();
+        let outcome = pivot.alignment().unwrap();
+        assert_eq!(outcome.global_stories.len(), 1);
+        assert!(outcome.global_stories[0].members.iter().all(|&(m, _)| m != keep));
+        assert!(!outcome.snippet_to_global.contains_key(&keep));
+
+        pivot.align();
+        pivot.check_invariants().unwrap();
+        assert_eq!(pivot.global_stories().len(), 1);
+    }
+
+    #[test]
+    fn engine_metrics_count_hot_path_work() {
+        use storypivot_substrate::metrics::Registry;
+
+        let registry = Registry::new();
+        let mut pivot = StoryPivot::new(PivotConfig::default());
+        pivot.set_metrics(EngineMetrics::register(&registry));
+        let a = pivot.add_source("a", SourceKind::Newspaper);
+        let b = pivot.add_source("b", SourceKind::Newspaper);
+        for day in 0..4 {
+            snip(&mut pivot, a, day, &[1, 2], &[10, 11]);
+            snip(&mut pivot, b, day, &[1, 2], &[10, 11]);
+        }
+        pivot.align();
+        pivot.refine();
+
+        let m = pivot.metrics();
+        assert_eq!(m.ingest_total.get(), 8);
+        // Every snippet either joined a story or opened one.
+        assert_eq!(
+            m.identify_assigned_total.get() + m.identify_new_story_total.get(),
+            8
+        );
+        assert_eq!(m.align_runs_total.get(), 1);
+        assert!(m.identify_duration.count() == 8);
+        let save = pivot.save_checkpoint();
+        assert!(!save.is_empty());
+        assert_eq!(m.checkpoint_save_duration.count(), 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("storypivot_ingest_total", &[]), Some(8));
     }
 }

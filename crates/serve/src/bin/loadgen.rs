@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Prints achieved throughput and round-trip p50/p95/p99; `--json PATH`
-//! additionally writes the report as a JSON artifact, and `--shutdown`
-//! sends SHUTDOWN (drain + checkpoint) after the replay.
+//! additionally writes the report as a JSON artifact, `--metrics`
+//! prints the server's merged Prometheus-style exposition, and
+//! `--shutdown` sends SHUTDOWN (drain + checkpoint) after the replay.
 //!
 //! `--partition-file PATH` writes the server's story partition (one
 //! canonical line per story) after the replay; with `--query-only` the
@@ -24,8 +25,8 @@ use storypivot_serve::load::{replay, LoadOptions};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--events N] [--sources N] [--conns N] \
-         [--rate EV_PER_S] [--seed N] [--json PATH] [--quick] [--stats] [--shutdown] \
-         [--partition-file PATH] [--query-only]"
+         [--rate EV_PER_S] [--seed N] [--json PATH] [--quick] [--stats] [--metrics] \
+         [--shutdown] [--partition-file PATH] [--query-only]"
     );
     std::process::exit(2);
 }
@@ -65,6 +66,7 @@ fn main() {
     let mut seed: u64 = 0;
     let mut json: Option<PathBuf> = None;
     let mut want_stats = false;
+    let mut want_metrics = false;
     let mut want_shutdown = false;
     let mut query_only = false;
     let mut partition_file: Option<PathBuf> = None;
@@ -85,6 +87,7 @@ fn main() {
                 opts.connections = 2;
             }
             "--stats" => want_stats = true,
+            "--metrics" => want_metrics = true,
             "--shutdown" => want_shutdown = true,
             "--query-only" => query_only = true,
             "--partition-file" => {
@@ -153,7 +156,7 @@ fn main() {
         eprintln!("wrote partition ({} stories) to {}", stories.len(), path.display());
     }
 
-    if want_stats || want_shutdown {
+    if want_stats || want_metrics || want_shutdown {
         let mut client = match Client::connect(addr.as_str()) {
             Ok(c) => c,
             Err(e) => {
@@ -166,6 +169,15 @@ fn main() {
                 Ok(stats) => print!("{}", stats.render()),
                 Err(e) => {
                     eprintln!("loadgen: stats failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if want_metrics {
+            match client.metrics() {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("loadgen: metrics failed: {e}");
                     std::process::exit(1);
                 }
             }

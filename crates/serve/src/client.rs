@@ -54,6 +54,11 @@ impl Default for BackoffPolicy {
 /// The sleep before retry number `attempt` (1-based), in milliseconds.
 /// Pure so callers and tests can reason about bounds; `jitter_state`
 /// threads the deterministic jitter stream.
+///
+/// Hostile hints are harmless by construction: the result is clamped to
+/// `[1, cap_ms.max(1)]`, so a huge `retry-after` cannot overflow the
+/// exponential window (the shift is bounded and the multiply saturates)
+/// and a zero hint cannot produce a zero-sleep spin loop.
 fn backoff_delay_ms(
     policy: BackoffPolicy,
     hint_ms: u32,
@@ -70,8 +75,10 @@ fn backoff_delay_ms(
         .min(cap);
     let low = window / 2;
     let jittered = low + splitmix64(jitter_state) % (window - low + 1);
-    // Never undercut the server's hint (unless the cap itself does).
-    jittered.max(hint.min(cap))
+    // Never undercut the server's hint (unless the cap itself does),
+    // and never return zero — a 0 ms "sleep" would let a zero hint turn
+    // the retry loop into a busy spin.
+    jittered.max(hint.min(cap)).max(1)
 }
 
 /// One connection to a pivotd server. Requests are strictly
@@ -211,6 +218,15 @@ impl Client {
         }
     }
 
+    /// The merged Prometheus-style metrics exposition across all
+    /// shards (counters summed, histograms merged bucket-wise).
+    pub fn metrics(&mut self) -> Result<String> {
+        match self.request_ok(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// Per-shard serving statistics.
     pub fn stats(&mut self) -> Result<ServeStats> {
         match self.request_ok(&Request::Stats)? {
@@ -279,7 +295,7 @@ mod tests {
             cap_ms: 0,
         };
         let d = backoff_delay_ms(policy, 0, 1, &mut state);
-        assert!(d <= 1);
+        assert_eq!(d, 1);
         // A hint above the cap is clamped to the cap.
         let policy = BackoffPolicy {
             max_attempts: 3,
@@ -288,5 +304,31 @@ mod tests {
         };
         let d = backoff_delay_ms(policy, 1000, 1, &mut state);
         assert_eq!(d, 5);
+    }
+
+    #[test]
+    fn hostile_hints_cannot_overflow_or_spin() {
+        let policy = BackoffPolicy::default();
+        let mut state = 3u64;
+        // A u32::MAX retry-after hint is clamped to the cap at every
+        // attempt — no overflow, no multi-hour sleep.
+        for attempt in [1u32, 2, 17, u32::MAX] {
+            let d = backoff_delay_ms(policy, u32::MAX, attempt, &mut state);
+            assert_eq!(d, policy.cap_ms, "attempt {attempt}");
+        }
+        // A zero hint never yields a zero (spin-loop) delay.
+        for attempt in [1u32, 2, 3, u32::MAX] {
+            let d = backoff_delay_ms(policy, 0, attempt, &mut state);
+            assert!((1..=policy.cap_ms).contains(&d), "attempt {attempt}: {d}");
+        }
+        // Even an all-zero policy paces retries at >= 1 ms.
+        let zero = BackoffPolicy {
+            max_attempts: 1,
+            base_ms: 0,
+            cap_ms: 0,
+        };
+        for _ in 0..32 {
+            assert_eq!(backoff_delay_ms(zero, 0, 1, &mut state), 1);
+        }
     }
 }

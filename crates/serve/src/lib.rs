@@ -17,7 +17,11 @@
 //!   dead-letter quarantine). Graceful SHUTDOWN drains every queue and
 //!   writes a final checkpoint per shard.
 //! - [`stats`] — per-shard counters and ingest-latency percentiles
-//!   surfaced through the STATS frame.
+//!   surfaced through the STATS frame. The METRICS frame goes further:
+//!   each shard's private `substrate::metrics::Registry` (engine
+//!   counters, WAL timings, per-shard serving gauges) is snapshotted
+//!   and merged — counters summed, histograms merged bucket-wise — into
+//!   one Prometheus-style text exposition.
 //! - [`client`] — a blocking client for the protocol.
 //! - [`load`] — `loadgen`: replays a [`storypivot_gen`] corpus at a
 //!   target rate over M connections and reports throughput and

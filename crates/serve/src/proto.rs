@@ -7,7 +7,7 @@
 //! ```
 //!
 //! where `len` counts the opcode plus body. Requests use opcodes
-//! `0x01..=0x08`, responses `0x81..=0x8A`; snippets and sources reuse
+//! `0x01..=0x09`, responses `0x81..=0x8B`; snippets and sources reuse
 //! the store's binary codec, so a served snippet is byte-identical to a
 //! checkpointed one. Every decode path bounds-checks before touching
 //! bytes: torn frames, oversized length prefixes, garbage opcodes, and
@@ -46,6 +46,8 @@ pub const OP_REMOVE_DOC: u8 = 0x06;
 pub const OP_STATS: u8 = 0x07;
 /// Drain, checkpoint, and stop the server (empty body).
 pub const OP_SHUTDOWN: u8 = 0x08;
+/// Fetch the merged metrics exposition (empty body).
+pub const OP_METRICS: u8 = 0x09;
 
 // ---- response opcodes ------------------------------------------------
 
@@ -69,6 +71,8 @@ pub const OP_SHUTDOWN_ACK: u8 = 0x88;
 pub const OP_BUSY: u8 = 0x89;
 /// Request failed (body: code u8, message str).
 pub const OP_ERROR: u8 = 0x8A;
+/// Metrics exposition (body: text str).
+pub const OP_METRICS_REPLY: u8 = 0x8B;
 
 // ---- bounded readers -------------------------------------------------
 
@@ -140,6 +144,8 @@ pub enum Request {
     Stats,
     /// Drain queues, checkpoint every shard, stop the server.
     Shutdown,
+    /// The merged Prometheus-style metrics exposition across shards.
+    Metrics,
 }
 
 impl Request {
@@ -174,6 +180,7 @@ impl Request {
             }
             Request::Stats => buf.put_u8(OP_STATS),
             Request::Shutdown => buf.put_u8(OP_SHUTDOWN),
+            Request::Metrics => buf.put_u8(OP_METRICS),
         }
     }
 
@@ -208,6 +215,7 @@ impl Request {
             OP_REMOVE_DOC => Request::RemoveDoc(DocId::new(get_u32(buf, "doc id")?)),
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_METRICS => Request::Metrics,
             other => return Err(Error::Codec(format!("unknown request opcode 0x{other:02x}"))),
         };
         if buf.has_remaining() {
@@ -289,6 +297,11 @@ pub enum Response {
     Stats(ServeStats),
     /// The server drained every queue and wrote its checkpoint.
     ShutdownAck,
+    /// The merged metrics exposition text.
+    Metrics {
+        /// Prometheus-style text exposition.
+        text: String,
+    },
     /// The target shard's queue is full; retry after the hint.
     Busy {
         /// Suggested client-side backoff in milliseconds.
@@ -384,6 +397,10 @@ impl Response {
                 }
             }
             Response::ShutdownAck => buf.put_u8(OP_SHUTDOWN_ACK),
+            Response::Metrics { text } => {
+                buf.put_u8(OP_METRICS_REPLY);
+                put_str(buf, text);
+            }
             Response::Busy { retry_after_ms } => {
                 buf.put_u8(OP_BUSY);
                 buf.put_u32_le(*retry_after_ms);
@@ -426,6 +443,9 @@ impl Response {
                 Response::Stats(ServeStats { shards })
             }
             OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            OP_METRICS_REPLY => Response::Metrics {
+                text: get_str(buf, "metrics text")?,
+            },
             OP_BUSY => Response::Busy {
                 retry_after_ms: get_u32(buf, "retry hint")?,
             },
@@ -603,6 +623,7 @@ mod tests {
         round_trip_request(Request::RemoveDoc(DocId::new(5)));
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Metrics);
     }
 
     #[test]
@@ -639,6 +660,12 @@ mod tests {
             }],
         }));
         round_trip_response(Response::ShutdownAck);
+        round_trip_response(Response::Metrics {
+            text: "# HELP storypivot_ingest_total Snippets ingested.\n\
+                   # TYPE storypivot_ingest_total counter\n\
+                   storypivot_ingest_total 8\n"
+                .into(),
+        });
         round_trip_response(Response::Busy { retry_after_ms: 10 });
         round_trip_response(Response::Error {
             code: 4,
@@ -684,6 +711,15 @@ mod tests {
         // Zero-length frame.
         let err = read_frame(&mut &[0u8, 0, 0, 0][..]).unwrap_err();
         assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn truncated_metrics_reply_is_codec_error() {
+        let mut payload = Vec::new();
+        payload.put_u8(OP_METRICS_REPLY);
+        payload.put_u32_le(1000);
+        payload.put_slice(b"short");
+        assert!(matches!(Response::decode(&payload), Err(Error::Codec(_))));
     }
 
     #[test]

@@ -42,6 +42,19 @@
 //! every shard, each shard flushes its engine (final alignment +
 //! refinement) and writes a checkpoint generation, the queues are
 //! closed, and only then is the ack sent.
+//!
+//! # Observability
+//!
+//! Each shard owns a private [`substrate::metrics::Registry`]; its
+//! engine, WAL, and the per-shard serving gauges (queue depth,
+//! restarts, quarantined ops, BUSY rejections — labeled `shard="N"`)
+//! all record into it. The `METRICS` opcode snapshots every shard's
+//! registry, merges the snapshots (counters add, histograms merge
+//! bucket-wise), and renders one Prometheus-style text exposition.
+//! Each shard also keeps a fixed-capacity [`substrate::trace::TraceRing`]
+//! of recent engine events; when an apply panics, the ring is dumped to
+//! stderr (and `shard{i}.trace` next to the durable state) *before* the
+//! engine is rebuilt, preserving the lead-up to the crash.
 
 use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -55,12 +68,15 @@ use std::time::{Duration, Instant};
 
 use storypivot_core::checkpoint;
 use storypivot_core::config::PivotConfig;
+use storypivot_core::metrics::EngineMetrics;
 use storypivot_core::oplog::{replay_op, ReplayOp};
 use storypivot_core::pipeline::{DynamicPivot, PipelinePolicy};
 use storypivot_core::refine::story_source;
+use storypivot_substrate::metrics::{Gauge, HistogramMetric, Registry, Snapshot};
 use storypivot_substrate::queue::{Bounded, PushError};
 use storypivot_substrate::timing::Histogram;
-use storypivot_substrate::wal::{self, SyncPolicy, Wal};
+use storypivot_substrate::trace::TraceRing;
+use storypivot_substrate::wal::{self, SyncPolicy, Wal, WalMetrics};
 use storypivot_types::{DocId, Error, Result, Snippet, Source, SourceId, SourceKind, StoryId};
 
 use crate::proto::{frame, read_frame, Request, Response, StorySummary};
@@ -142,6 +158,8 @@ enum Job {
     GetStory(StoryId, Reply),
     RemoveDoc(DocId, Reply),
     Stats(Reply),
+    /// Snapshot the shard's metrics registry (merged by the router).
+    Metrics(SyncSender<Snapshot>),
     /// Flush + checkpoint; the shard replies once its state is durable.
     Drain(Reply),
 }
@@ -425,6 +443,34 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
             Response::Stats(ServeStats { shards })
         }),
         Request::Shutdown => shutdown(shared),
+        Request::Metrics => metrics_exposition(shared),
+    }
+}
+
+/// Snapshot every shard's registry, merge, and render one exposition.
+fn metrics_exposition(shared: &Arc<Shared>) -> Response {
+    let mut pending = Vec::with_capacity(shared.queues.len());
+    for queue in &shared.queues {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        if let Some(err) = push_blocking(queue, Job::Metrics(tx)) {
+            return err;
+        }
+        pending.push(rx);
+    }
+    let mut merged = Snapshot::default();
+    for rx in pending {
+        match rx.recv() {
+            Ok(snap) => merged.merge(&snap),
+            Err(_) => {
+                return Response::Error {
+                    code: 7,
+                    message: "shard worker unavailable".into(),
+                }
+            }
+        }
+    }
+    Response::Metrics {
+        text: merged.render(),
     }
 }
 
@@ -571,6 +617,15 @@ fn poison_check(op: &ReplayOp) {
     }
 }
 
+/// Trace-ring label for a mutation.
+fn op_label(op: &ReplayOp) -> &'static str {
+    match op {
+        ReplayOp::AddSource(_) => "add_source",
+        ReplayOp::Ingest(_) => "ingest",
+        ReplayOp::RemoveDoc(_) => "remove_doc",
+    }
+}
+
 /// Apply one mutation to a live engine. Shared by the serving path and
 /// (via [`replay_op`]'s equivalent semantics) mirrored by recovery.
 fn apply_live(engine: &mut DynamicPivot, op: &ReplayOp) -> Result<Applied> {
@@ -591,6 +646,56 @@ fn apply_live(engine: &mut DynamicPivot, op: &ReplayOp) -> Result<Applied> {
     }
 }
 
+/// Per-shard serving-layer metric handles, labeled `shard="N"` so the
+/// merged exposition keeps them distinguishable across shards.
+struct ShardServeMetrics {
+    queue_depth: Gauge,
+    queue_capacity: Gauge,
+    restarts: Gauge,
+    quarantined: Gauge,
+    busy_rejections: Gauge,
+    ingest_latency: HistogramMetric,
+}
+
+impl ShardServeMetrics {
+    fn register(registry: &Registry, shard: usize) -> Self {
+        let id = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &id)];
+        ShardServeMetrics {
+            queue_depth: registry.gauge_with(
+                "storypivot_shard_queue_depth",
+                "Jobs currently waiting in the shard's bounded queue.",
+                labels,
+            ),
+            queue_capacity: registry.gauge_with(
+                "storypivot_shard_queue_capacity",
+                "Capacity of the shard's bounded queue.",
+                labels,
+            ),
+            restarts: registry.gauge_with(
+                "storypivot_shard_restarts",
+                "Engine rebuilds after a panic on this shard.",
+                labels,
+            ),
+            quarantined: registry.gauge_with(
+                "storypivot_shard_quarantined",
+                "Operations dead-lettered on this shard.",
+                labels,
+            ),
+            busy_rejections: registry.gauge_with(
+                "storypivot_shard_busy_rejections",
+                "Ingests rejected with BUSY because the queue was full.",
+                labels,
+            ),
+            ingest_latency: registry.histogram_with(
+                "storypivot_shard_ingest_latency_ns",
+                "End-to-end shard-side ingest latency (journal + apply) in nanoseconds.",
+                labels,
+            ),
+        }
+    }
+}
+
 struct ShardWorker {
     idx: usize,
     engine: DynamicPivot,
@@ -602,6 +707,17 @@ struct ShardWorker {
     queries: u64,
     busy: Arc<AtomicU64>,
     queue: Bounded<Job>,
+    /// The shard's private metrics registry; engine, WAL, and serving
+    /// gauges all record here, and `METRICS` snapshots it.
+    registry: Registry,
+    /// Engine handles, re-attached to every rebuilt engine.
+    engine_metrics: EngineMetrics,
+    serve_metrics: ShardServeMetrics,
+    /// Recent engine events, dumped when an apply panics.
+    trace: TraceRing,
+    /// Where the panic-time trace dump is written (next to the WAL or
+    /// checkpoints); `None` keeps the dump on stderr only.
+    trace_path: Option<PathBuf>,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every_bytes: u64,
     worker_delay: Duration,
@@ -639,6 +755,7 @@ impl ShardWorker {
         };
         let state_dir = cfg.wal_dir.as_ref().or(cfg.checkpoint_dir.as_ref());
         let dead_path = state_dir.map(|d| d.join(format!("shard{idx}.dead")));
+        let trace_path = state_dir.map(|d| d.join(format!("shard{idx}.trace")));
 
         let mut quarantine = HashSet::new();
         let mut quarantined = 0u64;
@@ -660,6 +777,10 @@ impl ShardWorker {
             }
         }
 
+        let registry = Registry::new();
+        let engine_metrics = EngineMetrics::register(&registry);
+        let serve_metrics = ShardServeMetrics::register(&registry, idx);
+
         let mut worker = ShardWorker {
             idx,
             engine: DynamicPivot::new(cfg.pivot.clone(), policy),
@@ -670,6 +791,11 @@ impl ShardWorker {
             queries: 0,
             busy,
             queue,
+            registry,
+            engine_metrics,
+            serve_metrics,
+            trace: TraceRing::new(256),
+            trace_path,
             checkpoint_dir: cfg.checkpoint_dir.clone(),
             checkpoint_every_bytes: cfg.checkpoint_every_bytes,
             worker_delay: cfg.worker_delay,
@@ -689,8 +815,27 @@ impl ShardWorker {
             std::fs::create_dir_all(wal_dir)
                 .map_err(|e| Error::Io(format!("create {}: {e}", wal_dir.display())))?;
             let path = wal_dir.join(format!("shard{idx}.wal"));
-            let (wal, scan) = Wal::open(&path, cfg.fsync)
+            let (mut wal, scan) = Wal::open(&path, cfg.fsync)
                 .map_err(|e| Error::Io(format!("open wal {}: {e}", path.display())))?;
+            let shard_label = idx.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard_label)];
+            wal.set_metrics(WalMetrics {
+                append_duration: worker.registry.histogram_with(
+                    "storypivot_wal_append_duration_ns",
+                    "Duration of each WAL append in nanoseconds.",
+                    labels,
+                ),
+                sync_duration: worker.registry.histogram_with(
+                    "storypivot_wal_sync_duration_ns",
+                    "Duration of each WAL fsync in nanoseconds.",
+                    labels,
+                ),
+                appended_bytes: worker.registry.counter_with(
+                    "storypivot_wal_appended_bytes_total",
+                    "Journal bytes appended, framing included.",
+                    labels,
+                ),
+            });
             if scan.damaged() {
                 eprintln!(
                     "pivotd: shard {idx}: wal {} had a torn tail; dropped {} trailing bytes",
@@ -712,16 +857,17 @@ impl ShardWorker {
                 std::thread::sleep(self.worker_delay);
             }
             // A dropped receiver (handler gone) is not an error.
-            let _ = match job {
-                Job::AddSource(source, reply) => reply.send(self.add_source(source)),
-                Job::Ingest(snippet, reply) => reply.send(self.ingest(snippet)),
-                Job::IngestMany(batch, reply) => reply.send(self.ingest_many(batch)),
-                Job::Query(reply) => reply.send(self.query()),
-                Job::GetStory(id, reply) => reply.send(self.get_story(id)),
-                Job::RemoveDoc(doc, reply) => reply.send(self.remove_doc(doc)),
-                Job::Stats(reply) => reply.send(self.stats()),
-                Job::Drain(reply) => reply.send(self.drain()),
-            };
+            match job {
+                Job::AddSource(source, reply) => drop(reply.send(self.add_source(source))),
+                Job::Ingest(snippet, reply) => drop(reply.send(self.ingest(snippet))),
+                Job::IngestMany(batch, reply) => drop(reply.send(self.ingest_many(batch))),
+                Job::Query(reply) => drop(reply.send(self.query())),
+                Job::GetStory(id, reply) => drop(reply.send(self.get_story(id))),
+                Job::RemoveDoc(doc, reply) => drop(reply.send(self.remove_doc(doc))),
+                Job::Stats(reply) => drop(reply.send(self.stats())),
+                Job::Metrics(reply) => drop(reply.send(self.metrics_snapshot())),
+                Job::Drain(reply) => drop(reply.send(self.drain())),
+            }
         }
     }
 
@@ -730,6 +876,7 @@ impl ShardWorker {
     /// killing the worker; the op's strike count decides quarantine.
     fn mutate(&mut self, op: ReplayOp) -> Result<Applied> {
         let fp = op.fingerprint();
+        self.trace.push(op_label(&op), format!("fp={fp:#018x}"));
         if self.quarantine.contains(&fp) {
             return Err(Error::Invariant(format!(
                 "operation {fp:#018x} is quarantined on shard {} \
@@ -753,6 +900,7 @@ impl ShardWorker {
             Err(_) => {
                 self.restarts += 1;
                 *self.strikes.entry(fp).or_insert(0) += 1;
+                self.dump_trace(fp);
                 self.rebuild();
                 let quarantined_now = self.quarantine.contains(&fp);
                 Err(Error::Invariant(format!(
@@ -769,12 +917,51 @@ impl ShardWorker {
         }
     }
 
+    /// Dump the shard's recent-event trace before the engine is torn
+    /// down: stderr always, plus `shard{i}.trace` when a durable state
+    /// directory exists. Best effort — a failed write never blocks the
+    /// rebuild.
+    fn dump_trace(&mut self, fp: u64) {
+        let dump = format!(
+            "pivotd: shard {}: panic applying op {fp:#018x}; last {} events:\n{}",
+            self.idx,
+            self.trace.len(),
+            self.trace.render()
+        );
+        eprintln!("{dump}");
+        if let Some(path) = &self.trace_path {
+            if let Err(e) = std::fs::write(path, &dump) {
+                eprintln!(
+                    "pivotd: shard {}: trace dump to {} failed: {e}",
+                    self.idx,
+                    path.display()
+                );
+            }
+        }
+    }
+
+    /// Refresh the serving gauges and snapshot the shard's registry.
+    fn metrics_snapshot(&mut self) -> Snapshot {
+        self.sync_gauges();
+        self.registry.snapshot()
+    }
+
+    fn sync_gauges(&self) {
+        let m = &self.serve_metrics;
+        m.queue_depth.set(self.queue.len() as i64);
+        m.queue_capacity.set(self.queue.capacity() as i64);
+        m.restarts.set(self.restarts as i64);
+        m.quarantined.set(self.quarantined as i64);
+        m.busy_rejections.set(self.busy.load(Ordering::Relaxed) as i64);
+    }
+
     /// Reconstruct the engine from the newest valid checkpoint plus the
     /// WAL tail. An op that panics during replay earns a strike; at two
     /// strikes it is dead-lettered, and the replay restarts without it.
     /// Terminates: every restart either quarantines an op or arms its
     /// second strike.
     fn rebuild(&mut self) {
+        self.trace.push("rebuild", String::new());
         loop {
             let mut engine = self.engine_from_checkpoint();
             let records = match &self.wal_path {
@@ -823,6 +1010,9 @@ impl ShardWorker {
             }
             if !repanicked {
                 self.engine = engine;
+                // A rebuilt engine starts with detached handles; point
+                // it back at the shard's registry.
+                self.engine.pivot_mut().set_metrics(self.engine_metrics.clone());
                 return;
             }
         }
@@ -831,16 +1021,21 @@ impl ShardWorker {
     /// Newest valid checkpoint generation, or a fresh engine.
     fn engine_from_checkpoint(&mut self) -> DynamicPivot {
         if let Some(dir) = &self.checkpoint_dir {
+            let timer = self.engine_metrics.checkpoint_load_duration.start();
             match checkpoint::load_newest(dir, self.idx, self.pivot_cfg.clone()) {
                 Ok(Some((pivot, generation))) => {
+                    drop(timer);
                     self.generation = self.generation.max(generation);
                     return DynamicPivot::from_pivot(pivot, self.policy);
                 }
-                Ok(None) => {}
-                Err(e) => eprintln!(
-                    "pivotd: shard {}: checkpoint load failed ({e}); starting empty",
-                    self.idx
-                ),
+                Ok(None) => timer.discard(),
+                Err(e) => {
+                    timer.discard();
+                    eprintln!(
+                        "pivotd: shard {}: checkpoint load failed ({e}); starting empty",
+                        self.idx
+                    );
+                }
             }
         }
         DynamicPivot::new(self.pivot_cfg.clone(), self.policy)
@@ -906,6 +1101,8 @@ impl ShardWorker {
         };
         let bytes = self.engine.pivot().save_checkpoint();
         self.generation += 1;
+        self.trace
+            .push("checkpoint", format!("generation {}", self.generation));
         checkpoint::write_generation(&dir, self.idx, self.generation, &bytes)?;
         if let Some(w) = &mut self.wal {
             w.reset()
@@ -927,7 +1124,9 @@ impl ShardWorker {
         let t = Instant::now();
         match self.mutate(ReplayOp::Ingest(snippet)) {
             Ok(Applied::Story(story)) => {
-                self.hist.record(t.elapsed().as_nanos() as u64);
+                let elapsed = t.elapsed().as_nanos() as u64;
+                self.hist.record(elapsed);
+                self.serve_metrics.ingest_latency.record(elapsed);
                 self.ingested += 1;
                 Response::Ingested(story)
             }
@@ -942,7 +1141,9 @@ impl ShardWorker {
             let t = Instant::now();
             match self.mutate(ReplayOp::Ingest(snippet)) {
                 Ok(Applied::Story(_)) => {
-                    self.hist.record(t.elapsed().as_nanos() as u64);
+                    let elapsed = t.elapsed().as_nanos() as u64;
+                    self.hist.record(elapsed);
+                    self.serve_metrics.ingest_latency.record(elapsed);
                     self.ingested += 1;
                     count += 1;
                 }
@@ -1003,6 +1204,7 @@ impl ShardWorker {
     }
 
     fn stats(&mut self) -> Response {
+        self.sync_gauges();
         let pivot = self.engine.pivot();
         Response::Stats(ServeStats {
             shards: vec![ShardStats {
@@ -1028,6 +1230,7 @@ impl ShardWorker {
     }
 
     fn drain(&mut self) -> Response {
+        self.trace.push("drain", String::new());
         self.engine.flush();
         if self.checkpoint_dir.is_some() {
             if let Err(e) = self.checkpoint_now() {

@@ -110,6 +110,23 @@ impl ServeStats {
                 s.quarantined,
             );
         }
+        if self.shards.len() > 1 {
+            // Counters sum cleanly across shards; percentiles do NOT
+            // (a p50 of p50s is not the merged p50), so the footer
+            // sticks to totals — the METRICS exposition merges the full
+            // histograms bucket-wise for true cross-shard percentiles.
+            let _ = writeln!(
+                out,
+                "total: {} stories, {} snippets, ingested {} (busy {}), restarts {}, \
+                 quarantined {}",
+                self.total_stories(),
+                self.total_snippets(),
+                self.total_ingested(),
+                self.total_busy(),
+                self.total_restarts(),
+                self.total_quarantined(),
+            );
+        }
         out
     }
 }
@@ -144,6 +161,9 @@ mod tests {
         assert_eq!(stats.total_ingested(), 17);
         assert_eq!(stats.total_busy(), 1);
         assert_eq!(stats.total_stories(), 5);
-        assert_eq!(stats.render().lines().count(), 2);
+        // Two shard lines plus the totals footer.
+        let render = stats.render();
+        assert_eq!(render.lines().count(), 3);
+        assert!(render.lines().last().unwrap().starts_with("total:"));
     }
 }

@@ -27,6 +27,13 @@
 //! * [`wal`] — a generic CRC-framed append-only journal with
 //!   configurable fsync policy and torn-tail repair, the durability
 //!   primitive under `pivotd`'s per-shard write-ahead logs.
+//! * [`metrics`] — a lock-cheap metrics registry (counters, gauges,
+//!   histograms) with labeled families, mergeable snapshots, and a
+//!   Prometheus-style text exposition encoder (the slice of
+//!   `prometheus`/`metrics` the observability layer needs).
+//! * [`trace`] — [`trace::TraceRing`], a fixed-capacity ring buffer of
+//!   recent engine events, dumped on shard panic so supervision leaves
+//!   a diagnosable artifact behind.
 //!
 //! Everything here is deterministic: the same seed produces the same
 //! corpus, the same property-test cases, and the same experiment tables
@@ -36,16 +43,20 @@
 #![warn(missing_docs)]
 
 pub mod buf;
+pub mod metrics;
 pub mod prop;
 pub mod queue;
 pub mod rng;
 pub mod shared;
 pub mod timing;
+pub mod trace;
 pub mod wal;
 
 pub use buf::{Buf, BufMut, ByteBuf};
+pub use metrics::Registry;
 pub use queue::Bounded;
 pub use timing::Histogram;
 pub use rng::{RngCore, RngExt, SliceRandom, StdRng, Zipf};
 pub use shared::Shared;
+pub use trace::TraceRing;
 pub use wal::{SyncPolicy, Wal};

@@ -379,6 +379,49 @@ mod hist_tests {
         }
     }
 
+    /// Satellite check for the serving layer's merged cross-shard
+    /// percentiles: merging K randomized per-shard histograms must
+    /// agree *exactly* with one histogram fed the combined stream —
+    /// merge is a bucket-wise add, so quantiles, count, sum and max
+    /// cannot drift, whatever the shard split or value distribution.
+    #[test]
+    fn merge_preserves_quantiles_for_random_shard_splits() {
+        use crate::prop;
+        use crate::rng::RngExt;
+        prop::run(48, |rng| {
+            let shards = rng.random_range(1..=6usize);
+            let mut parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+            let mut combined = Histogram::new();
+            let n = rng.random_range(1..=800usize);
+            for _ in 0..n {
+                // Mixed magnitudes: exact linear range, mid buckets,
+                // and huge values that stress the log buckets.
+                let v = match rng.random_range(0..4u32) {
+                    0 => rng.random_range(0..32u64),
+                    1 => rng.random_range(0..10_000u64),
+                    2 => rng.random_range(0..u32::MAX as u64),
+                    _ => rng.random::<u64>() >> rng.random_range(0..16u32),
+                };
+                parts[rng.random_range(0..shards)].record(v);
+                combined.record(v);
+            }
+            let mut merged = Histogram::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            assert_eq!(merged.count(), combined.count());
+            assert_eq!(merged.max(), combined.max());
+            assert_eq!(merged.mean(), combined.mean());
+            for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                assert_eq!(
+                    merged.percentile(q),
+                    combined.percentile(q),
+                    "quantile {q} drifted across a {shards}-way merge of {n} values"
+                );
+            }
+        });
+    }
+
     #[test]
     fn empty_histogram_is_all_zeros() {
         let h = Histogram::new();

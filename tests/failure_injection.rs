@@ -286,6 +286,52 @@ mod wire_faults {
     }
 
     #[test]
+    fn metrics_opcode_survives_torn_and_oversized_frames() {
+        let handle = tiny_server();
+        {
+            // METRICS carries an empty body; a trailing byte is a codec
+            // error, not a panic.
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            raw.write_all(&2u32.to_le_bytes()).unwrap();
+            raw.write_all(&[0x09, 0xEE]).unwrap();
+            match read_error_response(&mut raw) {
+                Response::Error { code, .. } => assert_eq!(code, 4),
+                other => panic!("expected an error response, got {other:?}"),
+            }
+        }
+        {
+            // Torn frame: promise a 1-byte METRICS request, deliver
+            // nothing, drop the connection.
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            raw.write_all(&1u32.to_le_bytes()).unwrap();
+        }
+        {
+            // Oversized length prefix in front of the metrics opcode.
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            raw.write_all(&(MAX_FRAME_LEN + 9).to_le_bytes()).unwrap();
+            raw.write_all(&[0x09]).unwrap();
+            match read_error_response(&mut raw) {
+                Response::Error { code, .. } => assert_eq!(code, 4),
+                other => panic!("expected an error response, got {other:?}"),
+            }
+        }
+        {
+            // After the barrage a clean raw METRICS round trip works.
+            let mut raw = TcpStream::connect(handle.addr()).unwrap();
+            raw.write_all(&frame(|b| Request::Metrics.encode(b))).unwrap();
+            let payload = read_frame(&mut raw).unwrap().unwrap();
+            match Response::decode(&payload).unwrap() {
+                Response::Metrics { text } => {
+                    assert!(text.contains("storypivot_ingest_total"), "exposition:\n{text}");
+                    assert!(text.contains("storypivot_shard_queue_capacity"));
+                }
+                other => panic!("expected a Metrics response, got {other:?}"),
+            }
+        }
+        assert_alive_and_shutdown(handle);
+    }
+
+    #[test]
     fn fault_barrage_then_normal_traffic() {
         // Many hostile connections in a row, mixed shapes, then the
         // liveness probe — the acceptor must survive all of it.

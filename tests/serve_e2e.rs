@@ -251,6 +251,114 @@ fn tiny_queue_pushes_back_with_busy_and_recovers() {
     handle.join();
 }
 
+/// Pull `name value` (no labels) out of a Prometheus-style exposition.
+fn exposition_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[test]
+fn metrics_exposition_matches_in_process_engine() {
+    let corpus = CorpusBuilder::new(
+        GenConfig::default().with_seed(44).with_sources(3).with_target_snippets(250),
+    )
+    .build();
+
+    // One shard so the served engine sees the exact same ingest
+    // sequence as the in-process twin.
+    let handle = serve("127.0.0.1:0", flush_only_config(1, None)).unwrap();
+    let addr = handle.addr();
+    let report = replay(addr, &corpus, &LoadOptions { connections: 1, ..LoadOptions::default() })
+        .unwrap();
+    assert_eq!(report.events as usize, corpus.len());
+
+    // Twin with its own live registry, fed identically.
+    let registry = storypivot::substrate::metrics::Registry::new();
+    let mut twin = DynamicPivot::new(
+        PivotConfig::default(),
+        PipelinePolicy { align_every: 0, ..PipelinePolicy::default() },
+    );
+    twin.pivot_mut().set_metrics(storypivot::core::EngineMetrics::register(&registry));
+    for source in &corpus.sources {
+        twin.pivot_mut().add_source_with_lag(
+            source.name.clone(),
+            source.kind,
+            source.typical_lag,
+        );
+    }
+    for snippet in &corpus.snippets {
+        twin.ingest(snippet.clone()).unwrap();
+    }
+    let twin_metrics = twin.pivot().metrics().clone();
+
+    let mut client = Client::connect(addr).unwrap();
+    let text = client.metrics().unwrap();
+
+    // Counter values in the exposition must equal engine-side truth.
+    assert_eq!(exposition_value(&text, "storypivot_ingest_total"), Some(corpus.len() as u64));
+    assert_eq!(
+        exposition_value(&text, "storypivot_identify_assigned_total"),
+        Some(twin_metrics.identify_assigned_total.get()),
+    );
+    assert_eq!(
+        exposition_value(&text, "storypivot_identify_new_story_total"),
+        Some(twin_metrics.identify_new_story_total.get()),
+    );
+    assert_eq!(
+        exposition_value(&text, "storypivot_identify_compared_total"),
+        Some(twin_metrics.identify_compared_total.get()),
+    );
+    // The per-stage duration histogram saw one observation per snippet.
+    assert_eq!(
+        exposition_value(&text, "storypivot_identify_duration_ns_count"),
+        Some(corpus.len() as u64),
+    );
+    // Exposition structure: HELP/TYPE headers and the shard-labeled
+    // serving series are present.
+    assert!(text.contains("# HELP storypivot_ingest_total"));
+    assert!(text.contains("# TYPE storypivot_ingest_total counter"));
+    assert!(text.contains("storypivot_shard_queue_capacity{shard=\"0\"}"));
+    assert!(text.contains("storypivot_shard_ingest_latency_ns_count{shard=\"0\"}"));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn metrics_merge_across_shards_sums_counters() {
+    let corpus = CorpusBuilder::new(
+        GenConfig::default().with_seed(45).with_sources(6).with_target_snippets(300),
+    )
+    .build();
+    let shards = 3;
+    let handle = serve("127.0.0.1:0", flush_only_config(shards, None)).unwrap();
+    let addr = handle.addr();
+    replay(addr, &corpus, &LoadOptions { connections: shards, ..LoadOptions::default() }).unwrap();
+
+    let mut client = Client::connect(addr).unwrap();
+    let text = client.metrics().unwrap();
+    // Engine counters are shard-invariant: the merged total equals the
+    // full corpus no matter how sources were partitioned.
+    assert_eq!(exposition_value(&text, "storypivot_ingest_total"), Some(corpus.len() as u64));
+    assert_eq!(
+        exposition_value(&text, "storypivot_identify_duration_ns_count"),
+        Some(corpus.len() as u64),
+    );
+    // Every shard's labeled serving series survives the merge.
+    for shard in 0..shards {
+        assert!(
+            text.contains(&format!("storypivot_shard_queue_capacity{{shard=\"{shard}\"}}")),
+            "missing shard {shard} series in:\n{text}"
+        );
+    }
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
 #[test]
 fn shutdown_is_idempotent_and_drains_pending_work() {
     let cfg = ServerConfig {
