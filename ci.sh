@@ -57,6 +57,13 @@ cargo run -p storypivot-serve --bin loadgen --release -- \
     --metrics --shutdown > "$SMOKE_DIR/metrics.txt"
 # The merged exposition made it over the wire.
 grep -q '^storypivot_ingest_total ' "$SMOKE_DIR/metrics.txt"
+# The serving-runtime gauges are registered and exported: connection
+# count, pipelining depth, and buffer-pool pressure must all be
+# present (values vary; the series existing is the contract).
+grep -q '^storypivot_connections_open ' "$SMOKE_DIR/metrics.txt"
+grep -q '^storypivot_pipeline_depth ' "$SMOKE_DIR/metrics.txt"
+grep -q '^storypivot_pool_buffers_outstanding ' "$SMOKE_DIR/metrics.txt"
+grep -q '^storypivot_pool_bytes_highwater ' "$SMOKE_DIR/metrics.txt"
 # SHUTDOWN must terminate the daemon gracefully (exit 0) and leave one
 # generation-numbered checkpoint per shard.
 wait "$PIVOTD_PID"
@@ -64,6 +71,30 @@ PIVOTD_PID=""
 ls "$SMOKE_DIR"/ckpt/shard0.g*.spvc >/dev/null
 ls "$SMOKE_DIR"/ckpt/shard1.g*.spvc >/dev/null
 test -s "$SMOKE_DIR/BENCH_serve.json"
+
+echo "==> smoke: connection storm (multiplexed runtime holds 1k sockets)"
+# Needs ~2k descriptors client-side plus the daemon's own; skip rather
+# than fail on boxes with a tight ulimit.
+STORM_CONNS=1000
+FD_LIMIT="$(ulimit -n)"
+if [ "$FD_LIMIT" != "unlimited" ] && [ "$FD_LIMIT" -lt 2500 ]; then
+    echo "    skipped: ulimit -n is $FD_LIMIT (need ~2500 for $STORM_CONNS connections)"
+else
+    cargo run -p storypivot-serve --bin pivotd --release -- \
+        --addr 127.0.0.1:0 --shards 2 --io-workers 2 --idle-timeout-ms 30000 \
+        --checkpoint-dir "$SMOKE_DIR/storm-ckpt" --port-file "$SMOKE_DIR/storm-port" &
+    PIVOTD_PID=$!
+    PORT="$(wait_port "$SMOKE_DIR/storm-port" "$PIVOTD_PID")"
+    cargo run -p storypivot-serve --bin loadgen --release -- \
+        --addr "127.0.0.1:$PORT" --storm --conns "$STORM_CONNS" --rounds 3 \
+        --interval-ms 20 --json "$SMOKE_DIR/BENCH_storm.json"
+    cargo run -p storypivot-serve --bin loadgen --release -- \
+        --addr "127.0.0.1:$PORT" --query-only --shutdown
+    wait "$PIVOTD_PID"
+    PIVOTD_PID=""
+    test -s "$SMOKE_DIR/BENCH_storm.json"
+    grep -q "\"connections\": $STORM_CONNS" "$SMOKE_DIR/BENCH_storm.json"
+fi
 
 echo "==> smoke: crash recovery (kill -9, WAL replay must restore the partition)"
 CRASH_DIR="$SMOKE_DIR/crash"

@@ -20,13 +20,15 @@ use std::path::PathBuf;
 
 use storypivot_gen::{CorpusBuilder, GenConfig};
 use storypivot_serve::client::Client;
-use storypivot_serve::load::{replay, LoadOptions};
+use storypivot_serve::load::{conn_storm, replay, LoadOptions, StormOptions};
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--events N] [--sources N] [--conns N] \
          [--rate EV_PER_S] [--seed N] [--json PATH] [--quick] [--stats] [--metrics] \
-         [--shutdown] [--partition-file PATH] [--query-only]"
+         [--shutdown] [--partition-file PATH] [--query-only]\n\
+         storm mode: loadgen --addr HOST:PORT --storm [--conns N] [--drivers N] \
+         [--rounds N] [--interval-ms N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -71,13 +73,26 @@ fn main() {
     let mut query_only = false;
     let mut partition_file: Option<PathBuf> = None;
     let mut opts = LoadOptions::default();
+    let mut storm = false;
+    let mut storm_opts = StormOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => addr = Some(parse(&mut args, "--addr")),
             "--events" => events = parse(&mut args, "--events"),
             "--sources" => sources = parse(&mut args, "--sources"),
-            "--conns" => opts.connections = parse(&mut args, "--conns"),
+            "--conns" => {
+                let n: usize = parse(&mut args, "--conns");
+                opts.connections = n;
+                storm_opts.connections = n;
+            }
+            "--storm" => storm = true,
+            "--drivers" => storm_opts.drivers = parse(&mut args, "--drivers"),
+            "--rounds" => storm_opts.rounds = parse(&mut args, "--rounds"),
+            "--interval-ms" => {
+                storm_opts.interval =
+                    std::time::Duration::from_millis(parse(&mut args, "--interval-ms"))
+            }
             "--rate" => opts.rate = parse(&mut args, "--rate"),
             "--seed" => seed = parse(&mut args, "--seed"),
             "--json" => json = Some(parse::<PathBuf>(&mut args, "--json")),
@@ -101,7 +116,27 @@ fn main() {
         usage();
     };
 
-    if !query_only {
+    if storm {
+        eprintln!(
+            "storming {} connections ({} drivers, {} rounds, {:?} interval)",
+            storm_opts.connections, storm_opts.drivers, storm_opts.rounds, storm_opts.interval
+        );
+        let report = match conn_storm(addr.as_str(), &storm_opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: storm failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("{}", report.summary());
+        if let Some(path) = &json {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("loadgen: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    } else if !query_only {
         eprintln!("generating corpus: ~{events} events over {sources} sources (seed {seed})");
         let corpus = CorpusBuilder::new(
             GenConfig::default()

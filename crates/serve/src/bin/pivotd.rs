@@ -20,7 +20,8 @@ use storypivot_substrate::wal::SyncPolicy;
 fn usage() -> ! {
     eprintln!(
         "usage: pivotd [--addr HOST:PORT] [--shards N] [--queue-depth N] \
-         [--align-every N] [--retry-after-ms N] [--checkpoint-dir DIR] \
+         [--align-every N] [--retry-after-ms N] [--io-workers N] \
+         [--max-pipeline N] [--idle-timeout-ms N] [--checkpoint-dir DIR] \
          [--wal-dir DIR] [--fsync always|never|every:N] \
          [--checkpoint-every-bytes N] [--port-file PATH]"
     );
@@ -50,6 +51,14 @@ fn main() {
             "--queue-depth" => cfg.queue_depth = parse(&mut args, "--queue-depth"),
             "--align-every" => cfg.align_every = parse(&mut args, "--align-every"),
             "--retry-after-ms" => cfg.retry_after_ms = parse(&mut args, "--retry-after-ms"),
+            "--io-workers" => cfg.io_workers = parse(&mut args, "--io-workers"),
+            "--max-pipeline" => cfg.max_pipeline = parse(&mut args, "--max-pipeline"),
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout = Some(std::time::Duration::from_millis(parse(
+                    &mut args,
+                    "--idle-timeout-ms",
+                )))
+            }
             "--checkpoint-dir" => cfg.checkpoint_dir = Some(parse::<PathBuf>(&mut args, "--checkpoint-dir")),
             "--wal-dir" => cfg.wal_dir = Some(parse::<PathBuf>(&mut args, "--wal-dir")),
             "--fsync" => cfg.fsync = parse::<SyncPolicy>(&mut args, "--fsync"),

@@ -111,6 +111,40 @@ impl Client {
         }
     }
 
+    /// Queue one request without waiting for its response (pipelining).
+    /// Frames accumulate in the write buffer until [`Client::flush`];
+    /// responses arrive in request order via [`Client::recv`].
+    pub fn send(&mut self, req: &Request) -> Result<()> {
+        self.writer.write_all(&frame(|b| req.encode(b)))?;
+        Ok(())
+    }
+
+    /// Push every queued frame onto the wire.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Read the next response frame. Responses are strictly in request
+    /// order — the server re-sequences pipelined completions — so the
+    /// n-th `recv` answers the n-th `send`.
+    pub fn recv(&mut self) -> Result<Response> {
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(Error::Io("server closed the connection".into())),
+        }
+    }
+
+    /// Send a whole window of requests back-to-back, then collect every
+    /// response in order: one round trip instead of `reqs.len()`.
+    pub fn pipelined(&mut self, reqs: &[Request]) -> Result<Vec<Response>> {
+        for req in reqs {
+            self.send(req)?;
+        }
+        self.flush()?;
+        reqs.iter().map(|_| self.recv()).collect()
+    }
+
     /// Send a request and fail on an error response.
     fn request_ok(&mut self, req: &Request) -> Result<Response> {
         self.request(req)?.into_result()

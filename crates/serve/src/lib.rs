@@ -25,7 +25,9 @@
 //! - [`client`] — a blocking client for the protocol.
 //! - [`load`] — `loadgen`: replays a [`storypivot_gen`] corpus at a
 //!   target rate over M connections and reports throughput and
-//!   p50/p95/p99 latency.
+//!   p50/p95/p99 latency. Its storm mode ([`load::conn_storm`]) opens
+//!   thousands of mostly-idle connections that trickle traffic, to
+//!   size per-connection server memory and tail latency.
 //!
 //! Everything is std-only (`std::net`, `std::thread`,
 //! `std::sync::mpsc`) per the workspace's hermetic-build guard.
@@ -40,7 +42,7 @@ pub mod server;
 pub mod stats;
 
 pub use client::{BackoffPolicy, Client, IngestReply};
-pub use load::{replay, LoadOptions, LoadReport};
+pub use load::{conn_storm, replay, LoadOptions, LoadReport, StormOptions, StormReport};
 pub use proto::{Request, Response, StorySummary, MAX_FRAME_LEN};
 pub use server::{serve, ServerConfig, ServerHandle, POISON_HEADLINE};
 pub use stats::{ServeStats, ShardStats};

@@ -9,14 +9,16 @@
 //! jittered exponential backoff (seeded per snippet, honoring the
 //! server's retry-after hint).
 
-use std::net::{SocketAddr, ToSocketAddrs};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use storypivot_gen::Corpus;
 use storypivot_substrate::timing::Histogram;
-use storypivot_types::{Error, Result, Snippet};
+use storypivot_types::{Error, Result, Snippet, StoryId};
 
 use crate::client::{BackoffPolicy, Client};
+use crate::proto::{frame, Request, MAX_FRAME_LEN};
 
 /// Load-generation options.
 #[derive(Debug, Clone)]
@@ -202,6 +204,203 @@ pub fn replay<A: ToSocketAddrs>(addr: A, corpus: &Corpus, opts: &LoadOptions) ->
             }
             Ok(Err(e)) => failure = Some(e),
             Err(_) => failure = Some(Error::Io("loadgen connection thread panicked".into())),
+        }
+    }
+    report.wall = start.elapsed();
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}
+
+// ---- connection storm ------------------------------------------------
+
+/// Options for the many-connection trickle mode: hold `connections`
+/// open sockets and send each one a tiny request every `interval`,
+/// for `rounds` rounds — the workload shape the multiplexed serving
+/// runtime exists for (thread-per-connection dies here first).
+#[derive(Debug, Clone)]
+pub struct StormOptions {
+    /// Sockets to hold open for the whole run.
+    pub connections: usize,
+    /// Client-side driver threads the sockets are split across.
+    pub drivers: usize,
+    /// Trickle rounds: every round sends one request per connection.
+    pub rounds: usize,
+    /// Pacing between rounds (each connection sees one request per
+    /// interval). `ZERO` trickles as fast as the drivers can.
+    pub interval: Duration,
+}
+
+impl Default for StormOptions {
+    fn default() -> Self {
+        StormOptions {
+            connections: 1000,
+            drivers: 8,
+            rounds: 10,
+            interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// What a connection storm measured.
+#[derive(Debug, Clone)]
+pub struct StormReport {
+    /// Connections successfully opened and held.
+    pub connections: usize,
+    /// Requests completed (round trips).
+    pub requests: u64,
+    /// Wall-clock time from first connect to last response.
+    pub wall: Duration,
+    /// Time to open every connection.
+    pub connect_wall: Duration,
+    /// Per-request round-trip latency (nanoseconds).
+    pub latency: Histogram,
+}
+
+impl StormReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} conns (opened in {:.2}s), {} reqs in {:.2}s; rtt p50/p95/p99 {:.1}/{:.1}/{:.1} µs",
+            self.connections,
+            self.connect_wall.as_secs_f64(),
+            self.requests,
+            self.wall.as_secs_f64(),
+            self.latency.percentile(0.50) as f64 / 1e3,
+            self.latency.percentile(0.95) as f64 / 1e3,
+            self.latency.percentile(0.99) as f64 / 1e3,
+        )
+    }
+
+    /// A JSON object (same shape as the bench harness artifacts).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"connections\": {},\n",
+                "  \"requests\": {},\n",
+                "  \"wall_secs\": {:.6},\n",
+                "  \"connect_wall_secs\": {:.6},\n",
+                "  \"rtt_p50_us\": {:.2},\n",
+                "  \"rtt_p95_us\": {:.2},\n",
+                "  \"rtt_p99_us\": {:.2}\n",
+                "}}"
+            ),
+            self.connections,
+            self.requests,
+            self.wall.as_secs_f64(),
+            self.connect_wall.as_secs_f64(),
+            self.latency.percentile(0.50) as f64 / 1e3,
+            self.latency.percentile(0.95) as f64 / 1e3,
+            self.latency.percentile(0.99) as f64 / 1e3,
+        )
+    }
+}
+
+/// One unbuffered storm lane connection: raw `TcpStream` (no
+/// `BufReader`/`BufWriter`), so client-side memory per connection is
+/// just the socket — the measurement isolates *server-side* per-
+/// connection cost.
+fn storm_round_trip(
+    stream: &mut TcpStream,
+    request: &[u8],
+    scratch: &mut Vec<u8>,
+) -> Result<()> {
+    stream.write_all(request)?;
+    let mut head = [0u8; 4];
+    stream.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(Error::Codec(format!("storm: bad response frame length {len}")));
+    }
+    scratch.resize(len as usize, 0);
+    stream.read_exact(scratch)?;
+    Ok(())
+}
+
+/// Open `opts.connections` sockets and trickle tiny requests over all
+/// of them. The probe request is `GetStory` on a story id that cannot
+/// exist, so every round trip is a real dispatch through a shard queue
+/// and back (the typed unknown-story error response), with no server
+/// state required and no state mutated.
+pub fn conn_storm<A: ToSocketAddrs>(addr: A, opts: &StormOptions) -> Result<StormReport> {
+    if opts.connections == 0 || opts.drivers == 0 {
+        return Err(Error::InvalidConfig(
+            "storm: connections and drivers must be >= 1".into(),
+        ));
+    }
+    let addr: SocketAddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| Error::InvalidConfig("storm: address resolved to nothing".into()))?;
+    let drivers = opts.drivers.min(opts.connections);
+    let request = frame(|b| Request::GetStory(StoryId::new(u32::MAX)).encode(b));
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(drivers);
+    for d in 0..drivers {
+        // Spread the remainder so lane sizes differ by at most one.
+        let share = opts.connections / drivers + usize::from(d < opts.connections % drivers);
+        let request = request.clone();
+        let rounds = opts.rounds;
+        let interval = opts.interval;
+        handles.push(std::thread::spawn(
+            move || -> Result<(usize, u64, Duration, Histogram)> {
+                let mut conns = Vec::with_capacity(share);
+                for i in 0..share {
+                    let stream = TcpStream::connect(addr)?;
+                    stream.set_nodelay(true)?;
+                    conns.push(stream);
+                    // Stagger connects so the listener backlog never
+                    // overflows into SYN-retry stalls.
+                    if i % 64 == 63 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                let connect_wall = start.elapsed();
+                let mut hist = Histogram::new();
+                let mut requests = 0u64;
+                let mut scratch = Vec::with_capacity(256);
+                let trickle_start = Instant::now();
+                for round in 0..rounds {
+                    if !interval.is_zero() {
+                        let due = interval * round as u32;
+                        let elapsed = trickle_start.elapsed();
+                        if due > elapsed {
+                            std::thread::sleep(due - elapsed);
+                        }
+                    }
+                    for stream in &mut conns {
+                        let t = Instant::now();
+                        storm_round_trip(stream, &request, &mut scratch)?;
+                        hist.record(t.elapsed().as_nanos() as u64);
+                        requests += 1;
+                    }
+                }
+                Ok((conns.len(), requests, connect_wall, hist))
+            },
+        ));
+    }
+
+    let mut report = StormReport {
+        connections: 0,
+        requests: 0,
+        wall: Duration::ZERO,
+        connect_wall: Duration::ZERO,
+        latency: Histogram::new(),
+    };
+    let mut failure = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((conns, requests, connect_wall, hist))) => {
+                report.connections += conns;
+                report.requests += requests;
+                report.connect_wall = report.connect_wall.max(connect_wall);
+                report.latency.merge(&hist);
+            }
+            Ok(Err(e)) => failure = Some(e),
+            Err(_) => failure = Some(Error::Io("storm driver thread panicked".into())),
         }
     }
     report.wall = start.elapsed();

@@ -15,7 +15,7 @@
 
 use std::io::{self, Read, Write};
 
-use storypivot_store::codec::{decode_snippet, encode_snippet};
+use storypivot_store::codec::{decode_snippet, encode_snippet, skip_snippet};
 use storypivot_substrate::buf::{Buf, BufMut};
 use storypivot_types::{
     DocId, Error, Result, Snippet, SnippetId, SourceId, SourceKind, StoryId, TimeRange,
@@ -225,6 +225,457 @@ impl Request {
             )));
         }
         Ok(req)
+    }
+}
+
+// ---- borrowed (zero-copy) decode ------------------------------------
+//
+// The multiplexed server decodes every inbound frame directly out of
+// the connection's pooled read buffer. For the small control frames
+// that dominate steady-state traffic (GET_STORY, STATS, QUERY, …) the
+// borrowed path performs zero heap allocations: strings stay `&str`
+// views into the frame, and variable-size payloads (snippets, batches,
+// summaries) are *validated* in place — every bounds, opcode, UTF-8,
+// and event-type check `decode` would run — but only materialised via
+// `to_owned()` when a layer actually needs ownership.
+
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(Error::Codec(format!(
+            "truncated frame: need {n} bytes for {what}, have {}",
+            buf.len()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_str_ref<'a>(buf: &mut &'a [u8], what: &str) -> Result<&'a str> {
+    let len = get_u32(buf, what)? as usize;
+    let raw = take(buf, len, what)?;
+    std::str::from_utf8(raw).map_err(|_| Error::Codec(format!("invalid utf-8 in {what}")))
+}
+
+/// A validated, still-encoded snippet inside a request frame. The
+/// routing header (id, source) is parsed eagerly so the server can
+/// shard the frame; the body is decoded only on [`SnippetRef::to_owned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnippetRef<'a> {
+    /// The snippet id from the encoded header.
+    pub id: SnippetId,
+    /// The owning source — the serving layer's shard-routing key.
+    pub source: SourceId,
+    raw: &'a [u8],
+}
+
+impl SnippetRef<'_> {
+    /// Materialise the snippet (the only allocating step).
+    pub fn to_owned(&self) -> Snippet {
+        decode_snippet(&mut &self.raw[..]).expect("SnippetRef wraps a validated encoding")
+    }
+}
+
+/// A validated, still-encoded ingest batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRef<'a> {
+    count: u32,
+    raw: &'a [u8],
+}
+
+impl<'a> BatchRef<'a> {
+    /// Number of snippets in the batch.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Walk the batch without allocating.
+    pub fn iter(&self) -> SnippetIter<'a> {
+        SnippetIter {
+            rest: self.raw,
+            remaining: self.count,
+        }
+    }
+
+    /// Materialise every snippet.
+    pub fn to_owned(&self) -> Vec<Snippet> {
+        self.iter().map(|s| s.to_owned()).collect()
+    }
+}
+
+/// Iterator over the validated snippets of a [`BatchRef`].
+#[derive(Debug, Clone)]
+pub struct SnippetIter<'a> {
+    rest: &'a [u8],
+    remaining: u32,
+}
+
+impl<'a> Iterator for SnippetIter<'a> {
+    type Item = SnippetRef<'a>;
+
+    fn next(&mut self) -> Option<SnippetRef<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let before = self.rest;
+        let mut cur = self.rest;
+        let (id, source) = skip_snippet(&mut cur).expect("BatchRef wraps a validated encoding");
+        let span = &before[..before.len() - cur.len()];
+        self.rest = cur;
+        Some(SnippetRef {
+            id,
+            source,
+            raw: span,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// A client → server message decoded without copying out of the frame.
+///
+/// Produced by [`Request::decode_borrowed`]; accepts and rejects
+/// exactly the frames [`Request::decode`] does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestRef<'a> {
+    /// Register a source.
+    AddSource {
+        /// Display name (borrowed from the frame).
+        name: &'a str,
+        /// Source kind.
+        kind: SourceKind,
+        /// Typical reporting lag in seconds.
+        lag: i64,
+    },
+    /// Ingest one snippet (validated, not yet materialised).
+    IngestSnippet(SnippetRef<'a>),
+    /// Ingest a batch (validated, not yet materialised).
+    IngestBatch(BatchRef<'a>),
+    /// The per-source story partition across all shards.
+    QueryStories,
+    /// One story's summary.
+    GetStory(StoryId),
+    /// Remove a document from every shard.
+    RemoveDoc(DocId),
+    /// Per-shard serving statistics.
+    Stats,
+    /// Drain queues, checkpoint every shard, stop the server.
+    Shutdown,
+    /// The merged metrics exposition across shards.
+    Metrics,
+}
+
+impl RequestRef<'_> {
+    /// Materialise an owned [`Request`] (equal to what
+    /// [`Request::decode`] returns for the same frame).
+    pub fn to_owned(&self) -> Request {
+        match *self {
+            RequestRef::AddSource { name, kind, lag } => Request::AddSource {
+                name: name.to_string(),
+                kind,
+                lag,
+            },
+            RequestRef::IngestSnippet(s) => Request::IngestSnippet(s.to_owned()),
+            RequestRef::IngestBatch(b) => Request::IngestBatch(b.to_owned()),
+            RequestRef::QueryStories => Request::QueryStories,
+            RequestRef::GetStory(id) => Request::GetStory(id),
+            RequestRef::RemoveDoc(doc) => Request::RemoveDoc(doc),
+            RequestRef::Stats => Request::Stats,
+            RequestRef::Shutdown => Request::Shutdown,
+            RequestRef::Metrics => Request::Metrics,
+        }
+    }
+}
+
+impl Request {
+    /// Decode a full frame payload without copying: small frames
+    /// allocate nothing, variable-size payloads are validated in place
+    /// and materialised lazily. Accepts and rejects exactly the frames
+    /// [`Request::decode`] does, including the trailing-bytes check.
+    pub fn decode_borrowed(payload: &[u8]) -> Result<RequestRef<'_>> {
+        let buf = &mut &payload[..];
+        let op = get_u8(buf, "request opcode")?;
+        let req = match op {
+            OP_ADD_SOURCE => {
+                let code = get_u8(buf, "source kind")?;
+                let kind = SourceKind::from_code(code)
+                    .ok_or_else(|| Error::Codec(format!("invalid source kind code {code}")))?;
+                let lag = get_i64(buf, "source lag")?;
+                let name = get_str_ref(buf, "source name")?;
+                RequestRef::AddSource { name, kind, lag }
+            }
+            OP_INGEST_SNIPPET => {
+                let before = *buf;
+                let (id, source) = skip_snippet(buf)?;
+                let raw = &before[..before.len() - buf.len()];
+                RequestRef::IngestSnippet(SnippetRef { id, source, raw })
+            }
+            OP_INGEST_BATCH => {
+                let n = get_u32(buf, "batch count")?;
+                need(buf, (n as usize).saturating_mul(29), "batch snippets")?;
+                let before = *buf;
+                for _ in 0..n {
+                    skip_snippet(buf)?;
+                }
+                let raw = &before[..before.len() - buf.len()];
+                RequestRef::IngestBatch(BatchRef { count: n, raw })
+            }
+            OP_QUERY_STORIES => RequestRef::QueryStories,
+            OP_GET_STORY => RequestRef::GetStory(StoryId::new(get_u32(buf, "story id")?)),
+            OP_REMOVE_DOC => RequestRef::RemoveDoc(DocId::new(get_u32(buf, "doc id")?)),
+            OP_STATS => RequestRef::Stats,
+            OP_SHUTDOWN => RequestRef::Shutdown,
+            OP_METRICS => RequestRef::Metrics,
+            other => return Err(Error::Codec(format!("unknown request opcode 0x{other:02x}"))),
+        };
+        if !buf.is_empty() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after request",
+                buf.len()
+            )));
+        }
+        Ok(req)
+    }
+}
+
+/// A validated, still-encoded story summary inside a response frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryRef<'a> {
+    raw: &'a [u8],
+}
+
+impl SummaryRef<'_> {
+    /// Materialise the summary.
+    pub fn to_owned(&self) -> StorySummary {
+        decode_summary(&mut &self.raw[..]).expect("SummaryRef wraps a validated encoding")
+    }
+}
+
+fn skip_summary(buf: &mut &[u8]) -> Result<()> {
+    take(buf, 4, "story id")?;
+    take(buf, 4, "story source")?;
+    take(buf, 8, "story start")?;
+    take(buf, 8, "story end")?;
+    let n = get_u32(buf, "member count")? as usize;
+    take(buf, n.saturating_mul(4), "story members")?;
+    Ok(())
+}
+
+/// A validated, still-encoded story partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoriesRef<'a> {
+    count: u32,
+    raw: &'a [u8],
+}
+
+impl<'a> StoriesRef<'a> {
+    /// Number of summaries.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Walk the summaries without allocating.
+    pub fn iter(&self) -> SummaryIter<'a> {
+        SummaryIter {
+            rest: self.raw,
+            remaining: self.count,
+        }
+    }
+
+    /// Materialise every summary.
+    pub fn to_owned(&self) -> Vec<StorySummary> {
+        self.iter().map(|s| s.to_owned()).collect()
+    }
+}
+
+/// Iterator over the validated summaries of a [`StoriesRef`].
+#[derive(Debug, Clone)]
+pub struct SummaryIter<'a> {
+    rest: &'a [u8],
+    remaining: u32,
+}
+
+impl<'a> Iterator for SummaryIter<'a> {
+    type Item = SummaryRef<'a>;
+
+    fn next(&mut self) -> Option<SummaryRef<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let before = self.rest;
+        let mut cur = self.rest;
+        skip_summary(&mut cur).expect("StoriesRef wraps a validated encoding");
+        let span = &before[..before.len() - cur.len()];
+        self.rest = cur;
+        Some(SummaryRef { raw: span })
+    }
+}
+
+/// Validated, still-encoded per-shard statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsRef<'a> {
+    count: u32,
+    raw: &'a [u8],
+}
+
+impl StatsRef<'_> {
+    /// Number of shard entries.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether there are no shard entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Materialise the statistics.
+    pub fn to_owned(&self) -> ServeStats {
+        let mut rest = self.raw;
+        let shards = (0..self.count)
+            .map(|_| ShardStats::decode(&mut rest).expect("StatsRef wraps a validated encoding"))
+            .collect();
+        ServeStats { shards }
+    }
+}
+
+/// A server → client message decoded without copying out of the frame.
+///
+/// Produced by [`Response::decode_borrowed`]; accepts and rejects
+/// exactly the frames [`Response::decode`] does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResponseRef<'a> {
+    /// The id allocated for a registered source.
+    SourceAdded(SourceId),
+    /// The per-source story the ingested snippet joined.
+    Ingested(StoryId),
+    /// How many snippets of a batch were ingested.
+    BatchIngested(u32),
+    /// The story partition (validated, not yet materialised).
+    Stories(StoriesRef<'a>),
+    /// One story's summary (validated, not yet materialised).
+    Story(SummaryRef<'a>),
+    /// How many snippets a document removal evicted.
+    Removed(u32),
+    /// Per-shard statistics (validated, not yet materialised).
+    Stats(StatsRef<'a>),
+    /// The server drained every queue and wrote its checkpoint.
+    ShutdownAck,
+    /// The metrics exposition text, borrowed from the frame.
+    Metrics {
+        /// Prometheus-style text exposition.
+        text: &'a str,
+    },
+    /// The target shard's queue is full; retry after the hint.
+    Busy {
+        /// Suggested client-side backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The request failed.
+    Error {
+        /// Coarse error class (see [`error_code`]).
+        code: u8,
+        /// Human-readable description, borrowed from the frame.
+        message: &'a str,
+    },
+}
+
+impl ResponseRef<'_> {
+    /// Materialise an owned [`Response`] (equal to what
+    /// [`Response::decode`] returns for the same frame).
+    pub fn to_owned(&self) -> Response {
+        match *self {
+            ResponseRef::SourceAdded(id) => Response::SourceAdded(id),
+            ResponseRef::Ingested(story) => Response::Ingested(story),
+            ResponseRef::BatchIngested(n) => Response::BatchIngested(n),
+            ResponseRef::Stories(s) => Response::Stories(s.to_owned()),
+            ResponseRef::Story(s) => Response::Story(s.to_owned()),
+            ResponseRef::Removed(n) => Response::Removed(n),
+            ResponseRef::Stats(s) => Response::Stats(s.to_owned()),
+            ResponseRef::ShutdownAck => Response::ShutdownAck,
+            ResponseRef::Metrics { text } => Response::Metrics {
+                text: text.to_string(),
+            },
+            ResponseRef::Busy { retry_after_ms } => Response::Busy { retry_after_ms },
+            ResponseRef::Error { code, message } => Response::Error {
+                code,
+                message: message.to_string(),
+            },
+        }
+    }
+}
+
+impl Response {
+    /// Decode a full frame payload without copying; the response-side
+    /// twin of [`Request::decode_borrowed`].
+    pub fn decode_borrowed(payload: &[u8]) -> Result<ResponseRef<'_>> {
+        let buf = &mut &payload[..];
+        let op = get_u8(buf, "response opcode")?;
+        let resp = match op {
+            OP_SOURCE_ADDED => ResponseRef::SourceAdded(SourceId::new(get_u32(buf, "source id")?)),
+            OP_INGESTED => ResponseRef::Ingested(StoryId::new(get_u32(buf, "story id")?)),
+            OP_BATCH_INGESTED => ResponseRef::BatchIngested(get_u32(buf, "batch count")?),
+            OP_STORIES => {
+                let n = get_u32(buf, "story count")?;
+                need(buf, (n as usize).saturating_mul(24), "story summaries")?;
+                let before = *buf;
+                for _ in 0..n {
+                    skip_summary(buf)?;
+                }
+                let raw = &before[..before.len() - buf.len()];
+                ResponseRef::Stories(StoriesRef { count: n, raw })
+            }
+            OP_STORY => {
+                let before = *buf;
+                skip_summary(buf)?;
+                let raw = &before[..before.len() - buf.len()];
+                ResponseRef::Story(SummaryRef { raw })
+            }
+            OP_REMOVED => ResponseRef::Removed(get_u32(buf, "removed count")?),
+            OP_STATS_REPLY => {
+                let n = get_u32(buf, "shard count")?;
+                let raw = take(
+                    buf,
+                    (n as usize).saturating_mul(ShardStats::ENCODED_LEN),
+                    "shard stats",
+                )?;
+                ResponseRef::Stats(StatsRef { count: n, raw })
+            }
+            OP_SHUTDOWN_ACK => ResponseRef::ShutdownAck,
+            OP_METRICS_REPLY => ResponseRef::Metrics {
+                text: get_str_ref(buf, "metrics text")?,
+            },
+            OP_BUSY => ResponseRef::Busy {
+                retry_after_ms: get_u32(buf, "retry hint")?,
+            },
+            OP_ERROR => {
+                let code = get_u8(buf, "error code")?;
+                let message = get_str_ref(buf, "error message")?;
+                ResponseRef::Error { code, message }
+            }
+            other => return Err(Error::Codec(format!("unknown response opcode 0x{other:02x}"))),
+        };
+        if !buf.is_empty() {
+            return Err(Error::Codec(format!(
+                "{} trailing bytes after response",
+                buf.len()
+            )));
+        }
+        Ok(resp)
     }
 }
 
@@ -531,11 +982,43 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Encode a request or response into a ready-to-send frame.
 pub fn frame(encode: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
     let mut payload = Vec::with_capacity(64);
-    payload.extend_from_slice(&[0, 0, 0, 0]);
-    encode(&mut payload);
-    let len = (payload.len() - 4) as u32;
-    payload[..4].copy_from_slice(&len.to_le_bytes());
+    frame_into(&mut payload, encode);
     payload
+}
+
+/// Encode a frame into a reusable buffer (cleared first): the pooled
+/// zero-allocation analogue of [`frame`], used by the multiplexed
+/// server so steady-state responses never touch the allocator.
+pub fn frame_into(out: &mut Vec<u8>, encode: impl FnOnce(&mut Vec<u8>)) {
+    out.clear();
+    out.extend_from_slice(&[0, 0, 0, 0]);
+    encode(out);
+    let len = (out.len() - 4) as u32;
+    debug_assert!(len <= MAX_FRAME_LEN);
+    out[..4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Peek at a read-accumulation buffer: `Ok(Some(total))` when a
+/// complete frame spanning `total` bytes (length prefix + payload) is
+/// buffered, `Ok(None)` when more bytes are needed. Empty and
+/// oversized length prefixes are rejected as soon as the prefix
+/// arrives — before the server buffers (or a peer even sends) the
+/// body.
+pub fn frame_ready(buf: &[u8]) -> Result<Option<usize>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len == 0 {
+        return Err(Error::Codec("empty frame (no opcode)".into()));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Codec(format!(
+            "oversized frame: {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    let total = 4 + len as usize;
+    Ok(if buf.len() >= total { Some(total) } else { None })
 }
 
 /// Read one frame's payload. Returns `Ok(None)` on a clean EOF at a
@@ -728,5 +1211,128 @@ mod tests {
         payload.put_u8(OP_INGEST_BATCH);
         payload.put_u32_le(u32::MAX);
         assert!(matches!(Request::decode(&payload), Err(Error::Codec(_))));
+        assert!(Request::decode_borrowed(&payload).is_err());
+    }
+
+    #[test]
+    fn borrowed_request_decode_matches_owned() {
+        let reqs = vec![
+            Request::AddSource {
+                name: "Ümlaut News".into(),
+                kind: SourceKind::Blog,
+                lag: -3600,
+            },
+            Request::IngestSnippet(sample_snippet(7)),
+            Request::IngestBatch(vec![sample_snippet(1), sample_snippet(2)]),
+            Request::IngestBatch(Vec::new()),
+            Request::QueryStories,
+            Request::GetStory(StoryId::new(513)),
+            Request::RemoveDoc(DocId::new(5)),
+            Request::Stats,
+            Request::Shutdown,
+            Request::Metrics,
+        ];
+        for req in reqs {
+            let mut payload = Vec::new();
+            req.encode(&mut payload);
+            let borrowed = Request::decode_borrowed(&payload).unwrap();
+            assert_eq!(borrowed.to_owned(), req);
+        }
+    }
+
+    #[test]
+    fn borrowed_batch_exposes_routing_headers() {
+        let batch = vec![sample_snippet(1), sample_snippet(2), sample_snippet(3)];
+        let mut payload = Vec::new();
+        Request::IngestBatch(batch.clone()).encode(&mut payload);
+        match Request::decode_borrowed(&payload).unwrap() {
+            RequestRef::IngestBatch(b) => {
+                assert_eq!(b.len(), 3);
+                let headers: Vec<_> = b.iter().map(|s| (s.id, s.source)).collect();
+                assert_eq!(
+                    headers,
+                    batch.iter().map(|s| (s.id, s.source)).collect::<Vec<_>>()
+                );
+                for (r, owned) in b.iter().zip(&batch) {
+                    assert_eq!(&r.to_owned(), owned);
+                }
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_response_decode_matches_owned() {
+        let resps = vec![
+            Response::SourceAdded(SourceId::new(3)),
+            Response::Ingested(StoryId::new(1 << 24)),
+            Response::BatchIngested(9000),
+            Response::Stories(vec![StorySummary {
+                id: StoryId::new(42),
+                source: SourceId::new(0),
+                lifespan: TimeRange::new(Timestamp::from_secs(-5), Timestamp::from_secs(99)),
+                members: vec![SnippetId::new(1), SnippetId::new(2)],
+            }]),
+            Response::Removed(3),
+            Response::ShutdownAck,
+            Response::Metrics {
+                text: "storypivot_ingest_total 8\n".into(),
+            },
+            Response::Busy { retry_after_ms: 10 },
+            Response::Error {
+                code: 4,
+                message: "codec error: torn".into(),
+            },
+        ];
+        for resp in resps {
+            let mut payload = Vec::new();
+            resp.encode(&mut payload);
+            let borrowed = Response::decode_borrowed(&payload).unwrap();
+            assert_eq!(borrowed.to_owned(), resp);
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_rejects_trailing_and_truncated() {
+        let mut payload = Vec::new();
+        Request::QueryStories.encode(&mut payload);
+        payload.push(0xEE);
+        assert!(Request::decode_borrowed(&payload).is_err());
+
+        let mut payload = Vec::new();
+        Request::IngestSnippet(sample_snippet(1)).encode(&mut payload);
+        for cut in 1..payload.len() {
+            assert_eq!(
+                Request::decode_borrowed(&payload[..cut]).is_err(),
+                Request::decode(&payload[..cut]).is_err(),
+                "borrowed/owned disagree at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_ready_tracks_partial_frames() {
+        let full = frame(|b| Request::Stats.encode(b));
+        for cut in 0..full.len() {
+            assert_eq!(frame_ready(&full[..cut]).unwrap(), None, "cut {cut}");
+        }
+        assert_eq!(frame_ready(&full).unwrap(), Some(full.len()));
+        // Pipelined second frame does not confuse the boundary.
+        let mut two = full.clone();
+        two.extend_from_slice(&full);
+        assert_eq!(frame_ready(&two).unwrap(), Some(full.len()));
+        // Hostile prefixes rejected as soon as the 4 length bytes land.
+        assert!(frame_ready(&[0, 0, 0, 0]).is_err());
+        assert!(frame_ready(&u32::MAX.to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn frame_into_reuses_a_buffer_without_allocating_beyond_capacity() {
+        let mut buf = Vec::with_capacity(256);
+        frame_into(&mut buf, |b| Response::Ingested(StoryId::new(9)).encode(b));
+        let first = buf.clone();
+        frame_into(&mut buf, |b| Response::Ingested(StoryId::new(9)).encode(b));
+        assert_eq!(buf, first);
+        assert_eq!(buf, frame(|b| Response::Ingested(StoryId::new(9)).encode(b)));
     }
 }

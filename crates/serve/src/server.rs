@@ -1,19 +1,41 @@
 //! The sharded, backpressured, crash-safe TCP server.
 //!
-//! Topology: one acceptor thread, one handler thread per connection,
-//! and N *shard* worker threads. Each shard owns a full
-//! [`DynamicPivot`] engine holding a disjoint subset of sources
-//! (`source id mod N`), so identification — which is per-source by
-//! construction (paper §2.1) — is embarrassingly parallel across
-//! shards, and alignment runs per shard over its own sources.
+//! Topology: one acceptor thread, a fixed pool of connection-
+//! multiplexing *I/O worker* threads, and N *shard* worker threads.
+//! Each shard owns a full [`DynamicPivot`] engine holding a disjoint
+//! subset of sources (`source id mod N`), so identification — which is
+//! per-source by construction (paper §2.1) — is embarrassingly
+//! parallel across shards, and alignment runs per shard over its own
+//! sources.
 //!
-//! Handlers never touch an engine: every frame becomes a [`Job`] routed
-//! to its shard through a bounded queue ([`substrate::queue::Bounded`]).
-//! When an ingest hits a full queue the handler replies BUSY with a
-//! retry-after hint instead of buffering — memory is bounded by
+//! # The serving runtime
+//!
+//! Connections are nonblocking sockets owned by I/O workers; each
+//! worker drives its set through a [`substrate::net`] `poll(2)` loop
+//! and a per-connection state machine: accumulate bytes into a pooled
+//! read buffer ([`substrate::pool`]), peel complete frames with
+//! [`frame_ready`], decode them *in place* with
+//! [`Request::decode_borrowed`] (zero heap allocations for small
+//! frames), dispatch, and stream responses back through queued
+//! vectored writes. Requests pipeline: a connection may have up to
+//! `max_pipeline` requests in flight, and responses are re-sequenced
+//! (a per-request `seq` plus a reorder map) so the wire order always
+//! matches the request order, exactly as the one-thread-per-connection
+//! runtime behaved. An optional `idle_timeout` reaps connections that
+//! complete no frame for the configured window, which also bounds
+//! slow-loris readers.
+//!
+//! I/O workers never block: every frame becomes a [`Job`] routed to
+//! its shard through a bounded queue ([`substrate::queue::Bounded`]),
+//! and the shard replies by posting a completion event back to the
+//! owning worker's inbox (a wake-channel nudges the poller). When an
+//! ingest hits a full queue the worker replies BUSY with a retry-after
+//! hint instead of buffering — memory is bounded by
 //! `shards × queue_depth` jobs no matter how fast clients push. Batch
-//! ingests and control frames (query/stats/shutdown) block on the queue
-//! instead: they are few, and blocking keeps their semantics simple.
+//! ingests and control frames (query/stats/shutdown) want
+//! backpressure, not retries: their pushes park in a pending list (the
+//! connection stops parsing, preserving per-connection order) and are
+//! retried until queue space frees up.
 //!
 //! # Durability
 //!
@@ -38,17 +60,22 @@
 //! if resubmitted. STATS reports `restarts` and `quarantined` per
 //! shard.
 //!
-//! SHUTDOWN drains: a `Drain` job is pushed behind all accepted work on
-//! every shard, each shard flushes its engine (final alignment +
-//! refinement) and writes a checkpoint generation, the queues are
-//! closed, and only then is the ack sent.
+//! SHUTDOWN drains: a dedicated orchestrator thread pushes a `Drain`
+//! job behind all accepted work on every shard, each shard flushes its
+//! engine (final alignment + refinement) and writes a checkpoint
+//! generation, the queues are closed, and only then is the ack sent
+//! (to the initiator and to every connection that sent a concurrent
+//! SHUTDOWN).
 //!
 //! # Observability
 //!
 //! Each shard owns a private [`substrate::metrics::Registry`]; its
 //! engine, WAL, and the per-shard serving gauges (queue depth,
 //! restarts, quarantined ops, BUSY rejections — labeled `shard="N"`)
-//! all record into it. The `METRICS` opcode snapshots every shard's
+//! all record into it. The server additionally keeps one registry for
+//! the I/O layer: open connections, pipeline depth, buffer-pool
+//! checkouts and byte high-water, and transient accept failures. The
+//! `METRICS` opcode snapshots every shard's registry plus the server
 //! registry, merges the snapshots (counters add, histograms merge
 //! bucket-wise), and renders one Prometheus-style text exposition.
 //! Each shard also keeps a fixed-capacity [`substrate::trace::TraceRing`]
@@ -56,13 +83,13 @@
 //! stderr (and `shard{i}.trace` next to the durable state) *before* the
 //! engine is rebuilt, preserving the lead-up to the crash.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::mpsc::SyncSender;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -72,14 +99,16 @@ use storypivot_core::metrics::EngineMetrics;
 use storypivot_core::oplog::{replay_op, ReplayOp};
 use storypivot_core::pipeline::{DynamicPivot, PipelinePolicy};
 use storypivot_core::refine::story_source;
-use storypivot_substrate::metrics::{Gauge, HistogramMetric, Registry, Snapshot};
+use storypivot_substrate::metrics::{Counter, Gauge, HistogramMetric, Registry, Snapshot};
+use storypivot_substrate::net;
+use storypivot_substrate::pool::{BufferPool, PooledBuf};
 use storypivot_substrate::queue::{Bounded, PushError};
 use storypivot_substrate::timing::Histogram;
 use storypivot_substrate::trace::TraceRing;
 use storypivot_substrate::wal::{self, SyncPolicy, Wal, WalMetrics};
-use storypivot_types::{DocId, Error, Result, Snippet, Source, SourceId, SourceKind, StoryId};
+use storypivot_types::{DocId, Error, Result, Snippet, Source, SourceId, StoryId};
 
-use crate::proto::{frame, read_frame, Request, Response, StorySummary};
+use crate::proto::{frame_into, frame_ready, Request, RequestRef, Response, StorySummary};
 use crate::stats::{ServeStats, ShardStats};
 
 /// The maximum number of sources the story-id partitioning scheme
@@ -126,6 +155,16 @@ pub struct ServerConfig {
     /// Artificial per-job delay in each shard worker. Zero in
     /// production; tests use it to hold a queue full deterministically.
     pub worker_delay: Duration,
+    /// Number of connection-multiplexing I/O worker threads. Every
+    /// connection is pinned to one worker for its lifetime.
+    pub io_workers: usize,
+    /// Maximum requests a single connection may have in flight
+    /// (dispatched, response not yet queued for write) before the
+    /// worker stops reading from it.
+    pub max_pipeline: usize,
+    /// Reap a connection that completes no frame for this long
+    /// (also bounds slow-loris readers); `None` never reaps.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -141,13 +180,21 @@ impl Default for ServerConfig {
             checkpoint_every_bytes: 8 * 1024 * 1024,
             retry_after_ms: 10,
             worker_delay: Duration::ZERO,
+            io_workers: 2,
+            max_pipeline: 64,
+            idle_timeout: None,
         }
     }
 }
 
-/// The reply half of a shard job. `sync_channel(1)` so a shard can
-/// always deliver without blocking on a slow handler.
-type Reply = SyncSender<Response>;
+/// The reply half of a shard job: a one-shot callback the shard worker
+/// invokes with the response. Replies built from a connection carry a
+/// drop-guard, so a job that dies with its worker still produces an
+/// error response instead of a hung client.
+type Reply = Box<dyn FnOnce(Response) + Send>;
+
+/// Reply callback for metrics snapshots (merged by the I/O layer).
+type SnapReply = Box<dyn FnOnce(Snapshot) + Send>;
 
 /// Work routed to one shard.
 enum Job {
@@ -158,13 +205,258 @@ enum Job {
     GetStory(StoryId, Reply),
     RemoveDoc(DocId, Reply),
     Stats(Reply),
-    /// Snapshot the shard's metrics registry (merged by the router).
-    Metrics(SyncSender<Snapshot>),
+    /// Snapshot the shard's metrics registry (merged by the I/O layer).
+    Metrics(SnapReply),
     /// Flush + checkpoint; the shard replies once its state is durable.
     Drain(Reply),
 }
 
-/// State shared between the acceptor, handlers, and [`ServerHandle`].
+/// Lock a mutex, riding through poisoning (no invariant here spans the
+/// critical section).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A completion or new-connection event posted to an I/O worker.
+enum IoEvent {
+    /// The acceptor handed this worker a fresh connection.
+    NewConn(TcpStream),
+    /// A response for request `seq` on connection `conn` is ready;
+    /// `close` ends the connection once the response is flushed.
+    Deliver {
+        conn: u64,
+        seq: u64,
+        resp: Response,
+        close: bool,
+    },
+}
+
+/// An I/O worker's mailbox. `send` never blocks (lock, push, wake), so
+/// shard workers can deliver completions without ever waiting on the
+/// I/O layer — there is no lock cycle between the two.
+struct Inbox {
+    events: Mutex<Vec<IoEvent>>,
+    waker: net::Waker,
+    /// Connections currently assigned to this worker (acceptor
+    /// load-balances on it).
+    load: AtomicI64,
+}
+
+impl Inbox {
+    fn send(&self, ev: IoEvent) {
+        lock(&self.events).push(ev);
+        self.waker.wake();
+    }
+
+    fn take_into(&self, into: &mut Vec<IoEvent>) {
+        std::mem::swap(&mut *lock(&self.events), into);
+    }
+
+    fn is_empty(&self) -> bool {
+        lock(&self.events).is_empty()
+    }
+}
+
+/// The address of one in-flight request: which worker, which
+/// connection, which pipeline slot.
+#[derive(Clone)]
+struct Dest {
+    inbox: Arc<Inbox>,
+    conn: u64,
+    seq: u64,
+}
+
+impl Dest {
+    fn deliver(&self, resp: Response, close: bool) {
+        self.inbox.send(IoEvent::Deliver {
+            conn: self.conn,
+            seq: self.seq,
+            resp,
+            close,
+        });
+    }
+}
+
+fn unavailable() -> Response {
+    Response::Error {
+        code: 7,
+        message: "shard worker unavailable".into(),
+    }
+}
+
+/// Wrap a [`Dest`] as a [`Reply`]. If the shard drops the job without
+/// invoking it (worker died, queue destroyed), the guard delivers an
+/// error so the client never hangs — the callback equivalent of the
+/// old `await_reply` fallback.
+fn direct_reply(dest: Dest) -> Reply {
+    let mut guard = DestGuard(Some(dest));
+    Box::new(move |resp| {
+        if let Some(d) = guard.0.take() {
+            d.deliver(resp, false);
+        }
+    })
+}
+
+struct DestGuard(Option<Dest>);
+
+impl Drop for DestGuard {
+    fn drop(&mut self) {
+        if let Some(d) = self.0.take() {
+            d.deliver(unavailable(), false);
+        }
+    }
+}
+
+/// A fan-out/fan-in completion: N shard parts merge into one response
+/// once the last part lands. Parts complete in any order; the merge
+/// sees them indexed by shard position. `fail` short-circuits once
+/// (first failure wins, later parts are ignored).
+struct FanIn<T> {
+    state: Mutex<FanState<T>>,
+    dest: Dest,
+}
+
+type MergeFn<T> = Box<dyn FnOnce(Vec<T>) -> Response + Send>;
+
+struct FanState<T> {
+    parts: Vec<Option<T>>,
+    remaining: usize,
+    merge: Option<MergeFn<T>>,
+}
+
+impl<T> FanIn<T> {
+    fn new(dest: Dest, n: usize, merge: MergeFn<T>) -> Arc<FanIn<T>> {
+        Arc::new(FanIn {
+            state: Mutex::new(FanState {
+                parts: (0..n).map(|_| None).collect(),
+                remaining: n,
+                merge: Some(merge),
+            }),
+            dest,
+        })
+    }
+
+    fn part(&self, idx: usize, value: T) {
+        let done = {
+            let mut st = lock(&self.state);
+            if st.merge.is_none() || st.parts[idx].is_some() {
+                None
+            } else {
+                st.parts[idx] = Some(value);
+                st.remaining -= 1;
+                if st.remaining == 0 {
+                    let merge = st.merge.take().expect("checked above");
+                    let parts = st.parts.iter_mut().map(|p| p.take().expect("all landed")).collect();
+                    Some((merge, parts))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some((merge, parts)) = done {
+            self.dest.deliver(merge(parts), false);
+        }
+    }
+
+    fn fail(&self, resp: Response) {
+        let failed = lock(&self.state).merge.take().is_some();
+        if failed {
+            self.dest.deliver(resp, false);
+        }
+    }
+}
+
+/// Wrap one fan-in slot as a reply callback; the drop-guard fails the
+/// whole fan if the shard drops the job uninvoked.
+fn part_reply<T: Send + 'static>(fan: Arc<FanIn<T>>, idx: usize) -> Box<dyn FnOnce(T) + Send> {
+    let mut guard = FanGuard { fan: Some(fan), idx };
+    Box::new(move |value| {
+        if let Some(f) = guard.fan.take() {
+            f.part(guard.idx, value);
+        }
+    })
+}
+
+struct FanGuard<T> {
+    fan: Option<Arc<FanIn<T>>>,
+    #[allow(dead_code)]
+    idx: usize,
+}
+
+impl<T> Drop for FanGuard<T> {
+    fn drop(&mut self) {
+        if let Some(f) = self.fan.take() {
+            f.fail(unavailable());
+        }
+    }
+}
+
+/// Invoke a job's reply with `resp` (defusing its drop-guard); a
+/// metrics job carries a snapshot-typed reply and is simply dropped,
+/// which fails its fan through the guard.
+fn fail_job(job: Job, resp: Response) {
+    match job {
+        Job::AddSource(_, r)
+        | Job::Ingest(_, r)
+        | Job::IngestMany(_, r)
+        | Job::Query(r)
+        | Job::GetStory(_, r)
+        | Job::RemoveDoc(_, r)
+        | Job::Stats(r)
+        | Job::Drain(r) => r(resp),
+        Job::Metrics(_) => {}
+    }
+}
+
+fn fail_job_closed(job: Job) {
+    fail_job(
+        job,
+        Response::Error {
+            code: 7,
+            message: "server is shutting down".into(),
+        },
+    );
+}
+
+/// Server-wide I/O-layer metric handles (one registry, unlabeled —
+/// they describe the whole serving runtime, not one shard).
+struct IoMetrics {
+    connections_open: Gauge,
+    pipeline_depth: Gauge,
+    pool_buffers_outstanding: Gauge,
+    pool_bytes_highwater: Gauge,
+    accept_errors: Counter,
+}
+
+impl IoMetrics {
+    fn register(registry: &Registry) -> IoMetrics {
+        IoMetrics {
+            connections_open: registry.gauge(
+                "storypivot_connections_open",
+                "Open client connections across all I/O workers.",
+            ),
+            pipeline_depth: registry.gauge(
+                "storypivot_pipeline_depth",
+                "Requests dispatched whose responses are not yet queued for write.",
+            ),
+            pool_buffers_outstanding: registry.gauge(
+                "storypivot_pool_buffers_outstanding",
+                "Frame buffers currently checked out of the serving buffer pool.",
+            ),
+            pool_bytes_highwater: registry.gauge(
+                "storypivot_pool_bytes_highwater",
+                "High-water mark of bytes charged to checked-out frame buffers.",
+            ),
+            accept_errors: registry.counter(
+                "storypivot_accept_errors_total",
+                "Transient accept(2) failures (e.g. EMFILE) that triggered backoff.",
+            ),
+        }
+    }
+}
+
+/// State shared between the acceptor, I/O workers, shard workers, and
+/// [`ServerHandle`].
 struct Shared {
     queues: Vec<Bounded<Job>>,
     busy_counters: Vec<Arc<AtomicU64>>,
@@ -172,11 +464,35 @@ struct Shared {
     shutting_down: AtomicBool,
     done: AtomicBool,
     retry_after_ms: u32,
+    inboxes: Vec<Arc<Inbox>>,
+    /// Frame buffers for reads and encoded responses.
+    pool: BufferPool,
+    /// The I/O layer's own registry, merged into METRICS expositions.
+    registry: Registry,
+    io_metrics: IoMetrics,
+    connections: AtomicI64,
+    /// Total requests dispatched whose responses have not yet been
+    /// queued for write (the pipeline-depth gauge's source of truth).
+    inflight: AtomicI64,
+    conn_ids: AtomicU64,
+    /// Connections whose SHUTDOWN arrived while another connection's
+    /// shutdown was already draining; each gets an ack when it's done.
+    shutdown_waiters: Mutex<Vec<Dest>>,
 }
 
 impl Shared {
     fn shard_of_source(&self, source: SourceId) -> usize {
         source.raw() as usize % self.queues.len()
+    }
+
+    /// Refresh the I/O gauges from their atomic sources.
+    fn sync_io_gauges(&self) {
+        let m = &self.io_metrics;
+        m.connections_open.set(self.connections.load(Ordering::Relaxed));
+        m.pipeline_depth.set(self.inflight.load(Ordering::Relaxed));
+        let ps = self.pool.stats();
+        m.pool_buffers_outstanding.set(ps.outstanding as i64);
+        m.pool_bytes_highwater.set(ps.bytes_highwater as i64);
     }
 }
 
@@ -187,6 +503,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    io_workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -202,13 +519,16 @@ impl ServerHandle {
     }
 
     /// Block until the server shuts down (a client must send SHUTDOWN),
-    /// then join every shard worker and the acceptor.
+    /// then join every shard worker, the acceptor, and the I/O workers.
     pub fn join(mut self) {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
+        }
+        for w in self.io_workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -225,6 +545,12 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
     }
     if cfg.queue_depth == 0 {
         return Err(Error::InvalidConfig("serve: queue_depth must be >= 1".into()));
+    }
+    if cfg.io_workers == 0 {
+        return Err(Error::InvalidConfig("serve: io_workers must be >= 1".into()));
+    }
+    if cfg.max_pipeline == 0 {
+        return Err(Error::InvalidConfig("serve: max_pipeline must be >= 1".into()));
     }
     cfg.pivot.validate()?;
     let listener = TcpListener::bind(addr)?;
@@ -254,6 +580,21 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
         .max()
         .map_or(0, |m| m + 1);
 
+    let mut inboxes = Vec::with_capacity(cfg.io_workers);
+    let mut wake_rxs = Vec::with_capacity(cfg.io_workers);
+    for _ in 0..cfg.io_workers {
+        let (waker, rx) =
+            net::wake_pair().map_err(|e| Error::Io(format!("serve: wake channel: {e}")))?;
+        inboxes.push(Arc::new(Inbox {
+            events: Mutex::new(Vec::new()),
+            waker,
+            load: AtomicI64::new(0),
+        }));
+        wake_rxs.push(rx);
+    }
+
+    let registry = Registry::new();
+    let io_metrics = IoMetrics::register(&registry);
     let shared = Arc::new(Shared {
         queues: queues.clone(),
         busy_counters,
@@ -261,6 +602,14 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
         shutting_down: AtomicBool::new(false),
         done: AtomicBool::new(false),
         retry_after_ms: cfg.retry_after_ms,
+        inboxes,
+        pool: BufferPool::new(8 * 1024, 1024),
+        registry,
+        io_metrics,
+        connections: AtomicI64::new(0),
+        inflight: AtomicI64::new(0),
+        conn_ids: AtomicU64::new(0),
+        shutdown_waiters: Mutex::new(Vec::new()),
     });
 
     let mut workers = Vec::with_capacity(cfg.shards);
@@ -271,6 +620,30 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
                 .name(format!("pivot-shard-{idx}"))
                 .spawn(move || shard.run())
                 .map_err(|e| Error::Io(format!("spawn shard worker: {e}")))?,
+        );
+    }
+
+    let mut io_workers = Vec::with_capacity(cfg.io_workers);
+    for (i, wake_rx) in wake_rxs.into_iter().enumerate() {
+        let worker = IoWorker {
+            shared: Arc::clone(&shared),
+            inbox: Arc::clone(&shared.inboxes[i]),
+            wake_rx,
+            poller: net::Poller::new(),
+            conns: HashMap::new(),
+            pending: Vec::new(),
+            events_buf: Vec::new(),
+            scratch: vec![0u8; 64 * 1024],
+            max_pipeline: cfg.max_pipeline,
+            idle_timeout: cfg.idle_timeout,
+            last_reap: Instant::now(),
+            done_seen: None,
+        };
+        io_workers.push(
+            std::thread::Builder::new()
+                .name(format!("pivot-io-{i}"))
+                .spawn(move || worker.run())
+                .map_err(|e| Error::Io(format!("spawn io worker: {e}")))?,
         );
     }
 
@@ -285,10 +658,16 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
         shared,
         acceptor: Some(acceptor),
         workers,
+        io_workers,
     })
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut backoff = Duration::from_millis(1);
+    // Small deterministic LCG for backoff jitter: persistent accept
+    // errors (EMFILE across many servers on one host) must not march
+    // every acceptor in lockstep.
+    let mut jitter_state: u64 = 0x9e37_79b9_7f4a_7c15;
     loop {
         if shared.done.load(Ordering::SeqCst) {
             // Grace sweep: the kernel may have completed handshakes (or
@@ -301,299 +680,801 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             let grace = Instant::now() + Duration::from_millis(50);
             while Instant::now() < grace {
                 match listener.accept() {
-                    Ok((stream, _)) => spawn_handler(stream, &shared),
+                    Ok((stream, _)) => hand_off(&shared, stream),
                     Err(_) => std::thread::sleep(Duration::from_millis(5)),
                 }
             }
             return;
         }
         match listener.accept() {
-            Ok((stream, _)) => spawn_handler(stream, &shared),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Ok((stream, _)) => {
+                backoff = Duration::from_millis(1);
+                hand_off(&shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-fn spawn_handler(stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    let conn_shared = Arc::clone(shared);
-    let _ = std::thread::Builder::new()
-        .name("pivot-conn".into())
-        .spawn(move || handle_connection(stream, conn_shared));
-}
-
-/// One connection: read frame → route → write response, until the peer
-/// closes or a protocol error desynchronises the stream.
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    use std::io::Write as _;
-    let mut reader = std::io::BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = std::io::BufWriter::new(stream);
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            // Clean close at a frame boundary.
-            Ok(None) => return,
-            Err(e) => {
-                // Torn/oversized frame: report once (best effort) and
-                // close — the stream position is no longer trustworthy.
-                let resp = Response::from_error(&e);
-                let _ = writer.write_all(&frame(|b| resp.encode(b)));
-                let _ = writer.flush();
-                return;
-            }
-        };
-        let (resp, close_after) = match Request::decode(&payload) {
-            Ok(req) => {
-                let is_shutdown = matches!(req, Request::Shutdown);
-                (dispatch(&shared, req), is_shutdown)
-            }
-            // Garbage opcode / truncated body: reply, then close.
-            Err(e) => (Response::from_error(&e), true),
-        };
-        if writer.write_all(&frame(|b| resp.encode(b))).is_err() {
-            return;
-        }
-        let _ = writer.flush();
-        if close_after {
-            return;
-        }
-    }
-}
-
-fn reply_channel() -> (Reply, std::sync::mpsc::Receiver<Response>) {
-    std::sync::mpsc::sync_channel(1)
-}
-
-/// Await one shard's reply; a dead shard (worker exited or panicked)
-/// becomes an error response rather than a hang.
-fn await_reply(rx: std::sync::mpsc::Receiver<Response>) -> Response {
-    rx.recv().unwrap_or(Response::Error {
-        code: 7,
-        message: "shard worker unavailable".into(),
-    })
-}
-
-/// Push a control-plane job, blocking while the queue is full. Returns
-/// an error response when the queue is closed (server shutting down).
-fn push_blocking(queue: &Bounded<Job>, job: Job) -> Option<Response> {
-    match queue.push(job) {
-        Ok(()) => None,
-        Err(_) => Some(Response::Error {
-            code: 7,
-            message: "server is shutting down".into(),
-        }),
-    }
-}
-
-fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
-    match req {
-        Request::AddSource { name, kind, lag } => add_source(shared, name, kind, lag),
-        Request::IngestSnippet(snippet) => ingest_one(shared, snippet),
-        Request::IngestBatch(batch) => ingest_batch(shared, batch),
-        Request::QueryStories => broadcast_merge(shared, Job::Query, |responses| {
-            let mut stories = Vec::new();
-            for r in responses {
-                match r {
-                    Response::Stories(mut s) => stories.append(&mut s),
-                    other => return other,
-                }
-            }
-            stories.sort_unstable_by_key(|s: &StorySummary| s.id);
-            Response::Stories(stories)
-        }),
-        Request::GetStory(id) => {
-            let shard = shared.shard_of_source(story_source(id));
-            let (tx, rx) = reply_channel();
-            if let Some(err) = push_blocking(&shared.queues[shard], Job::GetStory(id, tx)) {
-                return err;
-            }
-            await_reply(rx)
-        }
-        Request::RemoveDoc(doc) => broadcast_merge(shared, move |tx| Job::RemoveDoc(doc, tx), {
-            move |responses| {
-                let mut total = 0u32;
-                for r in responses {
-                    match r {
-                        Response::Removed(n) => total += n,
-                        other => return other,
-                    }
-                }
-                if total == 0 {
-                    Response::from_error(&Error::UnknownDocument(doc))
-                } else {
-                    Response::Removed(total)
-                }
-            }
-        }),
-        Request::Stats => broadcast_merge(shared, Job::Stats, |responses| {
-            let mut shards = Vec::new();
-            for r in responses {
-                match r {
-                    Response::Stats(s) => shards.extend(s.shards),
-                    other => return other,
-                }
-            }
-            shards.sort_unstable_by_key(|s: &ShardStats| s.shard);
-            Response::Stats(ServeStats { shards })
-        }),
-        Request::Shutdown => shutdown(shared),
-        Request::Metrics => metrics_exposition(shared),
-    }
-}
-
-/// Snapshot every shard's registry, merge, and render one exposition.
-fn metrics_exposition(shared: &Arc<Shared>) -> Response {
-    let mut pending = Vec::with_capacity(shared.queues.len());
-    for queue in &shared.queues {
-        let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        if let Some(err) = push_blocking(queue, Job::Metrics(tx)) {
-            return err;
-        }
-        pending.push(rx);
-    }
-    let mut merged = Snapshot::default();
-    for rx in pending {
-        match rx.recv() {
-            Ok(snap) => merged.merge(&snap),
             Err(_) => {
-                return Response::Error {
-                    code: 7,
-                    message: "shard worker unavailable".into(),
-                }
+                // Transient accept failure (EMFILE, ECONNABORTED, …):
+                // back off exponentially with jitter instead of
+                // hot-spinning the accept loop.
+                shared.io_metrics.accept_errors.inc();
+                jitter_state = jitter_state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let jitter = (jitter_state >> 56) as u32; // 0..=255
+                std::thread::sleep(backoff + backoff * jitter / 512); // +0..50%
+                backoff = (backoff * 2).min(Duration::from_millis(100));
             }
         }
     }
-    Response::Metrics {
-        text: merged.render(),
-    }
 }
 
-fn add_source(shared: &Arc<Shared>, name: String, kind: SourceKind, lag: i64) -> Response {
-    let id = shared.next_source.fetch_add(1, Ordering::SeqCst);
-    if id >= MAX_SOURCES {
-        return Response::from_error(&Error::InvalidConfig(format!(
-            "source limit reached ({MAX_SOURCES}): story-id partitioning supports at most \
-             {MAX_SOURCES} sources"
-        )));
-    }
-    let source = Source::new(SourceId::new(id), name, kind).with_lag(lag);
-    let shard = shared.shard_of_source(source.id);
-    let (tx, rx) = reply_channel();
-    if let Some(err) = push_blocking(&shared.queues[shard], Job::AddSource(source, tx)) {
-        return err;
-    }
-    await_reply(rx)
+/// Assign a fresh connection to the least-loaded I/O worker.
+fn hand_off(shared: &Arc<Shared>, stream: TcpStream) {
+    let inbox = shared
+        .inboxes
+        .iter()
+        .min_by_key(|ib| ib.load.load(Ordering::Relaxed))
+        .expect("io_workers >= 1");
+    inbox.load.fetch_add(1, Ordering::Relaxed);
+    inbox.send(IoEvent::NewConn(stream));
 }
 
-/// The BUSY fast path: one snippet, one `try_push`. A full shard queue
-/// is the client's problem (retry after the hint), never the server's
-/// memory.
-fn ingest_one(shared: &Arc<Shared>, snippet: Snippet) -> Response {
-    let shard = shared.shard_of_source(snippet.source);
-    let (tx, rx) = reply_channel();
-    match shared.queues[shard].try_push(Job::Ingest(snippet, tx)) {
-        Ok(()) => await_reply(rx),
-        Err(PushError::Full(_)) => {
-            shared.busy_counters[shard].fetch_add(1, Ordering::Relaxed);
-            Response::Busy {
-                retry_after_ms: shared.retry_after_ms,
-            }
-        }
-        Err(PushError::Closed(_)) => Response::Error {
-            code: 7,
-            message: "server is shutting down".into(),
-        },
-    }
-}
-
-/// Batch ingest: split by shard (preserving order within each shard),
-/// block on full queues — a bulk load wants backpressure, not retries —
-/// and sum the per-shard counts.
-fn ingest_batch(shared: &Arc<Shared>, batch: Vec<Snippet>) -> Response {
-    let n_shards = shared.queues.len();
-    let mut by_shard: Vec<Vec<Snippet>> = vec![Vec::new(); n_shards];
-    for s in batch {
-        let shard = shared.shard_of_source(s.source);
-        by_shard[shard].push(s);
-    }
-    let mut pending = Vec::new();
-    for (shard, sub) in by_shard.into_iter().enumerate() {
-        if sub.is_empty() {
-            continue;
-        }
-        let (tx, rx) = reply_channel();
-        if let Some(err) = push_blocking(&shared.queues[shard], Job::IngestMany(sub, tx)) {
-            return err;
-        }
-        pending.push(rx);
-    }
-    let mut total = 0u32;
-    for rx in pending {
-        match await_reply(rx) {
-            Response::BatchIngested(n) => total += n,
-            other => return other,
-        }
-    }
-    Response::BatchIngested(total)
-}
-
-/// Send one job to every shard and merge the replies.
-fn broadcast_merge(
-    shared: &Arc<Shared>,
-    make_job: impl Fn(Reply) -> Job,
-    merge: impl FnOnce(Vec<Response>) -> Response,
-) -> Response {
+/// Drive a SHUTDOWN to completion on a dedicated thread (it blocks on
+/// full queues and on shard acks, which an I/O worker never may):
+/// push a `Drain` behind all accepted work on every shard, await the
+/// acks, close the queues, mark done, then ack the initiator and every
+/// parked waiter.
+fn run_shutdown(shared: Arc<Shared>, initiator: Dest) {
     let mut pending = Vec::with_capacity(shared.queues.len());
     for queue in &shared.queues {
-        let (tx, rx) = reply_channel();
-        if let Some(err) = push_blocking(queue, make_job(tx)) {
-            return err;
-        }
-        pending.push(rx);
-    }
-    merge(pending.into_iter().map(await_reply).collect())
-}
-
-/// Drain + checkpoint every shard, close the queues, stop accepting.
-/// Idempotent: concurrent or repeated SHUTDOWNs all ack.
-fn shutdown(shared: &Arc<Shared>) -> Response {
-    if shared.shutting_down.swap(true, Ordering::SeqCst) {
-        // Another connection is already driving the shutdown; wait for
-        // it to finish so the ack means "durable".
-        while !shared.done.load(Ordering::SeqCst) {
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        return Response::ShutdownAck;
-    }
-    let mut pending = Vec::with_capacity(shared.queues.len());
-    for queue in &shared.queues {
-        let (tx, rx) = reply_channel();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Response>(1);
+        let reply: Reply = Box::new(move |resp| {
+            let _ = tx.send(resp);
+        });
         // The Drain sits behind all previously accepted work: by the
         // time a shard replies, its queue prefix has been fully applied.
-        if push_blocking(queue, Job::Drain(tx)).is_none() {
+        if queue.push(Job::Drain(reply)).is_ok() {
             pending.push(rx);
         }
     }
     let mut failure = None;
     for rx in pending {
-        match await_reply(rx) {
-            Response::ShutdownAck => {}
-            other => failure = Some(other),
+        match rx.recv() {
+            Ok(Response::ShutdownAck) => {}
+            Ok(other) => failure = Some(other),
+            Err(_) => failure = Some(unavailable()),
         }
     }
     for queue in &shared.queues {
         queue.close();
     }
     shared.done.store(true, Ordering::SeqCst);
-    failure.unwrap_or(Response::ShutdownAck)
+    initiator.deliver(failure.unwrap_or(Response::ShutdownAck), true);
+    let waiters = std::mem::take(&mut *lock(&shared.shutdown_waiters));
+    for w in waiters {
+        w.deliver(Response::ShutdownAck, true);
+    }
+    // Nudge every worker so it notices `done` promptly.
+    for inbox in &shared.inboxes {
+        inbox.waker.wake();
+    }
 }
 
+// ---- the I/O worker --------------------------------------------------
+
+/// Poller token reserved for the worker's wake channel.
+const WAKE_TOKEN: usize = usize::MAX;
+
+#[cfg(unix)]
+fn raw_fd(s: &TcpStream) -> i32 {
+    use std::os::unix::io::AsRawFd;
+    s.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd(_s: &TcpStream) -> i32 {
+    -1
+}
+
+/// An encoded response waiting for its pipeline turn, plus whether the
+/// connection closes once it is flushed.
+type ReadyFrame = (PooledBuf, bool);
+
+/// One multiplexed connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    fd: i32,
+    /// Accumulated unparsed bytes; `None` between frames, so idle
+    /// connections hold no pool buffer.
+    rd: Option<PooledBuf>,
+    /// Encoded responses queued for the socket, in wire order.
+    outbox: VecDeque<PooledBuf>,
+    /// Bytes of `outbox.front()` already written.
+    front_written: usize,
+    /// Out-of-order completions parked until their sequence turn.
+    ready: BTreeMap<u64, ReadyFrame>,
+    /// Next sequence number to assign to a parsed request.
+    next_seq: u64,
+    /// Next sequence number to move into the outbox.
+    next_write: u64,
+    /// Parsing paused: a control push is waiting for queue space
+    /// (preserves per-connection request order under backpressure).
+    stalled: bool,
+    /// A close-flagged response entered the outbox (or the stream
+    /// desynchronised); flush what's queued, then drop the connection.
+    closing: bool,
+    /// The peer half-closed its write side; parse what's buffered,
+    /// flush the responses, then drop the connection.
+    eof: bool,
+    /// Last time a complete frame was parsed (idle/slow-loris clock —
+    /// partial reads do not count as progress).
+    last_progress: Instant,
+}
+
+impl Conn {
+    fn inflight(&self) -> u64 {
+        self.next_seq - self.next_write
+    }
+}
+
+struct PendingPush {
+    conn: u64,
+    pushes: VecDeque<(usize, Job)>,
+}
+
+/// A connection-multiplexing worker: one `poll(2)` loop over its
+/// assigned sockets plus its inbox wake channel.
+struct IoWorker {
+    shared: Arc<Shared>,
+    inbox: Arc<Inbox>,
+    wake_rx: net::WakeReceiver,
+    poller: net::Poller,
+    conns: HashMap<u64, Conn>,
+    pending: Vec<PendingPush>,
+    events_buf: Vec<IoEvent>,
+    scratch: Vec<u8>,
+    max_pipeline: usize,
+    idle_timeout: Option<Duration>,
+    last_reap: Instant,
+    done_seen: Option<Instant>,
+}
+
+impl IoWorker {
+    fn run(mut self) {
+        loop {
+            if self.done_seen.is_none() && self.shared.done.load(Ordering::SeqCst) {
+                self.done_seen = Some(Instant::now());
+            }
+            if let Some(t0) = self.done_seen {
+                // Post-shutdown lame duck: keep answering (dispatch now
+                // yields typed shutting-down errors) long enough for the
+                // acceptor's grace sweep and in-flight deliveries, then
+                // exit regardless.
+                let now = Instant::now();
+                let idle =
+                    self.conns.is_empty() && self.pending.is_empty() && self.inbox.is_empty();
+                let deadline = t0 + Duration::from_millis(500);
+                let idle_ok = t0 + Duration::from_millis(120);
+                if now >= deadline || (idle && now >= idle_ok) {
+                    break;
+                }
+            }
+
+            let mut timeout = Duration::from_millis(200);
+            if let Some(idle) = self.idle_timeout {
+                timeout = timeout.min(std::cmp::max(idle / 4, Duration::from_millis(10)));
+            }
+            if !self.pending.is_empty() {
+                timeout = Duration::from_millis(1);
+            }
+            if self.done_seen.is_some() {
+                timeout = timeout.min(Duration::from_millis(20));
+            }
+
+            let max_pipeline = self.max_pipeline as u64;
+            self.poller.clear();
+            self.poller.register(self.wake_rx.fd(), WAKE_TOKEN, net::READABLE);
+            for (&id, conn) in &self.conns {
+                let mut interest = 0u8;
+                if !conn.closing && !conn.eof && !conn.stalled && conn.inflight() < max_pipeline {
+                    interest |= net::READABLE;
+                }
+                if !conn.outbox.is_empty() {
+                    interest |= net::WRITABLE;
+                }
+                if interest != 0 {
+                    self.poller.register(conn.fd, id as usize, interest);
+                }
+            }
+            if self.poller.poll(Some(timeout)).is_err() {
+                // poll(2) itself failing is unrecoverable spin fuel;
+                // sleep the tick instead of burning the core.
+                std::thread::sleep(timeout);
+            }
+
+            let events: Vec<net::Event> = self.poller.events().collect();
+            for ev in events {
+                if ev.token == WAKE_TOKEN {
+                    self.wake_rx.drain();
+                    continue;
+                }
+                let id = ev.token as u64;
+                if ev.readable {
+                    self.read_conn(id);
+                }
+                if ev.writable {
+                    self.flush_conn(id);
+                }
+            }
+
+            let mut inbox_events = std::mem::take(&mut self.events_buf);
+            self.inbox.take_into(&mut inbox_events);
+            for ev in inbox_events.drain(..) {
+                match ev {
+                    IoEvent::NewConn(stream) => self.add_conn(stream),
+                    IoEvent::Deliver {
+                        conn,
+                        seq,
+                        resp,
+                        close,
+                    } => self.finish(conn, seq, resp, close),
+                }
+            }
+            self.events_buf = inbox_events;
+
+            self.retry_pending();
+            self.maybe_reap();
+        }
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.remove_conn(id);
+        }
+    }
+
+    fn add_conn(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            self.inbox.load.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        let fd = raw_fd(&stream);
+        if fd < 0 {
+            self.inbox.load.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        let id = self.shared.conn_ids.fetch_add(1, Ordering::Relaxed);
+        self.shared.connections.fetch_add(1, Ordering::Relaxed);
+        self.conns.insert(
+            id,
+            Conn {
+                stream,
+                fd,
+                rd: None,
+                outbox: VecDeque::new(),
+                front_written: 0,
+                ready: BTreeMap::new(),
+                next_seq: 0,
+                next_write: 0,
+                stalled: false,
+                closing: false,
+                eof: false,
+                last_progress: Instant::now(),
+            },
+        );
+    }
+
+    fn remove_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let inflight = conn.inflight() as i64;
+            if inflight != 0 {
+                self.shared.inflight.fetch_sub(inflight, Ordering::Relaxed);
+            }
+            self.shared.connections.fetch_sub(1, Ordering::Relaxed);
+            self.inbox.load.fetch_sub(1, Ordering::Relaxed);
+            // Parked pushes for this connection would only produce
+            // replies to a dead peer; dropping them fires the guards,
+            // whose deliveries no-op against the removed id.
+            self.pending.retain(|p| p.conn != id);
+        }
+    }
+
+    /// Drop the connection once everything owed to the peer is out.
+    fn close_if_drained(&mut self, id: u64) {
+        let drained = match self.conns.get(&id) {
+            Some(c) => (c.closing || c.eof) && c.outbox.is_empty() && c.inflight() == 0,
+            None => false,
+        };
+        if drained {
+            self.remove_conn(id);
+        }
+    }
+
+    /// Pull bytes off the socket into the pooled read buffer, then
+    /// parse. Bounded per event (4 × scratch) so one firehose client
+    /// cannot starve the rest of the poll set.
+    fn read_conn(&mut self, id: u64) {
+        let mut broken = false;
+        {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            if conn.closing || conn.eof {
+                return;
+            }
+            for _ in 0..4 {
+                match (&conn.stream).read(&mut self.scratch) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        let rd = match conn.rd.as_mut() {
+                            Some(rd) => rd,
+                            None => conn.rd.insert(self.shared.pool.checkout()),
+                        };
+                        rd.extend_from_slice(&self.scratch[..n]);
+                        if n < self.scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if broken {
+            self.remove_conn(id);
+            return;
+        }
+        self.parse_conn(id);
+        self.close_if_drained(id);
+    }
+
+    /// Peel complete frames off the read buffer and dispatch them,
+    /// until the buffer runs dry, the pipeline cap is hit, or a push
+    /// stalls the connection.
+    fn parse_conn(&mut self, id: u64) {
+        let max_pipeline = self.max_pipeline as u64;
+        loop {
+            let (seq, total, mut rd) = {
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                if conn.stalled || conn.closing || conn.inflight() >= max_pipeline {
+                    return;
+                }
+                let Some(buf) = conn.rd.as_ref() else { return };
+                match frame_ready(buf) {
+                    Ok(None) => return,
+                    Ok(Some(total)) => {
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        conn.last_progress = Instant::now();
+                        let rd = conn.rd.take().expect("checked above");
+                        (seq, total, rd)
+                    }
+                    Err(e) => {
+                        // Torn/oversized frame: the stream position is
+                        // no longer trustworthy. Report once and close;
+                        // buffered bytes are garbage now.
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        conn.rd = None;
+                        self.shared.inflight.fetch_add(1, Ordering::Relaxed);
+                        self.finish(id, seq, Response::from_error(&e), true);
+                        return;
+                    }
+                }
+            };
+            self.shared.inflight.fetch_add(1, Ordering::Relaxed);
+            self.handle_request(id, seq, &rd[4..total]);
+            let leftover = rd.len() - total;
+            if leftover > 0 {
+                rd.drain(..total);
+            }
+            if let Some(conn) = self.conns.get_mut(&id) {
+                if leftover > 0 {
+                    conn.rd = Some(rd);
+                }
+                // leftover == 0: dropping `rd` checks it back into the
+                // pool — idle connections pin no buffer.
+            }
+        }
+    }
+
+    /// Decode one frame in place and dispatch it. Every request gets a
+    /// pipeline slot (`seq`); responses are delivered through `finish`,
+    /// directly for local errors or via the shard reply path.
+    fn handle_request(&mut self, id: u64, seq: u64, payload: &[u8]) {
+        let dest = Dest {
+            inbox: Arc::clone(&self.inbox),
+            conn: id,
+            seq,
+        };
+        let req = match Request::decode_borrowed(payload) {
+            Ok(req) => req,
+            // Garbage opcode / truncated body: reply, then close.
+            Err(e) => {
+                self.finish(id, seq, Response::from_error(&e), true);
+                return;
+            }
+        };
+        match req {
+            RequestRef::AddSource { name, kind, lag } => {
+                let sid = self.shared.next_source.fetch_add(1, Ordering::SeqCst);
+                if sid >= MAX_SOURCES {
+                    let e = Error::InvalidConfig(format!(
+                        "source limit reached ({MAX_SOURCES}): story-id partitioning supports \
+                         at most {MAX_SOURCES} sources"
+                    ));
+                    self.finish(id, seq, Response::from_error(&e), false);
+                    return;
+                }
+                let source = Source::new(SourceId::new(sid), name.to_string(), kind).with_lag(lag);
+                let shard = self.shared.shard_of_source(source.id);
+                self.push_one(id, shard, Job::AddSource(source, direct_reply(dest)));
+            }
+            RequestRef::IngestSnippet(sref) => {
+                // The BUSY fast path: one snippet, one `try_push`. A
+                // full shard queue is the client's problem (retry after
+                // the hint), never the server's memory.
+                let shard = self.shared.shard_of_source(sref.source);
+                let job = Job::Ingest(sref.to_owned(), direct_reply(dest));
+                match self.shared.queues[shard].try_push(job) {
+                    Ok(()) => {}
+                    Err(PushError::Full(job)) => {
+                        self.shared.busy_counters[shard].fetch_add(1, Ordering::Relaxed);
+                        fail_job(
+                            job,
+                            Response::Busy {
+                                retry_after_ms: self.shared.retry_after_ms,
+                            },
+                        );
+                    }
+                    Err(PushError::Closed(job)) => fail_job_closed(job),
+                }
+            }
+            RequestRef::IngestBatch(batch) => {
+                // Split by shard (preserving order within each shard);
+                // the fan-in sums the per-shard counts.
+                let n_shards = self.shared.queues.len();
+                let mut by_shard: Vec<Vec<Snippet>> = vec![Vec::new(); n_shards];
+                for sref in batch.iter() {
+                    by_shard[self.shared.shard_of_source(sref.source)].push(sref.to_owned());
+                }
+                let participating: Vec<usize> =
+                    (0..n_shards).filter(|&i| !by_shard[i].is_empty()).collect();
+                if participating.is_empty() {
+                    self.finish(id, seq, Response::BatchIngested(0), false);
+                    return;
+                }
+                let fan = FanIn::new(
+                    dest,
+                    participating.len(),
+                    Box::new(|parts: Vec<Response>| {
+                        let mut total = 0u32;
+                        for r in parts {
+                            match r {
+                                Response::BatchIngested(n) => total += n,
+                                other => return other,
+                            }
+                        }
+                        Response::BatchIngested(total)
+                    }),
+                );
+                let mut jobs = VecDeque::with_capacity(participating.len());
+                for (k, &shard) in participating.iter().enumerate() {
+                    jobs.push_back((
+                        shard,
+                        Job::IngestMany(
+                            std::mem::take(&mut by_shard[shard]),
+                            part_reply(Arc::clone(&fan), k),
+                        ),
+                    ));
+                }
+                self.push_jobs(id, jobs);
+            }
+            RequestRef::QueryStories => self.broadcast(
+                id,
+                dest,
+                Job::Query,
+                Box::new(|parts| {
+                    let mut stories = Vec::new();
+                    for r in parts {
+                        match r {
+                            Response::Stories(mut s) => stories.append(&mut s),
+                            other => return other,
+                        }
+                    }
+                    stories.sort_unstable_by_key(|s: &StorySummary| s.id);
+                    Response::Stories(stories)
+                }),
+            ),
+            RequestRef::GetStory(story) => {
+                let shard = self.shared.shard_of_source(story_source(story));
+                self.push_one(id, shard, Job::GetStory(story, direct_reply(dest)));
+            }
+            RequestRef::RemoveDoc(doc) => self.broadcast(
+                id,
+                dest,
+                move |r| Job::RemoveDoc(doc, r),
+                Box::new(move |parts| {
+                    let mut total = 0u32;
+                    for r in parts {
+                        match r {
+                            Response::Removed(n) => total += n,
+                            other => return other,
+                        }
+                    }
+                    if total == 0 {
+                        Response::from_error(&Error::UnknownDocument(doc))
+                    } else {
+                        Response::Removed(total)
+                    }
+                }),
+            ),
+            RequestRef::Stats => self.broadcast(
+                id,
+                dest,
+                Job::Stats,
+                Box::new(|parts| {
+                    let mut shards = Vec::new();
+                    for r in parts {
+                        match r {
+                            Response::Stats(s) => shards.extend(s.shards),
+                            other => return other,
+                        }
+                    }
+                    shards.sort_unstable_by_key(|s: &ShardStats| s.shard);
+                    Response::Stats(ServeStats { shards })
+                }),
+            ),
+            RequestRef::Shutdown => self.handle_shutdown(dest),
+            RequestRef::Metrics => {
+                // Snapshot every shard's registry plus the I/O layer's
+                // own, merge, and render one exposition.
+                let n = self.shared.queues.len();
+                let shared = Arc::clone(&self.shared);
+                let fan = FanIn::new(
+                    dest,
+                    n,
+                    Box::new(move |snaps: Vec<Snapshot>| {
+                        shared.sync_io_gauges();
+                        let mut merged = shared.registry.snapshot();
+                        for s in &snaps {
+                            merged.merge(s);
+                        }
+                        Response::Metrics {
+                            text: merged.render(),
+                        }
+                    }),
+                );
+                let mut jobs = VecDeque::with_capacity(n);
+                for shard in 0..n {
+                    jobs.push_back((shard, Job::Metrics(part_reply(Arc::clone(&fan), shard))));
+                }
+                self.push_jobs(id, jobs);
+            }
+        }
+    }
+
+    /// Fan one job out to every shard and merge the replies.
+    fn broadcast(
+        &mut self,
+        conn_id: u64,
+        dest: Dest,
+        make_job: impl Fn(Reply) -> Job,
+        merge: MergeFn<Response>,
+    ) {
+        let n = self.shared.queues.len();
+        let fan = FanIn::new(dest, n, merge);
+        let mut jobs = VecDeque::with_capacity(n);
+        for shard in 0..n {
+            jobs.push_back((shard, make_job(part_reply(Arc::clone(&fan), shard))));
+        }
+        self.push_jobs(conn_id, jobs);
+    }
+
+    fn push_one(&mut self, conn_id: u64, shard: usize, job: Job) {
+        let mut jobs = VecDeque::with_capacity(1);
+        jobs.push_back((shard, job));
+        self.push_jobs(conn_id, jobs);
+    }
+
+    /// Push control-plane jobs to their shard queues without blocking:
+    /// a full queue parks the remainder in the pending list and stalls
+    /// the connection's parser (backpressure with order preserved); a
+    /// closed queue fails every remaining job with the shutting-down
+    /// error.
+    fn push_jobs(&mut self, conn_id: u64, mut jobs: VecDeque<(usize, Job)>) {
+        while let Some((shard, job)) = jobs.pop_front() {
+            match self.shared.queues[shard].try_push(job) {
+                Ok(()) => {}
+                Err(PushError::Full(job)) => {
+                    jobs.push_front((shard, job));
+                    if let Some(conn) = self.conns.get_mut(&conn_id) {
+                        conn.stalled = true;
+                    }
+                    self.pending.push(PendingPush {
+                        conn: conn_id,
+                        pushes: jobs,
+                    });
+                    return;
+                }
+                Err(PushError::Closed(job)) => {
+                    fail_job_closed(job);
+                    for (_, j) in jobs.drain(..) {
+                        fail_job_closed(j);
+                    }
+                    break;
+                }
+            }
+        }
+        // Everything pushed (or failed-closed): release the parser if a
+        // previous attempt had stalled it.
+        let unstalled = match self.conns.get_mut(&conn_id) {
+            Some(conn) if conn.stalled => {
+                conn.stalled = false;
+                true
+            }
+            _ => false,
+        };
+        if unstalled {
+            self.parse_conn(conn_id);
+        }
+    }
+
+    /// Re-attempt parked pushes (shard workers may have drained queue
+    /// space since last tick).
+    fn retry_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            self.push_jobs(p.conn, p.pushes);
+        }
+    }
+
+    /// A response landed for `(conn, seq)`: encode it into a pooled
+    /// buffer, park it in the reorder map, move every in-order entry to
+    /// the outbox, and opportunistically flush.
+    fn finish(&mut self, id: u64, seq: u64, resp: Response, close: bool) {
+        {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            if seq < conn.next_write || conn.ready.contains_key(&seq) {
+                return; // stale or duplicate completion
+            }
+            let mut buf = self.shared.pool.checkout();
+            frame_into(buf.as_mut_vec(), |b| resp.encode(b));
+            conn.ready.insert(seq, (buf, close));
+            while let Some((buf, close)) = conn.ready.remove(&conn.next_write) {
+                conn.outbox.push_back(buf);
+                conn.next_write += 1;
+                self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                if close {
+                    conn.closing = true;
+                }
+            }
+        }
+        self.flush_conn(id);
+        // Pipeline slack may have returned: resume parsing buffered
+        // frames (no-op while a parse is already on the stack — it
+        // holds the read buffer).
+        let resume = match self.conns.get(&id) {
+            Some(c) => !c.stalled && !c.closing && c.rd.is_some(),
+            None => false,
+        };
+        if resume {
+            self.parse_conn(id);
+        }
+    }
+
+    /// Write as much of the outbox as the socket accepts, gathering up
+    /// to 16 frames per `write_vectored` call.
+    fn flush_conn(&mut self, id: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            if conn.outbox.is_empty() {
+                break;
+            }
+            let result = {
+                let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(conn.outbox.len().min(16));
+                for (i, buf) in conn.outbox.iter().take(16).enumerate() {
+                    let start = if i == 0 { conn.front_written } else { 0 };
+                    iov.push(IoSlice::new(&buf[start..]));
+                }
+                (&conn.stream).write_vectored(&iov)
+            };
+            match result {
+                Ok(0) => {
+                    self.remove_conn(id);
+                    return;
+                }
+                Ok(n) => {
+                    let mut n = n + conn.front_written;
+                    while let Some(front) = conn.outbox.front() {
+                        if n >= front.len() {
+                            n -= front.len();
+                            conn.outbox.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                    conn.front_written = n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.remove_conn(id);
+                    return;
+                }
+            }
+        }
+        self.close_if_drained(id);
+    }
+
+    /// SHUTDOWN: idempotent across connections. The first caller
+    /// spawns the orchestrator; concurrent callers park as waiters and
+    /// are acked when the drain completes; post-done callers ack
+    /// immediately.
+    fn handle_shutdown(&mut self, dest: Dest) {
+        if self.shared.done.load(Ordering::SeqCst) {
+            dest.deliver(Response::ShutdownAck, true);
+            return;
+        }
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            let mut waiters = lock(&self.shared.shutdown_waiters);
+            // Re-check under the waiters lock: the orchestrator flushes
+            // waiters after setting `done` while holding it, so either
+            // we see done here or it will see us there.
+            if self.shared.done.load(Ordering::SeqCst) {
+                drop(waiters);
+                dest.deliver(Response::ShutdownAck, true);
+            } else {
+                waiters.push(dest);
+            }
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        if let Err(e) = std::thread::Builder::new()
+            .name("pivot-shutdown".into())
+            .spawn(move || run_shutdown(shared, dest))
+        {
+            eprintln!("pivotd: failed to spawn shutdown thread: {e}");
+        }
+    }
+
+    /// Throttled idle sweep: connections with no completed frame inside
+    /// the window, nothing in flight, and nothing left to write are
+    /// reaped. A slow-loris client that trickles bytes without ever
+    /// completing a frame never advances the progress clock, so it is
+    /// reaped on the same schedule.
+    fn maybe_reap(&mut self) {
+        let Some(idle) = self.idle_timeout else { return };
+        let now = Instant::now();
+        if now.duration_since(self.last_reap) < Duration::from_millis(100) {
+            return;
+        }
+        self.last_reap = now;
+        let victims: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                !c.closing
+                    && c.inflight() == 0
+                    && c.outbox.is_empty()
+                    && now.duration_since(c.last_progress) > idle
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in victims {
+            self.remove_conn(id);
+        }
+    }
+}
 // ---- shard worker ----------------------------------------------------
 
 /// What a successfully applied mutation produced.
@@ -856,17 +1737,16 @@ impl ShardWorker {
             if !self.worker_delay.is_zero() {
                 std::thread::sleep(self.worker_delay);
             }
-            // A dropped receiver (handler gone) is not an error.
             match job {
-                Job::AddSource(source, reply) => drop(reply.send(self.add_source(source))),
-                Job::Ingest(snippet, reply) => drop(reply.send(self.ingest(snippet))),
-                Job::IngestMany(batch, reply) => drop(reply.send(self.ingest_many(batch))),
-                Job::Query(reply) => drop(reply.send(self.query())),
-                Job::GetStory(id, reply) => drop(reply.send(self.get_story(id))),
-                Job::RemoveDoc(doc, reply) => drop(reply.send(self.remove_doc(doc))),
-                Job::Stats(reply) => drop(reply.send(self.stats())),
-                Job::Metrics(reply) => drop(reply.send(self.metrics_snapshot())),
-                Job::Drain(reply) => drop(reply.send(self.drain())),
+                Job::AddSource(source, reply) => reply(self.add_source(source)),
+                Job::Ingest(snippet, reply) => reply(self.ingest(snippet)),
+                Job::IngestMany(batch, reply) => reply(self.ingest_many(batch)),
+                Job::Query(reply) => reply(self.query()),
+                Job::GetStory(id, reply) => reply(self.get_story(id)),
+                Job::RemoveDoc(doc, reply) => reply(self.remove_doc(doc)),
+                Job::Stats(reply) => reply(self.stats()),
+                Job::Metrics(reply) => reply(self.metrics_snapshot()),
+                Job::Drain(reply) => reply(self.drain()),
             }
         }
     }

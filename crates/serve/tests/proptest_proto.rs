@@ -1,8 +1,11 @@
 //! Property tests: every wire-protocol frame round-trips through
-//! encode → frame → read_frame → decode for randomized contents, and
-//! the frame reader never panics on arbitrary byte soup.
+//! encode → frame → read_frame → decode for randomized contents, the
+//! borrowed decode path accepts/rejects exactly what the owned path
+//! does, and the frame reader never panics on arbitrary byte soup.
 
-use storypivot_serve::proto::{frame, read_frame, Request, Response, StorySummary};
+use storypivot_serve::proto::{
+    frame, frame_ready, read_frame, Request, Response, StorySummary, MAX_FRAME_LEN,
+};
 use storypivot_serve::stats::{ServeStats, ShardStats};
 use storypivot_substrate::prop;
 use storypivot_substrate::rng::{RngExt, StdRng};
@@ -146,6 +149,77 @@ fn prop_back_to_back_frames_stream_cleanly() {
         }
         assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF at the end");
     });
+}
+
+#[test]
+fn prop_borrowed_request_decode_matches_owned() {
+    prop::run(256, |rng| {
+        let req = random_request(rng);
+        let bytes = frame(|b| req.encode(b));
+        let payload = &bytes[4..];
+        let owned = Request::decode(payload).expect("owned decodes");
+        let borrowed = Request::decode_borrowed(payload).expect("borrowed decodes");
+        assert_eq!(borrowed.to_owned(), owned, "borrowed == owned for {req:?}");
+    });
+}
+
+#[test]
+fn prop_borrowed_response_decode_matches_owned() {
+    prop::run(256, |rng| {
+        let resp = random_response(rng);
+        let bytes = frame(|b| resp.encode(b));
+        let payload = &bytes[4..];
+        let owned = Response::decode(payload).expect("owned decodes");
+        let borrowed = Response::decode_borrowed(payload).expect("borrowed decodes");
+        assert_eq!(borrowed.to_owned(), owned, "borrowed == owned for {resp:?}");
+    });
+}
+
+#[test]
+fn prop_borrowed_and_owned_agree_on_rejects() {
+    // The two decode paths must agree not only on valid frames but on
+    // every truncation of a valid frame and on arbitrary garbage: a
+    // payload is accepted by both or rejected by both (the server uses
+    // the borrowed path, clients the owned one — a disagreement would
+    // be a protocol fork).
+    prop::run(256, |rng| {
+        let req = random_request(rng);
+        let valid = frame(|b| req.encode(b));
+        let payload = &valid[4..];
+        for cut in 0..payload.len() {
+            let torn = &payload[..cut];
+            assert!(
+                Request::decode(torn).is_err() == Request::decode_borrowed(torn).is_err(),
+                "owned/borrowed disagree on truncation at {cut} of {req:?}"
+            );
+        }
+        let garbage: Vec<u8> = prop::vec_with(rng, 0, 64, |r| r.random());
+        assert_eq!(
+            Request::decode(&garbage).is_err(),
+            Request::decode_borrowed(&garbage).is_err(),
+            "owned/borrowed disagree on garbage request payload"
+        );
+        assert_eq!(
+            Response::decode(&garbage).is_err(),
+            Response::decode_borrowed(&garbage).is_err(),
+            "owned/borrowed disagree on garbage response payload"
+        );
+    });
+}
+
+#[test]
+fn oversized_length_prefix_rejected_before_any_payload_arrives() {
+    // frame_ready sees only the 4-byte header of an oversized frame and
+    // must reject it there — before the server reserves a buffer for a
+    // body that may be gigabytes of hostile air.
+    for len in [MAX_FRAME_LEN + 1, u32::MAX / 2, u32::MAX] {
+        let head = len.to_le_bytes();
+        assert!(frame_ready(&head).is_err(), "len {len} must be rejected from header alone");
+    }
+    // Zero-length frames carry no opcode and are equally malformed.
+    assert!(frame_ready(&0u32.to_le_bytes()).is_err());
+    // A maximal *legal* prefix is not an error — just not ready yet.
+    assert_eq!(frame_ready(&MAX_FRAME_LEN.to_le_bytes()).unwrap(), None);
 }
 
 #[test]

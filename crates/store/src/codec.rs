@@ -133,6 +133,48 @@ pub fn decode_snippet(buf: &mut impl Buf) -> Result<Snippet> {
     })
 }
 
+/// Validate one encoded snippet without allocating, advancing `buf`
+/// past it. Accepts exactly the inputs [`decode_snippet`] accepts
+/// (bounds, event-type code, headline UTF-8) and returns the header
+/// fields a router needs — the snippet id and owning source — so the
+/// serving layer can shard a frame without materialising the snippet.
+pub fn skip_snippet(buf: &mut &[u8]) -> Result<(SnippetId, SourceId)> {
+    fn advance<'a>(buf: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8]> {
+        if buf.len() < n {
+            return Err(Error::Codec(format!(
+                "truncated input: need {n} bytes for {what}, have {}",
+                buf.len()
+            )));
+        }
+        let (head, tail) = buf.split_at(n);
+        *buf = tail;
+        Ok(head)
+    }
+    fn skip_str(buf: &mut &[u8], what: &str) -> Result<()> {
+        let len = get_u32(buf, what)? as usize;
+        let raw = advance(buf, len, what)?;
+        std::str::from_utf8(raw)
+            .map(|_| ())
+            .map_err(|_| Error::Codec(format!("invalid utf-8 in {what}")))
+    }
+    fn skip_sparse(buf: &mut &[u8], what: &str) -> Result<()> {
+        let n = get_u32(buf, what)? as usize;
+        advance(buf, n.saturating_mul(8), what).map(|_| ())
+    }
+
+    let id = SnippetId::new(get_u32(buf, "snippet id")?);
+    let source = SourceId::new(get_u32(buf, "snippet source")?);
+    advance(buf, 4, "snippet doc")?;
+    advance(buf, 8, "snippet timestamp")?;
+    let type_code = get_u8(buf, "snippet event type")?;
+    EventType::from_code(type_code)
+        .ok_or_else(|| Error::Codec(format!("invalid event type code {type_code}")))?;
+    skip_str(buf, "snippet headline")?;
+    skip_sparse(buf, "snippet entities")?;
+    skip_sparse(buf, "snippet terms")?;
+    Ok((id, source))
+}
+
 // ---- sources --------------------------------------------------------
 
 /// Append the encoding of `source` to `buf`.
@@ -333,6 +375,40 @@ mod tests {
         buf.put_u32_le(u32::MAX); // sparse vec claiming 4 billion entries
         let r: Result<SparseVec<EntityId>> = get_sparse(&mut &buf[..], "test");
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn skip_snippet_agrees_with_decode_snippet() {
+        let s = sample_snippet();
+        let mut buf = Vec::new();
+        encode_snippet(&mut buf, &s);
+        buf.extend_from_slice(b"tail");
+
+        let mut walker: &[u8] = &buf;
+        let (id, source) = skip_snippet(&mut walker).unwrap();
+        assert_eq!(id, s.id);
+        assert_eq!(source, s.source);
+        assert_eq!(walker, b"tail", "skip stops exactly at the snippet end");
+
+        // Both paths reject the same corruptions.
+        for cut in 0..buf.len() - 4 {
+            let mut a: &[u8] = &buf[..cut];
+            let mut b: &[u8] = &buf[..cut];
+            assert_eq!(
+                skip_snippet(&mut a).is_err(),
+                decode_snippet(&mut b).is_err(),
+                "skip/decode disagree at cut {cut}"
+            );
+        }
+        let mut bad = buf.clone();
+        bad[20] = 200; // invalid event-type code
+        assert!(skip_snippet(&mut &bad[..]).is_err());
+        let mut bad = buf.clone();
+        bad[25] = 0xFF; // invalid utf-8 inside the headline
+        assert_eq!(
+            skip_snippet(&mut &bad[..]).is_err(),
+            decode_snippet(&mut &bad[..]).is_err()
+        );
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //! * [`queue`] — [`queue::Bounded<T>`], a bounded MPMC queue with depth
 //!   gauges and close-and-drain semantics (the slice of
 //!   `crossbeam-channel` the serving layer needs).
+//! * [`pool`] — [`pool::BufferPool`], a checkout/checkin byte-buffer
+//!   pool with outstanding/high-water accounting, so the serving hot
+//!   path recycles frame buffers instead of allocating per request.
+//! * [`net`] — a minimal `poll(2)` readiness poller plus a socketpair
+//!   wake channel (the slice of `mio` the connection-multiplexing
+//!   serving runtime needs). This module contains the workspace's only
+//!   FFI declaration, wrapped behind a safe slice-based API.
 //! * [`wal`] — a generic CRC-framed append-only journal with
 //!   configurable fsync policy and torn-tail repair, the durability
 //!   primitive under `pivotd`'s per-shard write-ahead logs.
@@ -39,11 +46,16 @@
 //! corpus, the same property-test cases, and the same experiment tables
 //! on every run and every machine.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `net` module carries one scoped
+// `#[allow(unsafe_code)]` around the `poll(2)` FFI call; everything
+// else in the crate still refuses unsafe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buf;
 pub mod metrics;
+pub mod net;
+pub mod pool;
 pub mod prop;
 pub mod queue;
 pub mod rng;
@@ -54,6 +66,7 @@ pub mod wal;
 
 pub use buf::{Buf, BufMut, ByteBuf};
 pub use metrics::Registry;
+pub use pool::BufferPool;
 pub use queue::Bounded;
 pub use timing::Histogram;
 pub use rng::{RngCore, RngExt, SliceRandom, StdRng, Zipf};

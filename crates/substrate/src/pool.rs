@@ -1,0 +1,283 @@
+//! A checkout/checkin byte-buffer pool.
+//!
+//! The multiplexed serving runtime holds one read buffer per
+//! connection *with bytes in flight* and one write buffer per queued
+//! response. Allocating those from the global heap per frame would put
+//! the allocator on the hot path of every request; this pool recycles
+//! fixed-class `Vec<u8>` buffers instead and exposes the counters the
+//! serving gauges need (`outstanding`, `bytes_highwater`).
+//!
+//! Semantics:
+//!
+//! * [`BufferPool::checkout`] hands out a cleared [`PooledBuf`] with at
+//!   least the pool's class capacity, reusing a free buffer when one is
+//!   available (a fresh allocation is counted as a `miss`).
+//! * Dropping a [`PooledBuf`] returns it to the free list, unless the
+//!   buffer grew past four times the class size (returning jumbo
+//!   buffers would let one oversized frame pin memory forever) or the
+//!   free list is already at `max_free`.
+//! * Accounting charges each checkout at its capacity at checkout
+//!   time; `bytes_highwater` is the maximum concurrently-charged total
+//!   the pool has ever seen, which bounds steady-state buffer memory.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A point-in-time view of pool accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers currently checked out.
+    pub outstanding: u64,
+    /// Buffers currently idle on the free list.
+    pub free: u64,
+    /// Total checkouts since the pool was created.
+    pub checkouts: u64,
+    /// Checkouts that had to allocate because the free list was empty.
+    pub misses: u64,
+    /// Bytes (of capacity) currently charged to checked-out buffers.
+    pub bytes_outstanding: u64,
+    /// High-water mark of `bytes_outstanding`.
+    pub bytes_highwater: u64,
+}
+
+struct Inner {
+    free: Mutex<Vec<Vec<u8>>>,
+    buf_capacity: usize,
+    max_free: usize,
+    outstanding: AtomicU64,
+    checkouts: AtomicU64,
+    misses: AtomicU64,
+    bytes_outstanding: AtomicU64,
+    bytes_highwater: AtomicU64,
+}
+
+/// A cloneable handle to a pool of same-class byte buffers.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("BufferPool")
+            .field("buf_capacity", &self.inner.buf_capacity)
+            .field("outstanding", &s.outstanding)
+            .field("free", &s.free)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// A pool of buffers with `buf_capacity` bytes each, keeping at
+    /// most `max_free` idle buffers around.
+    pub fn new(buf_capacity: usize, max_free: usize) -> Self {
+        assert!(buf_capacity > 0, "pool buffers need nonzero capacity");
+        BufferPool {
+            inner: Arc::new(Inner {
+                free: Mutex::new(Vec::new()),
+                buf_capacity,
+                max_free,
+                outstanding: AtomicU64::new(0),
+                checkouts: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                bytes_outstanding: AtomicU64::new(0),
+                bytes_highwater: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn free_list(&self) -> std::sync::MutexGuard<'_, Vec<Vec<u8>>> {
+        match self.inner.free.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The per-buffer capacity class.
+    pub fn buf_capacity(&self) -> usize {
+        self.inner.buf_capacity
+    }
+
+    /// Check out an empty buffer with at least `buf_capacity` bytes of
+    /// capacity. Allocates only when the free list is empty.
+    pub fn checkout(&self) -> PooledBuf {
+        let buf = self.free_list().pop();
+        let buf = match buf {
+            Some(b) => b,
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(self.inner.buf_capacity)
+            }
+        };
+        let charged = buf.capacity() as u64;
+        self.inner.checkouts.fetch_add(1, Ordering::Relaxed);
+        self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        let now = self
+            .inner
+            .bytes_outstanding
+            .fetch_add(charged, Ordering::Relaxed)
+            + charged;
+        self.inner.bytes_highwater.fetch_max(now, Ordering::Relaxed);
+        PooledBuf {
+            buf,
+            charged,
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            outstanding: self.inner.outstanding.load(Ordering::Relaxed),
+            free: self.free_list().len() as u64,
+            checkouts: self.inner.checkouts.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            bytes_outstanding: self.inner.bytes_outstanding.load(Ordering::Relaxed),
+            bytes_highwater: self.inner.bytes_highwater.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A pooled `Vec<u8>`; derefs to the vector and returns itself to the
+/// pool on drop.
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    charged: u64,
+    pool: Arc<Inner>,
+}
+
+impl PooledBuf {
+    /// The underlying vector, for APIs that want `&mut Vec<u8>`
+    /// explicitly (e.g. `impl BufMut` argument positions, where
+    /// auto-deref does not apply).
+    pub fn as_mut_vec(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.buf.len())
+            .field("capacity", &self.buf.capacity())
+            .finish()
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        self.pool.outstanding.fetch_sub(1, Ordering::Relaxed);
+        self.pool
+            .bytes_outstanding
+            .fetch_sub(self.charged, Ordering::Relaxed);
+        // Return to the free list unless the buffer ballooned or the
+        // list is full; either way the caller's Vec is gone after this.
+        if self.buf.capacity() <= self.pool.buf_capacity * 4 {
+            let mut free = match self.pool.free.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if free.len() < self.pool.max_free {
+                let mut buf = std::mem::take(&mut self.buf);
+                buf.clear();
+                free.push(buf);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_returned_buffers() {
+        let pool = BufferPool::new(1024, 8);
+        let a = pool.checkout();
+        assert_eq!(a.capacity(), 1024);
+        assert_eq!(pool.stats().misses, 1);
+        drop(a);
+        assert_eq!(pool.stats().free, 1);
+        let b = pool.checkout();
+        assert_eq!(pool.stats().misses, 1, "second checkout hits the free list");
+        assert_eq!(b.len(), 0, "returned buffers come back cleared");
+    }
+
+    #[test]
+    fn accounting_tracks_outstanding_and_highwater() {
+        let pool = BufferPool::new(100, 8);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 2);
+        assert_eq!(s.bytes_outstanding, 200);
+        assert_eq!(s.bytes_highwater, 200);
+        drop(a);
+        drop(b);
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.bytes_outstanding, 0);
+        assert_eq!(s.bytes_highwater, 200, "highwater is sticky");
+    }
+
+    #[test]
+    fn ballooned_buffers_are_not_pooled() {
+        let pool = BufferPool::new(64, 8);
+        let mut a = pool.checkout();
+        a.extend_from_slice(&vec![0u8; 64 * 16]);
+        drop(a);
+        assert_eq!(pool.stats().free, 0, "jumbo buffer was dropped, not pooled");
+    }
+
+    #[test]
+    fn free_list_is_capped() {
+        let pool = BufferPool::new(16, 2);
+        let bufs: Vec<_> = (0..5).map(|_| pool.checkout()).collect();
+        drop(bufs);
+        assert_eq!(pool.stats().free, 2);
+    }
+
+    #[test]
+    fn buffers_work_as_bufmut_sinks() {
+        use crate::buf::BufMut;
+        let pool = BufferPool::new(32, 4);
+        let mut b = pool.checkout();
+        b.as_mut_vec().put_u32_le(7);
+        b.push(9);
+        assert_eq!(&b[..], &[7, 0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool = BufferPool::new(64, 32);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let mut b = pool.checkout();
+                        b.push(1);
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.outstanding, 0);
+        assert_eq!(stats.checkouts, 400);
+    }
+}

@@ -489,3 +489,117 @@ mod shard_supervision {
         let _ = std::fs::remove_dir_all(&ckpt);
     }
 }
+
+// ---- slow-loris / idle reaping ---------------------------------------
+//
+// The multiplexed runtime holds per-connection buffers; a client that
+// opens a socket and then dribbles (or stops entirely) must not pin
+// them forever. With `idle_timeout` set, the server reaps connections
+// whose last *completed* frame is older than the deadline — partial
+// bytes do not count as progress, so a byte-at-a-minute client cannot
+// hold its buffer hostage.
+
+mod slow_loris {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    use storypivot::serve::client::Client;
+    use storypivot::serve::server::{serve, ServerConfig, ServerHandle};
+    use storypivot::types::SourceKind;
+
+    fn reaping_server() -> ServerHandle {
+        serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                shards: 2,
+                align_every: 0,
+                idle_timeout: Some(Duration::from_millis(250)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stalled_half_frame_client_is_reaped_while_healthy_traffic_flows() {
+        let handle = reaping_server();
+
+        // The loris: promise a frame, deliver one length byte, stall.
+        let mut loris = TcpStream::connect(handle.addr()).unwrap();
+        loris.write_all(&[0x09]).unwrap();
+        loris.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        // While it stalls, a healthy client on the same workers is
+        // entirely unaffected.
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.add_source("healthy", SourceKind::Wire, 0).unwrap();
+        assert!(client.query_stories().unwrap().is_empty());
+
+        // The server reaps the loris: EOF arrives within a few idle
+        // periods (the 10s read timeout above is the failure mode).
+        let start = Instant::now();
+        let mut sink = Vec::new();
+        loris.read_to_end(&mut sink).expect("reap closes the socket cleanly");
+        assert!(sink.is_empty(), "no reply is owed to half a frame");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "reap took {:?}, idle timeout is 250ms",
+            start.elapsed()
+        );
+
+        // The "healthy" client has now been idle past the deadline too
+        // and was reaped along the way — deliberately: the deadline is
+        // about idleness, not byte rate. A fresh connection stops the
+        // server.
+        drop(client);
+        let mut fresh = Client::connect(handle.addr()).unwrap();
+        fresh.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn dripping_bytes_does_not_reset_the_deadline() {
+        let handle = reaping_server();
+
+        // Promise a 64-byte frame and drip filler far too slowly to
+        // ever finish it. Only completed frames count as progress, so
+        // the trickle must not keep the connection alive.
+        let mut loris = TcpStream::connect(handle.addr()).unwrap();
+        loris.write_all(&64u32.to_le_bytes()).unwrap();
+        let start = Instant::now();
+        let mut reaped = false;
+        while start.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(50));
+            if loris.write_all(&[0x00]).and_then(|()| loris.flush()).is_err() {
+                reaped = true;
+                break;
+            }
+        }
+        assert!(reaped, "drip-feeding one byte per 50ms held the connection open for 10s");
+
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.add_source("after", SourceKind::Wire, 0).unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn without_idle_timeout_idle_connections_are_left_alone() {
+        // Reaping is opt-in: the default config must keep quiet
+        // connections open indefinitely (kill -9 recovery tests and
+        // long-lived monitoring clients depend on it).
+        let handle = serve(
+            "127.0.0.1:0",
+            ServerConfig { shards: 2, align_every: 0, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut idle = Client::connect(handle.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(600));
+        // Still serviceable after sitting idle well past the reaping
+        // test's deadline.
+        idle.add_source("patient", SourceKind::Wire, 0).unwrap();
+        idle.shutdown().unwrap();
+        handle.join();
+    }
+}

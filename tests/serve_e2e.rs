@@ -395,3 +395,67 @@ fn shutdown_is_idempotent_and_drains_pending_work() {
     second.join().unwrap().unwrap();
     handle.join();
 }
+
+#[test]
+fn pipelined_requests_return_in_order_past_the_pipeline_cap() {
+    // Write a burst of requests without reading a single response, then
+    // collect them all: replies must arrive in request order even
+    // though shards complete out of order, and the burst is larger than
+    // max_pipeline so the server must stall reads and resume without
+    // losing a frame.
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 4,
+            align_every: 0,
+            max_pipeline: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.add_source("pipelined", SourceKind::Wire, 0).unwrap();
+
+    let reqs: Vec<storypivot::serve::Request> = (0..64u32)
+        .map(|i| {
+            storypivot::serve::Request::IngestSnippet(
+                Snippet::builder(
+                    SnippetId::new(i),
+                    storypivot::types::SourceId::new(0),
+                    Timestamp::from_secs(i as i64 * 3_600),
+                )
+                .entity(EntityId::new(777), 1.0)
+                .build(),
+            )
+        })
+        .collect();
+    let responses = client.pipelined(&reqs).unwrap();
+    assert_eq!(responses.len(), 64);
+    for (i, resp) in responses.iter().enumerate() {
+        match resp {
+            storypivot::serve::Response::Ingested(_) => {}
+            other => panic!("request {i}: expected Ingested, got {other:?}"),
+        }
+    }
+
+    // Interleave kinds: the reply *types* prove ordering (a swap would
+    // pair a query with an ingest slot).
+    let mixed = vec![
+        storypivot::serve::Request::QueryStories,
+        storypivot::serve::Request::Stats,
+        storypivot::serve::Request::QueryStories,
+    ];
+    let replies = client.pipelined(&mixed).unwrap();
+    assert!(matches!(replies[0], storypivot::serve::Response::Stories(_)));
+    assert!(matches!(replies[1], storypivot::serve::Response::Stats(_)));
+    assert!(matches!(replies[2], storypivot::serve::Response::Stories(_)));
+    match &replies[0] {
+        storypivot::serve::Response::Stories(stories) => {
+            assert_eq!(stories.iter().map(|s| s.members.len()).sum::<usize>(), 64)
+        }
+        _ => unreachable!(),
+    }
+
+    client.shutdown().unwrap();
+    handle.join();
+}
