@@ -21,14 +21,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> smoke: bench harness e1 (quick, json artifact)"
 SMOKE_DIR="$(mktemp -d)"
 PIVOTD_PID=""
-# If a smoke step dies mid-script, the daemon it spawned must not
-# outlive the CI run: kill any live pivotd before sweeping the
-# scratch dir. KILL is safe here — crash recovery is a tested path.
+REPLICA_PID=""
+# If a smoke step dies mid-script, the daemons it spawned must not
+# outlive the CI run: kill any live pivotd (leader or replica) before
+# sweeping the scratch dir. KILL is safe here — crash recovery is a
+# tested path.
 cleanup() {
-    if [ -n "$PIVOTD_PID" ] && kill -0 "$PIVOTD_PID" 2>/dev/null; then
-        kill -9 "$PIVOTD_PID" 2>/dev/null || true
-        wait "$PIVOTD_PID" 2>/dev/null || true
-    fi
+    for pid in "$REPLICA_PID" "$PIVOTD_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
@@ -123,5 +127,55 @@ cargo run -p storypivot-serve --bin loadgen --release -- \
 wait "$PIVOTD_PID"
 PIVOTD_PID=""
 cmp "$CRASH_DIR/before.txt" "$CRASH_DIR/after.txt"
+
+echo "==> smoke: replication (leader + follower, bounded lag, NOT_LEADER wall)"
+REPL_DIR="$SMOKE_DIR/repl"
+mkdir -p "$REPL_DIR"
+cargo run -p storypivot-serve --bin pivotd --release -- \
+    --addr 127.0.0.1:0 --shards 2 --align-every 0 --fsync always \
+    --wal-dir "$REPL_DIR/leader-wal" --checkpoint-dir "$REPL_DIR/leader-ckpt" \
+    --port-file "$REPL_DIR/leader-port" &
+PIVOTD_PID=$!
+PORT="$(wait_port "$REPL_DIR/leader-port" "$PIVOTD_PID")"
+cargo run -p storypivot-serve --bin loadgen --release -- \
+    --addr "127.0.0.1:$PORT" --quick --partition-file "$REPL_DIR/leader.txt"
+test -s "$REPL_DIR/leader.txt"
+cargo run -p storypivot-serve --bin pivotd --release -- \
+    --addr 127.0.0.1:0 --shards 2 --align-every 0 \
+    --replica --leader "127.0.0.1:$PORT" \
+    --wal-dir "$REPL_DIR/replica-wal" --checkpoint-dir "$REPL_DIR/replica-ckpt" \
+    --port-file "$REPL_DIR/replica-port" &
+REPLICA_PID=$!
+RPORT="$(wait_port "$REPL_DIR/replica-port" "$REPLICA_PID")"
+# The follower must answer queries with bounded lag: within ~10 s its
+# served partition equals the leader's, byte for byte.
+CONVERGED=""
+for _ in $(seq 1 50); do
+    cargo run -p storypivot-serve --bin loadgen --release -- \
+        --addr "127.0.0.1:$RPORT" --query-only --partition-file "$REPL_DIR/replica.txt"
+    if cmp -s "$REPL_DIR/leader.txt" "$REPL_DIR/replica.txt"; then
+        CONVERGED=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$CONVERGED" ] || { echo "replica never converged to the leader's partition"; exit 1; }
+# The follower exports its replication lag in the METRICS exposition.
+cargo run -p storypivot-serve --bin loadgen --release -- \
+    --addr "127.0.0.1:$RPORT" --query-only --metrics > "$REPL_DIR/replica-metrics.txt"
+grep -q '^storypivot_replica_lag_ops{' "$REPL_DIR/replica-metrics.txt"
+# Read fan-out across leader + follower round-robins and reports both.
+cargo run -p storypivot-serve --bin loadgen --release -- \
+    --addr "127.0.0.1:$PORT" --query-only --replicas "127.0.0.1:$RPORT" \
+    --queries 200 --json "$REPL_DIR/BENCH_fanout.json"
+grep -q "\"targets\"" "$REPL_DIR/BENCH_fanout.json"
+cargo run -p storypivot-serve --bin loadgen --release -- \
+    --addr "127.0.0.1:$RPORT" --query-only --shutdown
+wait "$REPLICA_PID"
+REPLICA_PID=""
+cargo run -p storypivot-serve --bin loadgen --release -- \
+    --addr "127.0.0.1:$PORT" --query-only --shutdown
+wait "$PIVOTD_PID"
+PIVOTD_PID=""
 
 echo "CI OK"

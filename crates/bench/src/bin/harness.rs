@@ -19,6 +19,7 @@
 //!   wal (e12) journal fsync cost + recovery replay (durability)
 //!   metrics (e13) instrumentation overhead         (observability)
 //!   conns (e14) many-connection serving memory/rtt (serving runtime)
+//!   replica (e15) read fan-out across followers + snapshot staleness
 
 use std::time::{Duration, Instant};
 
@@ -121,6 +122,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "wal", "metrics", "conns",
+            "replica",
         ]
         .map(String::from)
         .to_vec();
@@ -147,8 +149,11 @@ fn main() {
             "wal" | "e12" => e12_wal(&scale, seed),
             "metrics" | "e13" => e13_metrics(&scale, seed),
             "conns" | "e14" => e14_conns(&scale),
+            "replica" | "e15" => e15_replica(&scale, seed),
             other => {
-                eprintln!("unknown experiment {other:?} (use e1..e10, wal, metrics, conns, or all)");
+                eprintln!(
+                    "unknown experiment {other:?} (use e1..e10, wal, metrics, conns, replica, or all)"
+                );
                 continue;
             }
         };
@@ -882,6 +887,182 @@ fn e14_conns(scale: &Scale) -> Table {
     let mut client = Client::connect(addr).expect("shutdown client");
     client.shutdown().expect("graceful shutdown");
     handle.join();
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E15 — replication: aggregate QUERY_STORIES throughput as follower
+/// replicas join the read path, and snapshot staleness under the
+/// `--snapshot-every-ops` freshness policy. Long-format table so both
+/// phases share one artifact (`BENCH_replica.json`).
+fn e15_replica(scale: &Scale, seed: u64) -> Table {
+    use storypivot_serve::client::Client;
+    use storypivot_serve::load::{query_fanout, replay, LoadOptions, QueryOptions};
+    use storypivot_serve::server::{serve, ServerConfig};
+
+    println!("\n## E15 — follower read fan-out and snapshot staleness\n");
+    let mut table = Table::new(["phase", "config", "metric", "value"]);
+    let base = std::env::temp_dir().join(format!("storypivot-e15-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("e15 scratch dir");
+    let shards = 2usize;
+    let corpus = CorpusBuilder::new(
+        GenConfig::default()
+            .with_seed(seed ^ 0xE15)
+            .with_sources(6)
+            .with_target_snippets(scale.mid),
+    )
+    .build();
+    let server_cfg = |dir: std::path::PathBuf, every_ops: u64, leader: Option<String>| {
+        std::fs::create_dir_all(&dir).expect("e15 wal dir");
+        ServerConfig {
+            shards,
+            align_every: 0,
+            wal_dir: Some(dir),
+            fsync: SyncPolicy::Never,
+            snapshot_every_ops: every_ops,
+            snapshot_max_age_ms: 3_600_000,
+            leader,
+            ..ServerConfig::default()
+        }
+    };
+
+    // Canonical partition shape, for convergence polling.
+    let partition = |client: &mut Client| -> Vec<(u32, Vec<u32>)> {
+        let mut p: Vec<(u32, Vec<u32>)> = client
+            .query_stories()
+            .expect("query partition")
+            .iter()
+            .map(|s| {
+                let mut members: Vec<u32> = s.members.iter().map(|m| m.raw()).collect();
+                members.sort_unstable();
+                (s.id.raw(), members)
+            })
+            .collect();
+        p.sort();
+        p
+    };
+
+    // ---- phase 1: read throughput vs replica count -------------------
+    let leader = serve("127.0.0.1:0", server_cfg(base.join("leader"), 1, None))
+        .expect("start e15 leader");
+    let leader_addr = leader.addr();
+    replay(
+        leader_addr,
+        &corpus,
+        &LoadOptions { connections: shards, ..LoadOptions::default() },
+    )
+    .expect("preload leader");
+    let mut lc = Client::connect(leader_addr).expect("leader client");
+    let want = partition(&mut lc);
+
+    let opts = QueryOptions { requests: 2 * scale.mid as u64, threads: 4 };
+    let mut targets = vec![leader_addr.to_string()];
+    let mut replicas = Vec::new();
+    // Warm up caches and allocators so the leader-alone baseline isn't
+    // penalized for going first.
+    query_fanout(&targets, &QueryOptions { requests: opts.requests / 4, ..opts.clone() })
+        .expect("warmup fan-out");
+    for extra in 0..=2usize {
+        if extra > 0 {
+            let handle = serve(
+                "127.0.0.1:0",
+                server_cfg(
+                    base.join(format!("replica-{extra}")),
+                    1,
+                    Some(leader_addr.to_string()),
+                ),
+            )
+            .expect("start e15 replica");
+            let mut rc = Client::connect(handle.addr()).expect("replica client");
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while partition(&mut rc) != want {
+                assert!(Instant::now() < deadline, "e15 replica never converged");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            targets.push(handle.addr().to_string());
+            replicas.push(handle);
+        }
+        let config = format!("leader+{extra}r");
+        // Two load shapes: a fixed client pool (aggregate capacity at
+        // constant offered load) and one reader per target (each
+        // follower brings its own client population, the shape real
+        // read fan-outs have).
+        for (phase, threads) in
+            [("fanout_fixed", opts.threads), ("fanout_scaled", targets.len())]
+        {
+            let report = query_fanout(
+                &targets,
+                &QueryOptions { threads, ..opts.clone() },
+            )
+            .expect("query fan-out");
+            let mut rtt = storypivot_substrate::timing::Histogram::new();
+            for t in &report.targets {
+                rtt.merge(&t.latency);
+            }
+            println!(
+                "  {phase} {config}: {}",
+                report.summary().lines().next().unwrap_or("")
+            );
+            table.row([
+                phase.into(), config.clone(), "qps".into(), format!("{:.1}", report.qps()),
+            ]);
+            table.row([
+                phase.into(), config.clone(), "rtt_p50_us".into(),
+                format!("{:.1}", rtt.percentile(0.50) as f64 / 1e3),
+            ]);
+            table.row([
+                phase.into(), config.clone(), "rtt_p95_us".into(),
+                format!("{:.1}", rtt.percentile(0.95) as f64 / 1e3),
+            ]);
+        }
+    }
+    for handle in replicas {
+        let mut rc = Client::connect(handle.addr()).expect("replica shutdown client");
+        rc.shutdown().expect("replica shutdown");
+        handle.join();
+    }
+    lc.shutdown().expect("leader shutdown");
+    leader.join();
+
+    // ---- phase 2: snapshot staleness vs freshness policy -------------
+    // Sum/max of a shard-labeled gauge in the merged exposition.
+    let labeled = |text: &str, name: &str| -> Vec<u64> {
+        let prefix = format!("{name}{{");
+        text.lines()
+            .filter(|l| l.starts_with(&prefix))
+            .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
+            .collect()
+    };
+    for every_ops in [1u64, 64] {
+        let dir = base.join(format!("stale-{every_ops}"));
+        let handle = serve("127.0.0.1:0", server_cfg(dir, every_ops, None))
+            .expect("start e15 staleness leader");
+        replay(
+            handle.addr(),
+            &corpus,
+            &LoadOptions { connections: shards, ..LoadOptions::default() },
+        )
+        .expect("staleness preload");
+        let mut client = Client::connect(handle.addr()).expect("staleness client");
+        let text = client.metrics().expect("staleness metrics");
+        let publishes: u64 = labeled(&text, "storypivot_shard_snapshot_epoch").iter().sum();
+        let max_age: u64 = labeled(&text, "storypivot_shard_snapshot_age_ops")
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        let ops = (corpus.len() + corpus.sources.len()) as u64;
+        let config = format!("every_ops={every_ops}");
+        println!("  {config}: {publishes} publishes over {ops} ops, max staleness {max_age} ops");
+        table.row(["staleness".into(), config.clone(), "ops".into(), ops.to_string()]);
+        table.row([
+            "staleness".into(), config.clone(), "snapshot_publishes".into(), publishes.to_string(),
+        ]);
+        table.row(["staleness".into(), config, "max_age_ops".into(), max_age.to_string()]);
+        client.shutdown().expect("staleness shutdown");
+        handle.join();
+    }
+    let _ = std::fs::remove_dir_all(&base);
     print!("{}", table.to_markdown());
     table
 }

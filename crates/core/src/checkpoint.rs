@@ -275,6 +275,40 @@ pub fn load_newest(
     Ok(None)
 }
 
+/// Raw bytes of the newest generation file of `shard` under `dir`,
+/// without decoding them. This is the leader side of replica
+/// bootstrap: the follower gets the checkpoint verbatim (and persists
+/// the same bytes under the same generation number), so leader and
+/// follower agree on the exact durable cursor. Unreadable files are
+/// skipped newest-first like [`load_newest`]; a missing directory or
+/// no file at all is `Ok(None)` (the shard has never checkpointed —
+/// bootstrap from an empty engine instead).
+pub fn newest_generation_bytes(
+    dir: &std::path::Path,
+    shard: usize,
+) -> Result<Option<(u64, Vec<u8>)>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(Error::Io(format!("read {}: {e}", dir.display()))),
+    };
+    let mut generations: Vec<u64> = entries
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().and_then(|n| parse_generation(n, shard)))
+        .collect();
+    generations.sort_unstable_by(|a, b| b.cmp(a));
+    for generation in generations {
+        let path = dir.join(generation_file(shard, generation));
+        match std::fs::read(&path) {
+            Ok(bytes) => return Ok(Some((generation, bytes))),
+            Err(e) => {
+                eprintln!("checkpoint: skipping unreadable {}: {e}", path.display());
+            }
+        }
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +450,29 @@ mod tests {
 
         // Other shards' files don't interfere.
         assert!(load_newest(&dir, 1, PivotConfig::default()).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newest_generation_bytes_ships_verbatim() {
+        let dir = std::env::temp_dir()
+            .join(format!("storypivot-ckpt-bytes-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Nothing checkpointed yet: None, not an error.
+        assert!(newest_generation_bytes(&dir, 0).unwrap().is_none());
+
+        let pivot = populated();
+        let bytes = pivot.save_checkpoint();
+        write_generation(&dir, 0, 3, &bytes).unwrap();
+        write_generation(&dir, 0, 4, &bytes).unwrap();
+        let (generation, shipped) = newest_generation_bytes(&dir, 0).unwrap().unwrap();
+        assert_eq!(generation, 4);
+        assert_eq!(shipped, bytes, "bytes ship verbatim, not re-encoded");
+        // The shipped bytes decode to the same engine a local load gets.
+        let restored = StoryPivot::load_checkpoint(PivotConfig::default(), &shipped).unwrap();
+        assert_eq!(restored.store().len(), pivot.store().len());
+        // Other shards see nothing.
+        assert!(newest_generation_bytes(&dir, 1).unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -15,18 +15,26 @@
 //! replay is skipped entirely, so two partition files — one from the
 //! loaded server, one from a restarted server — can prove crash
 //! recovery byte-for-byte.
+//!
+//! `--query-only --replicas HOST:PORT,HOST:PORT` instead runs the read
+//! fan-out bench: `--queries N` QUERY_STORIES round trips are
+//! round-robined across the leader (`--addr`) and every replica, and
+//! the report breaks round-trip latency down per target.
 
 use std::path::PathBuf;
 
 use storypivot_gen::{CorpusBuilder, GenConfig};
 use storypivot_serve::client::Client;
-use storypivot_serve::load::{conn_storm, replay, LoadOptions, StormOptions};
+use storypivot_serve::load::{
+    conn_storm, query_fanout, replay, LoadOptions, QueryOptions, StormOptions,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--events N] [--sources N] [--conns N] \
          [--rate EV_PER_S] [--seed N] [--json PATH] [--quick] [--stats] [--metrics] \
-         [--shutdown] [--partition-file PATH] [--query-only]\n\
+         [--shutdown] [--partition-file PATH] [--query-only] \
+         [--replicas HOST:PORT,HOST:PORT] [--queries N]\n\
          storm mode: loadgen --addr HOST:PORT --storm [--conns N] [--drivers N] \
          [--rounds N] [--interval-ms N] [--json PATH]"
     );
@@ -71,6 +79,8 @@ fn main() {
     let mut want_metrics = false;
     let mut want_shutdown = false;
     let mut query_only = false;
+    let mut replicas: Vec<String> = Vec::new();
+    let mut query_opts = QueryOptions::default();
     let mut partition_file: Option<PathBuf> = None;
     let mut opts = LoadOptions::default();
     let mut storm = false;
@@ -105,6 +115,16 @@ fn main() {
             "--metrics" => want_metrics = true,
             "--shutdown" => want_shutdown = true,
             "--query-only" => query_only = true,
+            "--replicas" => {
+                let list: String = parse(&mut args, "--replicas");
+                replicas = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "--queries" => query_opts.requests = parse(&mut args, "--queries"),
             "--partition-file" => {
                 partition_file = Some(parse::<PathBuf>(&mut args, "--partition-file"))
             }
@@ -156,6 +176,34 @@ fn main() {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("{}", report.summary());
+        if let Some(path) = &json {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("loadgen: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if query_only && !replicas.is_empty() {
+        // Read fan-out: round-robin QUERY_STORIES across the leader and
+        // every replica, reporting per-target round-trip latency.
+        let mut targets = vec![addr.clone()];
+        targets.extend(replicas.iter().cloned());
+        eprintln!(
+            "fanning {} queries over {} targets ({} reader threads)",
+            query_opts.requests,
+            targets.len(),
+            query_opts.threads
+        );
+        let report = match query_fanout(&targets, &query_opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: query fan-out failed: {e}");
                 std::process::exit(1);
             }
         };

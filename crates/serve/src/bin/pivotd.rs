@@ -11,6 +11,19 @@
 //! `kill -9` loses nothing that was acknowledged under `--fsync always`.
 //! Runs until a client sends SHUTDOWN; the daemon then drains every
 //! shard queue, writes one checkpoint per shard, and exits 0.
+//!
+//! ```text
+//! pivotd --replica --leader 127.0.0.1:7411 --wal-dir ./rwal \
+//!        --checkpoint-dir ./rckpt --addr 127.0.0.1:7412
+//! ```
+//!
+//! `--replica --leader <addr>` starts a read-only follower: it
+//! bootstraps each shard from the leader's newest checkpoint, tails
+//! the leader's WAL, serves QUERY_STORIES/GET_STORY from local read
+//! snapshots, and redirects writes with NOT_LEADER. `--wal-dir` is
+//! required in this mode (the byte-identical WAL copy is the durable
+//! replication cursor). `--snapshot-every-ops` / `--snapshot-max-age-ms`
+//! tune read-snapshot freshness on leaders and replicas alike.
 
 use std::path::PathBuf;
 
@@ -23,7 +36,9 @@ fn usage() -> ! {
          [--align-every N] [--retry-after-ms N] [--io-workers N] \
          [--max-pipeline N] [--idle-timeout-ms N] [--checkpoint-dir DIR] \
          [--wal-dir DIR] [--fsync always|never|every:N] \
-         [--checkpoint-every-bytes N] [--port-file PATH]"
+         [--checkpoint-every-bytes N] [--port-file PATH] \
+         [--snapshot-every-ops N] [--snapshot-max-age-ms N] \
+         [--replica] [--leader HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -43,6 +58,7 @@ fn main() {
     let mut addr = "127.0.0.1:7411".to_string();
     let mut cfg = ServerConfig::default();
     let mut port_file: Option<PathBuf> = None;
+    let mut replica = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -66,8 +82,24 @@ fn main() {
                 cfg.checkpoint_every_bytes = parse(&mut args, "--checkpoint-every-bytes")
             }
             "--port-file" => port_file = Some(parse::<PathBuf>(&mut args, "--port-file")),
+            "--snapshot-every-ops" => {
+                cfg.snapshot_every_ops = parse(&mut args, "--snapshot-every-ops")
+            }
+            "--snapshot-max-age-ms" => {
+                cfg.snapshot_max_age_ms = parse(&mut args, "--snapshot-max-age-ms")
+            }
+            "--replica" => replica = true,
+            "--leader" => cfg.leader = Some(parse(&mut args, "--leader")),
             _ => usage(),
         }
+    }
+    if replica && cfg.leader.is_none() {
+        eprintln!("--replica requires --leader HOST:PORT");
+        usage();
+    }
+    if cfg.leader.is_some() && !replica {
+        eprintln!("--leader only makes sense with --replica");
+        usage();
     }
 
     let handle = match serve(addr.as_str(), cfg) {

@@ -81,6 +81,35 @@ fn backoff_delay_ms(
     jittered.max(hint.min(cap)).max(1)
 }
 
+/// One delivery from a leader's replication stream (the decoded form
+/// of REPL_FRAME / REPL_CHECKPOINT).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplDelivery {
+    /// Whole WAL records from the subscribed offset onward; empty when
+    /// the follower is caught up.
+    Frame {
+        /// Leader checkpoint generation these records apply on top of.
+        generation: u64,
+        /// Leader WAL offset just past the shipped records.
+        next_offset: u64,
+        /// The leader's total WAL length (drives the byte-lag gauge).
+        leader_wal_len: u64,
+        /// Ops the leader has applied since its generation.
+        leader_ops: u64,
+        /// Concatenated WAL records, leader framing intact.
+        records: Vec<u8>,
+    },
+    /// The follower's generation is stale: bootstrap from these
+    /// verbatim checkpoint bytes (empty = fresh engine) and resubscribe
+    /// from offset zero.
+    Checkpoint {
+        /// The leader's newest checkpoint generation.
+        generation: u64,
+        /// Raw checkpoint file bytes, shipped unmodified.
+        checkpoint: Vec<u8>,
+    },
+}
+
 /// One connection to a pivotd server. Requests are strictly
 /// request/response over the connection, so a `Client` is `!Sync` by
 /// design — open one per thread.
@@ -99,6 +128,15 @@ impl Client {
             reader,
             writer: BufWriter::new(stream),
         })
+    }
+
+    /// Bound every socket read and write; `None` restores blocking
+    /// forever. Replica pullers use this so a dead leader surfaces as
+    /// an `Io` error instead of a wedged thread.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.writer.get_ref().set_write_timeout(timeout)?;
+        Ok(())
     }
 
     /// Send one request and wait for its response frame.
@@ -128,9 +166,18 @@ impl Client {
     /// Read the next response frame. Responses are strictly in request
     /// order — the server re-sequences pipelined completions — so the
     /// n-th `recv` answers the n-th `send`.
+    /// NOT_LEADER redirects surface as [`Error::NotLeader`] (carrying
+    /// the leader's address) rather than a raw response, here and in
+    /// [`Client::pipelined`], so write loops pointed at a replica fail
+    /// with something actionable.
     pub fn recv(&mut self) -> Result<Response> {
         match read_frame(&mut self.reader)? {
-            Some(payload) => Response::decode(&payload),
+            Some(payload) => match Response::decode(&payload)? {
+                Response::NotLeader { leader } => Err(Error::NotLeader {
+                    leader_addr: leader,
+                }),
+                resp => Ok(resp),
+            },
             None => Err(Error::Io("server closed the connection".into())),
         }
     }
@@ -275,6 +322,45 @@ impl Client {
         match self.request_ok(&Request::Shutdown)? {
             Response::ShutdownAck => Ok(()),
             other => Err(unexpected("ShutdownAck", &other)),
+        }
+    }
+
+    /// One replication poll: ask the leader for shard `shard`'s WAL
+    /// records past `wal_offset` on `generation`. Yields either a
+    /// frame of records or a checkpoint to re-bootstrap from; sending
+    /// this to a replica yields [`Error::NotLeader`].
+    pub fn repl_subscribe(
+        &mut self,
+        shard: u32,
+        generation: u64,
+        wal_offset: u64,
+    ) -> Result<ReplDelivery> {
+        match self.request_ok(&Request::ReplSubscribe {
+            shard,
+            generation,
+            wal_offset,
+        })? {
+            Response::ReplFrame {
+                generation,
+                next_offset,
+                leader_wal_len,
+                leader_ops,
+                records,
+            } => Ok(ReplDelivery::Frame {
+                generation,
+                next_offset,
+                leader_wal_len,
+                leader_ops,
+                records,
+            }),
+            Response::ReplCheckpoint {
+                generation,
+                checkpoint,
+            } => Ok(ReplDelivery::Checkpoint {
+                generation,
+                checkpoint,
+            }),
+            other => Err(unexpected("ReplFrame or ReplCheckpoint", &other)),
         }
     }
 }

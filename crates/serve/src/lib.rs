@@ -22,6 +22,15 @@
 //!   counters, WAL timings, per-shard serving gauges) is snapshotted
 //!   and merged — counters summed, histograms merged bucket-wise — into
 //!   one Prometheus-style text exposition.
+//! - [`snapshot`] — epoch-versioned, immutable per-shard read
+//!   snapshots. Shard workers publish them on a freshness policy
+//!   (`--snapshot-every-ops` / `--snapshot-max-age-ms`); I/O workers
+//!   answer QUERY_STORIES and GET_STORY straight from the snapshots,
+//!   so reads never ride the shard write queues.
+//! - [`replica`] — WAL-shipped follower replicas: `pivotd --leader
+//!   <addr>` bootstraps from the leader's newest checkpoint, tails its
+//!   WAL over REPL_SUBSCRIBE, serves reads only (writes get a
+//!   NOT_LEADER redirect), and exports per-shard replication lag.
 //! - [`client`] — a blocking client for the protocol.
 //! - [`load`] — `loadgen`: replays a [`storypivot_gen`] corpus at a
 //!   target rate over M connections and reports throughput and
@@ -38,11 +47,17 @@
 pub mod client;
 pub mod load;
 pub mod proto;
+pub mod replica;
 pub mod server;
+pub mod snapshot;
 pub mod stats;
 
-pub use client::{BackoffPolicy, Client, IngestReply};
-pub use load::{conn_storm, replay, LoadOptions, LoadReport, StormOptions, StormReport};
+pub use client::{BackoffPolicy, Client, IngestReply, ReplDelivery};
+pub use snapshot::{ShardSnapshot, SnapshotSlot};
+pub use load::{
+    conn_storm, query_fanout, replay, LoadOptions, LoadReport, QueryOptions, QueryReport,
+    StormOptions, StormReport, TargetReport,
+};
 pub use proto::{Request, Response, StorySummary, MAX_FRAME_LEN};
 pub use server::{serve, ServerConfig, ServerHandle, POISON_HEADLINE};
 pub use stats::{ServeStats, ShardStats};

@@ -213,6 +213,189 @@ pub fn replay<A: ToSocketAddrs>(addr: A, corpus: &Corpus, opts: &LoadOptions) ->
     }
 }
 
+// ---- read fan-out ----------------------------------------------------
+
+/// Options for the read fan-out bench: round-robin QUERY_STORIES
+/// across a leader and its follower replicas.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Total QUERY_STORIES round trips to issue (split across threads).
+    pub requests: u64,
+    /// Concurrent reader threads; each holds one connection per target.
+    pub threads: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            requests: 2_000,
+            threads: 4,
+        }
+    }
+}
+
+/// Per-target slice of a [`QueryReport`].
+#[derive(Debug, Clone)]
+pub struct TargetReport {
+    /// The target's address, as given.
+    pub addr: String,
+    /// Round trips this target answered.
+    pub requests: u64,
+    /// Round-trip latency against this target (nanoseconds).
+    pub latency: Histogram,
+}
+
+/// What a read fan-out run measured.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// One entry per target, in the order the targets were given.
+    pub targets: Vec<TargetReport>,
+    /// Total round trips across all targets.
+    pub requests: u64,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+}
+
+impl QueryReport {
+    /// Aggregate achieved throughput in queries/second.
+    pub fn qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.requests as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Human-readable summary: one aggregate line plus one per target.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{} queries over {} targets in {:.2}s → {:.0} q/s",
+            self.requests,
+            self.targets.len(),
+            self.wall.as_secs_f64(),
+            self.qps(),
+        );
+        for t in &self.targets {
+            let _ = write!(
+                out,
+                "\n  {}: {} reqs; rtt p50/p95/p99 {:.1}/{:.1}/{:.1} µs",
+                t.addr,
+                t.requests,
+                t.latency.percentile(0.50) as f64 / 1e3,
+                t.latency.percentile(0.95) as f64 / 1e3,
+                t.latency.percentile(0.99) as f64 / 1e3,
+            );
+        }
+        out
+    }
+
+    /// A JSON object (same shape as the bench harness artifacts).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            concat!(
+                "{{\n",
+                "  \"requests\": {},\n",
+                "  \"wall_secs\": {:.6},\n",
+                "  \"qps\": {:.2},\n",
+                "  \"targets\": [\n",
+            ),
+            self.requests,
+            self.wall.as_secs_f64(),
+            self.qps(),
+        );
+        for (i, t) in self.targets.iter().enumerate() {
+            let _ = write!(
+                out,
+                concat!(
+                    "    {{\"addr\": \"{}\", \"requests\": {}, ",
+                    "\"rtt_p50_us\": {:.2}, \"rtt_p95_us\": {:.2}, ",
+                    "\"rtt_p99_us\": {:.2}}}{}\n",
+                ),
+                t.addr,
+                t.requests,
+                t.latency.percentile(0.50) as f64 / 1e3,
+                t.latency.percentile(0.95) as f64 / 1e3,
+                t.latency.percentile(0.99) as f64 / 1e3,
+                if i + 1 == self.targets.len() { "" } else { "," },
+            );
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Issue `opts.requests` QUERY_STORIES round trips round-robined over
+/// `targets` (typically the leader plus its replicas), from
+/// `opts.threads` concurrent readers, and report aggregate throughput
+/// plus per-target round-trip latency.
+///
+/// Each thread opens its own connection to every target and starts its
+/// rotation at a different offset, so the load lands evenly even when
+/// the request count doesn't divide cleanly.
+pub fn query_fanout(targets: &[String], opts: &QueryOptions) -> Result<QueryReport> {
+    if targets.is_empty() || opts.threads == 0 {
+        return Err(Error::InvalidConfig(
+            "query fan-out: need at least one target and one thread".into(),
+        ));
+    }
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(opts.threads);
+    for t in 0..opts.threads {
+        let share =
+            opts.requests / opts.threads as u64 + u64::from((t as u64) < opts.requests % opts.threads as u64);
+        let targets: Vec<String> = targets.to_vec();
+        handles.push(std::thread::spawn(move || -> Result<Vec<(u64, Histogram)>> {
+            let mut conns = Vec::with_capacity(targets.len());
+            for addr in &targets {
+                conns.push(Client::connect(addr.as_str())?);
+            }
+            let mut per_target: Vec<(u64, Histogram)> =
+                targets.iter().map(|_| (0, Histogram::new())).collect();
+            for i in 0..share {
+                let which = (t as u64 + i) as usize % conns.len();
+                let at = Instant::now();
+                conns[which].query_stories()?;
+                per_target[which].1.record(at.elapsed().as_nanos() as u64);
+                per_target[which].0 += 1;
+            }
+            Ok(per_target)
+        }));
+    }
+
+    let mut report = QueryReport {
+        targets: targets
+            .iter()
+            .map(|addr| TargetReport {
+                addr: addr.clone(),
+                requests: 0,
+                latency: Histogram::new(),
+            })
+            .collect(),
+        requests: 0,
+        wall: Duration::ZERO,
+    };
+    let mut failure = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(per_target)) => {
+                for (slot, (requests, hist)) in report.targets.iter_mut().zip(per_target) {
+                    slot.requests += requests;
+                    slot.latency.merge(&hist);
+                    report.requests += requests;
+                }
+            }
+            Ok(Err(e)) => failure = Some(e),
+            Err(_) => failure = Some(Error::Io("query fan-out reader thread panicked".into())),
+        }
+    }
+    report.wall = start.elapsed();
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}
+
 // ---- connection storm ------------------------------------------------
 
 /// Options for the many-connection trickle mode: hold `connections`
@@ -432,5 +615,44 @@ mod tests {
         assert!(json.contains("\"events\": 3"));
         assert!(json.contains("\"busy_retries\": 1"));
         assert!(r.summary().contains("3 events"));
+    }
+
+    #[test]
+    fn query_report_json_lists_every_target() {
+        let mut latency = Histogram::new();
+        latency.record(10_000);
+        let r = QueryReport {
+            targets: vec![
+                TargetReport {
+                    addr: "127.0.0.1:7411".into(),
+                    requests: 2,
+                    latency: latency.clone(),
+                },
+                TargetReport {
+                    addr: "127.0.0.1:7412".into(),
+                    requests: 1,
+                    latency,
+                },
+            ],
+            requests: 3,
+            wall: Duration::from_millis(30),
+        };
+        assert!(r.qps() > 99.0 && r.qps() < 101.0);
+        let json = r.to_json();
+        assert!(json.contains("\"requests\": 3"));
+        assert!(json.contains("127.0.0.1:7412"));
+        // Exactly one separating comma between the two target objects.
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(r.summary().contains("2 targets"));
+    }
+
+    #[test]
+    fn query_fanout_rejects_empty_inputs() {
+        assert!(query_fanout(&[], &QueryOptions::default()).is_err());
+        let opts = QueryOptions {
+            threads: 0,
+            ..QueryOptions::default()
+        };
+        assert!(query_fanout(&["127.0.0.1:1".into()], &opts).is_err());
     }
 }

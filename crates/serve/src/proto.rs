@@ -7,11 +7,18 @@
 //! ```
 //!
 //! where `len` counts the opcode plus body. Requests use opcodes
-//! `0x01..=0x09`, responses `0x81..=0x8B`; snippets and sources reuse
+//! `0x01..=0x0A`, responses `0x81..=0x8E`; snippets and sources reuse
 //! the store's binary codec, so a served snippet is byte-identical to a
 //! checkpointed one. Every decode path bounds-checks before touching
 //! bytes: torn frames, oversized length prefixes, garbage opcodes, and
 //! trailing bytes all surface as [`Error::Codec`] — never a panic.
+//!
+//! Replication rides the same framing: a follower polls
+//! [`Request::ReplSubscribe`] with its durable cursor and the leader
+//! answers [`Response::ReplFrame`] (a run of CRC-framed WAL records,
+//! shipped verbatim) or [`Response::ReplCheckpoint`] (a full
+//! generation checkpoint when the cursor cannot resume). A follower
+//! answers every write with [`Response::NotLeader`].
 
 use std::io::{self, Read, Write};
 
@@ -48,6 +55,9 @@ pub const OP_STATS: u8 = 0x07;
 pub const OP_SHUTDOWN: u8 = 0x08;
 /// Fetch the merged metrics exposition (empty body).
 pub const OP_METRICS: u8 = 0x09;
+/// Subscribe to a shard's WAL stream from a resume cursor (body:
+/// shard u32, generation u64, wal_offset u64).
+pub const OP_REPL_SUBSCRIBE: u8 = 0x0A;
 
 // ---- response opcodes ------------------------------------------------
 
@@ -73,6 +83,14 @@ pub const OP_BUSY: u8 = 0x89;
 pub const OP_ERROR: u8 = 0x8A;
 /// Metrics exposition (body: text str).
 pub const OP_METRICS_REPLY: u8 = 0x8B;
+/// Write rejected by a read-only follower (body: leader str).
+pub const OP_NOT_LEADER: u8 = 0x8C;
+/// A batch of WAL records shipped verbatim (body: generation u64,
+/// next_offset u64, leader_wal_len u64, leader_ops u64, records bytes).
+pub const OP_REPL_FRAME: u8 = 0x8D;
+/// Bootstrap / catch-up checkpoint (body: generation u64,
+/// checkpoint bytes — empty bytes mean "start from a fresh engine").
+pub const OP_REPL_CHECKPOINT: u8 = 0x8E;
 
 // ---- bounded readers -------------------------------------------------
 
@@ -100,6 +118,24 @@ fn get_u32(buf: &mut impl Buf, what: &str) -> Result<u32> {
 fn get_i64(buf: &mut impl Buf, what: &str) -> Result<i64> {
     need(buf, 8, what)?;
     Ok(buf.get_i64_le())
+}
+
+fn get_u64(buf: &mut impl Buf, what: &str) -> Result<u64> {
+    need(buf, 8, what)?;
+    Ok(buf.get_u64_le())
+}
+
+fn put_bytes(buf: &mut impl BufMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn get_bytes(buf: &mut impl Buf, what: &str) -> Result<Vec<u8>> {
+    let len = get_u32(buf, what)? as usize;
+    need(buf, len, what)?;
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    Ok(raw)
 }
 
 fn put_str(buf: &mut impl BufMut, s: &str) {
@@ -146,6 +182,19 @@ pub enum Request {
     Shutdown,
     /// The merged Prometheus-style metrics exposition across shards.
     Metrics,
+    /// Subscribe to one shard's WAL stream (follower → leader). The
+    /// cursor names the follower's durable position: when `generation`
+    /// matches the leader's and `wal_offset` is within its journal, the
+    /// leader ships records from that offset; otherwise it answers with
+    /// a full checkpoint to re-bootstrap from.
+    ReplSubscribe {
+        /// Shard whose journal is being tailed.
+        shard: u32,
+        /// Checkpoint generation the follower last applied.
+        generation: u64,
+        /// Byte offset into the leader's journal (a record boundary).
+        wal_offset: u64,
+    },
 }
 
 impl Request {
@@ -181,6 +230,16 @@ impl Request {
             Request::Stats => buf.put_u8(OP_STATS),
             Request::Shutdown => buf.put_u8(OP_SHUTDOWN),
             Request::Metrics => buf.put_u8(OP_METRICS),
+            Request::ReplSubscribe {
+                shard,
+                generation,
+                wal_offset,
+            } => {
+                buf.put_u8(OP_REPL_SUBSCRIBE);
+                buf.put_u32_le(*shard);
+                buf.put_u64_le(*generation);
+                buf.put_u64_le(*wal_offset);
+            }
         }
     }
 
@@ -216,6 +275,11 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
             OP_METRICS => Request::Metrics,
+            OP_REPL_SUBSCRIBE => Request::ReplSubscribe {
+                shard: get_u32(buf, "repl shard")?,
+                generation: get_u64(buf, "repl generation")?,
+                wal_offset: get_u64(buf, "repl wal offset")?,
+            },
             other => return Err(Error::Codec(format!("unknown request opcode 0x{other:02x}"))),
         };
         if buf.has_remaining() {
@@ -255,6 +319,11 @@ fn get_str_ref<'a>(buf: &mut &'a [u8], what: &str) -> Result<&'a str> {
     let len = get_u32(buf, what)? as usize;
     let raw = take(buf, len, what)?;
     std::str::from_utf8(raw).map_err(|_| Error::Codec(format!("invalid utf-8 in {what}")))
+}
+
+fn get_bytes_ref<'a>(buf: &mut &'a [u8], what: &str) -> Result<&'a [u8]> {
+    let len = get_u32(buf, what)? as usize;
+    take(buf, len, what)
 }
 
 /// A validated, still-encoded snippet inside a request frame. The
@@ -371,6 +440,15 @@ pub enum RequestRef<'a> {
     Shutdown,
     /// The merged metrics exposition across shards.
     Metrics,
+    /// Subscribe to one shard's WAL stream from a resume cursor.
+    ReplSubscribe {
+        /// Shard whose journal is being tailed.
+        shard: u32,
+        /// Checkpoint generation the follower last applied.
+        generation: u64,
+        /// Byte offset into the leader's journal (a record boundary).
+        wal_offset: u64,
+    },
 }
 
 impl RequestRef<'_> {
@@ -391,6 +469,15 @@ impl RequestRef<'_> {
             RequestRef::Stats => Request::Stats,
             RequestRef::Shutdown => Request::Shutdown,
             RequestRef::Metrics => Request::Metrics,
+            RequestRef::ReplSubscribe {
+                shard,
+                generation,
+                wal_offset,
+            } => Request::ReplSubscribe {
+                shard,
+                generation,
+                wal_offset,
+            },
         }
     }
 }
@@ -434,6 +521,11 @@ impl Request {
             OP_STATS => RequestRef::Stats,
             OP_SHUTDOWN => RequestRef::Shutdown,
             OP_METRICS => RequestRef::Metrics,
+            OP_REPL_SUBSCRIBE => RequestRef::ReplSubscribe {
+                shard: get_u32(buf, "repl shard")?,
+                generation: get_u64(buf, "repl generation")?,
+                wal_offset: get_u64(buf, "repl wal offset")?,
+            },
             other => return Err(Error::Codec(format!("unknown request opcode 0x{other:02x}"))),
         };
         if !buf.is_empty() {
@@ -592,6 +684,31 @@ pub enum ResponseRef<'a> {
         /// Human-readable description, borrowed from the frame.
         message: &'a str,
     },
+    /// The server is a read-only follower; writes go to the leader.
+    NotLeader {
+        /// Leader address, borrowed from the frame.
+        leader: &'a str,
+    },
+    /// A batch of WAL records, borrowed from the frame.
+    ReplFrame {
+        /// The leader's current checkpoint generation.
+        generation: u64,
+        /// Journal offset the follower should resume from next.
+        next_offset: u64,
+        /// The leader's total journal length.
+        leader_wal_len: u64,
+        /// Records in the leader's journal since its last checkpoint.
+        leader_ops: u64,
+        /// Zero or more whole records, `len|crc|payload` framed.
+        records: &'a [u8],
+    },
+    /// A full bootstrap checkpoint, borrowed from the frame.
+    ReplCheckpoint {
+        /// The generation these checkpoint bytes represent.
+        generation: u64,
+        /// Verbatim generation-file bytes (empty = fresh engine).
+        checkpoint: &'a [u8],
+    },
 }
 
 impl ResponseRef<'_> {
@@ -614,6 +731,29 @@ impl ResponseRef<'_> {
             ResponseRef::Error { code, message } => Response::Error {
                 code,
                 message: message.to_string(),
+            },
+            ResponseRef::NotLeader { leader } => Response::NotLeader {
+                leader: leader.to_string(),
+            },
+            ResponseRef::ReplFrame {
+                generation,
+                next_offset,
+                leader_wal_len,
+                leader_ops,
+                records,
+            } => Response::ReplFrame {
+                generation,
+                next_offset,
+                leader_wal_len,
+                leader_ops,
+                records: records.to_vec(),
+            },
+            ResponseRef::ReplCheckpoint {
+                generation,
+                checkpoint,
+            } => Response::ReplCheckpoint {
+                generation,
+                checkpoint: checkpoint.to_vec(),
             },
         }
     }
@@ -667,6 +807,20 @@ impl Response {
                 let message = get_str_ref(buf, "error message")?;
                 ResponseRef::Error { code, message }
             }
+            OP_NOT_LEADER => ResponseRef::NotLeader {
+                leader: get_str_ref(buf, "leader address")?,
+            },
+            OP_REPL_FRAME => ResponseRef::ReplFrame {
+                generation: get_u64(buf, "repl generation")?,
+                next_offset: get_u64(buf, "repl next offset")?,
+                leader_wal_len: get_u64(buf, "repl wal length")?,
+                leader_ops: get_u64(buf, "repl op count")?,
+                records: get_bytes_ref(buf, "repl records")?,
+            },
+            OP_REPL_CHECKPOINT => ResponseRef::ReplCheckpoint {
+                generation: get_u64(buf, "repl generation")?,
+                checkpoint: get_bytes_ref(buf, "repl checkpoint")?,
+            },
             other => return Err(Error::Codec(format!("unknown response opcode 0x{other:02x}"))),
         };
         if !buf.is_empty() {
@@ -765,11 +919,40 @@ pub enum Response {
         /// Human-readable description.
         message: String,
     },
+    /// The server is a read-only follower; writes go to the leader.
+    NotLeader {
+        /// Address of the leader that accepts writes.
+        leader: String,
+    },
+    /// A batch of WAL records shipped verbatim from the leader's
+    /// journal (CRC-framed exactly as stored on disk).
+    ReplFrame {
+        /// The leader's current checkpoint generation.
+        generation: u64,
+        /// Journal offset the follower should resume from next.
+        next_offset: u64,
+        /// The leader's total journal length (for byte-lag gauges).
+        leader_wal_len: u64,
+        /// Records in the leader's journal since its last checkpoint
+        /// (for op-lag gauges).
+        leader_ops: u64,
+        /// Zero or more whole records, `len|crc|payload` framed.
+        records: Vec<u8>,
+    },
+    /// A full checkpoint to (re-)bootstrap a follower whose cursor
+    /// cannot resume (generation mismatch or offset past the journal).
+    ReplCheckpoint {
+        /// The generation these checkpoint bytes represent.
+        generation: u64,
+        /// Verbatim generation-file bytes; empty means "fresh engine"
+        /// (the leader has never checkpointed this shard).
+        checkpoint: Vec<u8>,
+    },
 }
 
 /// Map an engine error to its wire code (1 unknown reference,
 /// 2 duplicate, 3 parse, 4 codec, 5 config, 6 invariant, 7 i/o,
-/// 8 busy-after-retries).
+/// 8 busy-after-retries, 9 not-leader).
 pub fn error_code(e: &Error) -> u8 {
     match e {
         Error::UnknownSnippet(_)
@@ -784,6 +967,9 @@ pub fn error_code(e: &Error) -> u8 {
         Error::Invariant(_) => 6,
         Error::Io(_) => 7,
         Error::Busy { .. } => 8,
+        // NotLeader normally travels as its own opcode; the code exists
+        // so from_error stays total.
+        Error::NotLeader { .. } => 9,
     }
 }
 
@@ -797,6 +983,8 @@ impl Response {
     }
 
     /// Turn an error response back into an [`Error`] (client side).
+    /// [`Response::NotLeader`] becomes the typed
+    /// [`Error::NotLeader`] so callers can follow the redirect.
     pub fn into_result(self) -> Result<Response> {
         match self {
             Response::Error { code, message } => Err(match code {
@@ -805,6 +993,9 @@ impl Response {
                 5 => Error::InvalidConfig(message),
                 6 => Error::Invariant(message),
                 _ => Error::Io(format!("server error: {message}")),
+            }),
+            Response::NotLeader { leader } => Err(Error::NotLeader {
+                leader_addr: leader,
             }),
             other => Ok(other),
         }
@@ -861,6 +1052,32 @@ impl Response {
                 buf.put_u8(*code);
                 put_str(buf, message);
             }
+            Response::NotLeader { leader } => {
+                buf.put_u8(OP_NOT_LEADER);
+                put_str(buf, leader);
+            }
+            Response::ReplFrame {
+                generation,
+                next_offset,
+                leader_wal_len,
+                leader_ops,
+                records,
+            } => {
+                buf.put_u8(OP_REPL_FRAME);
+                buf.put_u64_le(*generation);
+                buf.put_u64_le(*next_offset);
+                buf.put_u64_le(*leader_wal_len);
+                buf.put_u64_le(*leader_ops);
+                put_bytes(buf, records);
+            }
+            Response::ReplCheckpoint {
+                generation,
+                checkpoint,
+            } => {
+                buf.put_u8(OP_REPL_CHECKPOINT);
+                buf.put_u64_le(*generation);
+                put_bytes(buf, checkpoint);
+            }
         }
     }
 
@@ -905,6 +1122,20 @@ impl Response {
                 let message = get_str(buf, "error message")?;
                 Response::Error { code, message }
             }
+            OP_NOT_LEADER => Response::NotLeader {
+                leader: get_str(buf, "leader address")?,
+            },
+            OP_REPL_FRAME => Response::ReplFrame {
+                generation: get_u64(buf, "repl generation")?,
+                next_offset: get_u64(buf, "repl next offset")?,
+                leader_wal_len: get_u64(buf, "repl wal length")?,
+                leader_ops: get_u64(buf, "repl op count")?,
+                records: get_bytes(buf, "repl records")?,
+            },
+            OP_REPL_CHECKPOINT => Response::ReplCheckpoint {
+                generation: get_u64(buf, "repl generation")?,
+                checkpoint: get_bytes(buf, "repl checkpoint")?,
+            },
             other => return Err(Error::Codec(format!("unknown response opcode 0x{other:02x}"))),
         };
         if buf.has_remaining() {
@@ -1107,6 +1338,11 @@ mod tests {
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::Metrics);
+        round_trip_request(Request::ReplSubscribe {
+            shard: 3,
+            generation: 1 << 40,
+            wal_offset: 123_456_789,
+        });
     }
 
     #[test]
@@ -1154,6 +1390,42 @@ mod tests {
             code: 4,
             message: "codec error: torn".into(),
         });
+        round_trip_response(Response::NotLeader {
+            leader: "127.0.0.1:7411".into(),
+        });
+        round_trip_response(Response::ReplFrame {
+            generation: 7,
+            next_offset: 4096,
+            leader_wal_len: 8192,
+            leader_ops: 12,
+            records: vec![0xAB; 37],
+        });
+        round_trip_response(Response::ReplFrame {
+            generation: 0,
+            next_offset: 0,
+            leader_wal_len: 0,
+            leader_ops: 0,
+            records: Vec::new(),
+        });
+        round_trip_response(Response::ReplCheckpoint {
+            generation: 2,
+            checkpoint: b"SPVC-ish bytes".to_vec(),
+        });
+        round_trip_response(Response::ReplCheckpoint {
+            generation: 0,
+            checkpoint: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn not_leader_surfaces_as_a_typed_error() {
+        let resp = Response::NotLeader {
+            leader: "10.0.0.1:7411".into(),
+        };
+        match resp.into_result() {
+            Err(Error::NotLeader { leader_addr }) => assert_eq!(leader_addr, "10.0.0.1:7411"),
+            other => panic!("expected NotLeader, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1231,6 +1503,11 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Metrics,
+            Request::ReplSubscribe {
+                shard: 1,
+                generation: 9,
+                wal_offset: 640,
+            },
         ];
         for req in reqs {
             let mut payload = Vec::new();
@@ -1282,6 +1559,20 @@ mod tests {
             Response::Error {
                 code: 4,
                 message: "codec error: torn".into(),
+            },
+            Response::NotLeader {
+                leader: "127.0.0.1:7411".into(),
+            },
+            Response::ReplFrame {
+                generation: 7,
+                next_offset: 4096,
+                leader_wal_len: 8192,
+                leader_ops: 12,
+                records: vec![0xAB; 37],
+            },
+            Response::ReplCheckpoint {
+                generation: 2,
+                checkpoint: b"SPVC-ish bytes".to_vec(),
             },
         ];
         for resp in resps {

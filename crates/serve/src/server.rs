@@ -89,6 +89,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -109,11 +110,18 @@ use storypivot_substrate::wal::{self, SyncPolicy, Wal, WalMetrics};
 use storypivot_types::{DocId, Error, Result, Snippet, Source, SourceId, StoryId};
 
 use crate::proto::{frame_into, frame_ready, Request, RequestRef, Response, StorySummary};
+use crate::replica;
+use crate::snapshot::{ShardSnapshot, SnapshotSlot};
 use crate::stats::{ServeStats, ShardStats};
 
 /// The maximum number of sources the story-id partitioning scheme
 /// supports (see `core::identify::STORY_ID_STRIDE`).
 const MAX_SOURCES: u32 = 256;
+
+/// Upper bound on WAL bytes shipped per REPL_FRAME. Whole records
+/// only — the read is trimmed to the last record boundary — and well
+/// under `MAX_FRAME_LEN` with response framing around it.
+const REPL_BATCH_BYTES: usize = 1 << 20;
 
 /// Ingesting a snippet with this exact headline makes the owning shard
 /// worker panic — **in debug builds only** — providing a failure
@@ -165,6 +173,23 @@ pub struct ServerConfig {
     /// Reap a connection that completes no frame for this long
     /// (also bounds slow-loris readers); `None` never reaps.
     pub idle_timeout: Option<Duration>,
+    /// Run as a read-only follower replica of the leader at this
+    /// address: bootstrap each shard from the leader's newest
+    /// checkpoint, tail its WAL over REPL_SUBSCRIBE, serve reads from
+    /// snapshots, and answer every write with a NOT_LEADER redirect.
+    /// Requires `wal_dir` (the follower keeps a byte-identical WAL
+    /// copy as its durable replication cursor).
+    pub leader: Option<String>,
+    /// Publish a fresh read snapshot after this many applied
+    /// mutations. The default of 1 republishes after every op, which
+    /// preserves exact read-your-writes; raising it trades staleness
+    /// (bounded by `snapshot_max_age_ms`) for less copying on hot
+    /// write paths.
+    pub snapshot_every_ops: u64,
+    /// Also republish whenever the current snapshot is older than this
+    /// many milliseconds *and* ops have been applied since it was
+    /// built (checked as the worker processes jobs).
+    pub snapshot_max_age_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -183,6 +208,9 @@ impl Default for ServerConfig {
             io_workers: 2,
             max_pipeline: 64,
             idle_timeout: None,
+            leader: None,
+            snapshot_every_ops: 1,
+            snapshot_max_age_ms: 100,
         }
     }
 }
@@ -191,24 +219,72 @@ impl Default for ServerConfig {
 /// invokes with the response. Replies built from a connection carry a
 /// drop-guard, so a job that dies with its worker still produces an
 /// error response instead of a hung client.
-type Reply = Box<dyn FnOnce(Response) + Send>;
+pub(crate) type Reply = Box<dyn FnOnce(Response) + Send>;
 
 /// Reply callback for metrics snapshots (merged by the I/O layer).
-type SnapReply = Box<dyn FnOnce(Snapshot) + Send>;
+pub(crate) type SnapReply = Box<dyn FnOnce(Snapshot) + Send>;
+
+/// A replica shard's durable replication position: the checkpoint
+/// generation it bootstrapped from plus the byte length of its local
+/// WAL copy. Because the follower appends the leader's record payloads
+/// through the same deterministic framing, its WAL is byte-identical
+/// to the leader's — so "my WAL length" *is* "the leader offset I have
+/// everything before", and a restart recovers the cursor for free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct ReplCursor {
+    /// Checkpoint generation the WAL tail applies on top of.
+    pub(crate) generation: u64,
+    /// Local WAL length == leader WAL offset fully replicated.
+    pub(crate) wal_len: u64,
+    /// Ops applied since the generation (drives the lag-in-ops gauge).
+    pub(crate) ops: u64,
+}
+
+/// Acknowledgement channel for replication jobs: the puller thread
+/// blocks on the paired receiver until the shard worker reports the
+/// cursor it reached (or why it couldn't).
+pub(crate) type ReplAck = SyncSender<Result<ReplCursor>>;
 
 /// Work routed to one shard.
-enum Job {
+pub(crate) enum Job {
     AddSource(Source, Reply),
     Ingest(Snippet, Reply),
     IngestMany(Vec<Snippet>, Reply),
-    Query(Reply),
-    GetStory(StoryId, Reply),
     RemoveDoc(DocId, Reply),
     Stats(Reply),
     /// Snapshot the shard's metrics registry (merged by the I/O layer).
     Metrics(SnapReply),
     /// Flush + checkpoint; the shard replies once its state is durable.
     Drain(Reply),
+    /// Leader side of REPL_SUBSCRIBE: ship WAL records from
+    /// `wal_offset` (or a checkpoint if the follower's generation is
+    /// stale).
+    Repl {
+        /// Generation the follower believes it is on.
+        generation: u64,
+        /// Leader-WAL byte offset the follower has replicated through.
+        wal_offset: u64,
+        /// Where the REPL_FRAME / REPL_CHECKPOINT response goes.
+        reply: Reply,
+    },
+    /// Follower side: install the leader's checkpoint bytes verbatim
+    /// and reset the local WAL.
+    ReplBootstrap {
+        /// The leader's checkpoint generation.
+        generation: u64,
+        /// Raw checkpoint bytes (empty = start from a fresh engine).
+        checkpoint: Vec<u8>,
+        /// Cursor acknowledgement back to the puller.
+        ack: ReplAck,
+    },
+    /// Follower side: append + apply a batch of leader WAL records
+    /// (an empty batch is a cursor probe).
+    ReplApply {
+        /// Concatenated whole WAL records, leader framing intact.
+        records: Vec<u8>,
+        /// Cursor acknowledgement back to the puller.
+        ack: ReplAck,
+    },
 }
 
 /// Lock a mutex, riding through poisoning (no invariant here spans the
@@ -393,18 +469,23 @@ impl<T> Drop for FanGuard<T> {
 
 /// Invoke a job's reply with `resp` (defusing its drop-guard); a
 /// metrics job carries a snapshot-typed reply and is simply dropped,
-/// which fails its fan through the guard.
+/// which fails its fan through the guard. Replication acks get a
+/// typed error so the puller backs off instead of hanging.
 fn fail_job(job: Job, resp: Response) {
     match job {
         Job::AddSource(_, r)
         | Job::Ingest(_, r)
         | Job::IngestMany(_, r)
-        | Job::Query(r)
-        | Job::GetStory(_, r)
         | Job::RemoveDoc(_, r)
         | Job::Stats(r)
-        | Job::Drain(r) => r(resp),
+        | Job::Drain(r)
+        | Job::Repl { reply: r, .. } => r(resp),
         Job::Metrics(_) => {}
+        Job::ReplBootstrap { ack, .. } | Job::ReplApply { ack, .. } => {
+            let _ = ack.send(Err(Error::Io(
+                "shard queue rejected the replication job".into(),
+            )));
+        }
     }
 }
 
@@ -455,11 +536,20 @@ impl IoMetrics {
     }
 }
 
-/// State shared between the acceptor, I/O workers, shard workers, and
-/// [`ServerHandle`].
-struct Shared {
+/// State shared between the acceptor, I/O workers, shard workers,
+/// replica pullers, and [`ServerHandle`].
+pub(crate) struct Shared {
     queues: Vec<Bounded<Job>>,
     busy_counters: Vec<Arc<AtomicU64>>,
+    /// One published read snapshot per shard; I/O workers answer
+    /// QUERY_STORIES/GET_STORY from these without touching the queues.
+    snapshots: Vec<SnapshotSlot>,
+    /// Per-shard query counters, bumped by I/O workers on the
+    /// snapshot-read path and folded into STATS by the shard.
+    query_counters: Vec<Arc<AtomicU64>>,
+    /// `Some(addr)` when this server is a read-only follower replica:
+    /// writes are answered with a NOT_LEADER redirect to `addr`.
+    leader: Option<String>,
     next_source: AtomicU32,
     shutting_down: AtomicBool,
     done: AtomicBool,
@@ -483,6 +573,12 @@ struct Shared {
 impl Shared {
     fn shard_of_source(&self, source: SourceId) -> usize {
         source.raw() as usize % self.queues.len()
+    }
+
+    /// Whether a SHUTDOWN has completed (replica pullers poll this to
+    /// know when to stop tailing the leader).
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
     }
 
     /// Refresh the I/O gauges from their atomic sources.
@@ -552,6 +648,18 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
     if cfg.max_pipeline == 0 {
         return Err(Error::InvalidConfig("serve: max_pipeline must be >= 1".into()));
     }
+    if cfg.snapshot_every_ops == 0 {
+        return Err(Error::InvalidConfig(
+            "serve: snapshot_every_ops must be >= 1".into(),
+        ));
+    }
+    if cfg.leader.is_some() && cfg.wal_dir.is_none() {
+        return Err(Error::InvalidConfig(
+            "serve: replica mode requires --wal-dir (the follower's WAL copy \
+             is its durable replication cursor)"
+                .into(),
+        ));
+    }
     cfg.pivot.validate()?;
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
@@ -560,9 +668,14 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
     let queues: Vec<Bounded<Job>> = (0..cfg.shards).map(|_| Bounded::new(cfg.queue_depth)).collect();
     let busy_counters: Vec<Arc<AtomicU64>> =
         (0..cfg.shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let snapshots: Vec<SnapshotSlot> = (0..cfg.shards).map(|_| SnapshotSlot::new()).collect();
+    let query_counters: Vec<Arc<AtomicU64>> =
+        (0..cfg.shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
 
     // Recover every shard before serving: clients must never observe a
-    // partially recovered partition.
+    // partially recovered partition. Each worker publishes its first
+    // snapshot at the end of recovery, so the read path is live (and
+    // consistent) before the listener accepts anyone.
     let mut shard_workers = Vec::with_capacity(cfg.shards);
     for (idx, queue) in queues.iter().enumerate() {
         shard_workers.push(ShardWorker::recover(
@@ -570,6 +683,8 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
             &cfg,
             Arc::clone(&busy_counters[idx]),
             queue.clone(),
+            Arc::clone(&query_counters[idx]),
+            snapshots[idx].clone(),
         )?);
     }
     // Resume source-id allocation past everything the checkpoints and
@@ -598,6 +713,9 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
     let shared = Arc::new(Shared {
         queues: queues.clone(),
         busy_counters,
+        snapshots,
+        query_counters,
+        leader: cfg.leader.clone(),
         next_source: AtomicU32::new(next_source),
         shutting_down: AtomicBool::new(false),
         done: AtomicBool::new(false),
@@ -652,6 +770,37 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
         .name("pivot-accept".into())
         .spawn(move || accept_loop(listener, accept_shared))
         .map_err(|e| Error::Io(format!("spawn acceptor: {e}")))?;
+
+    // Follower replica: one puller thread per shard tails the leader's
+    // WAL and feeds ReplBootstrap/ReplApply jobs to the local worker.
+    if let Some(leader) = &cfg.leader {
+        for (i, queue) in queues.iter().enumerate() {
+            let sid = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &sid)];
+            let ctx = replica::PullerCtx {
+                shard: i,
+                leader: leader.clone(),
+                queue: queue.clone(),
+                shared: Arc::clone(&shared),
+                lag_ops: shared.registry.gauge_with(
+                    "storypivot_replica_lag_ops",
+                    "Ops the leader has applied that this replica shard has not.",
+                    labels,
+                ),
+                lag_bytes: shared.registry.gauge_with(
+                    "storypivot_replica_lag_bytes",
+                    "Leader WAL bytes not yet replicated to this shard.",
+                    labels,
+                ),
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pivot-repl-{i}"))
+                    .spawn(move || replica::run_puller(ctx))
+                    .map_err(|e| Error::Io(format!("spawn replica puller: {e}")))?,
+            );
+        }
+    }
 
     Ok(ServerHandle {
         addr: bound,
@@ -1101,6 +1250,23 @@ impl IoWorker {
                 return;
             }
         };
+        // A follower replica serves reads only: every mutation (and a
+        // replication subscribe — replicas don't chain) is answered
+        // with a redirect to the leader, without touching the queues.
+        if let Some(leader) = &self.shared.leader {
+            if matches!(
+                req,
+                RequestRef::AddSource { .. }
+                    | RequestRef::IngestSnippet(_)
+                    | RequestRef::IngestBatch(_)
+                    | RequestRef::RemoveDoc(_)
+                    | RequestRef::ReplSubscribe { .. }
+            ) {
+                let leader = leader.clone();
+                self.finish(id, seq, Response::NotLeader { leader }, false);
+                return;
+            }
+        }
         match req {
             RequestRef::AddSource { name, kind, lag } => {
                 let sid = self.shared.next_source.fetch_add(1, Ordering::SeqCst);
@@ -1176,25 +1342,52 @@ impl IoWorker {
                 }
                 self.push_jobs(id, jobs);
             }
-            RequestRef::QueryStories => self.broadcast(
-                id,
-                dest,
-                Job::Query,
-                Box::new(|parts| {
-                    let mut stories = Vec::new();
-                    for r in parts {
-                        match r {
-                            Response::Stories(mut s) => stories.append(&mut s),
-                            other => return other,
-                        }
-                    }
-                    stories.sort_unstable_by_key(|s: &StorySummary| s.id);
-                    Response::Stories(stories)
-                }),
-            ),
+            // Reads never touch the shard queues: they merge the
+            // published snapshots right here on the I/O worker, so a
+            // query flash-crowd cannot starve (or be starved by)
+            // ingest. `dest` is unused — the response is finished
+            // synchronously in this call.
+            RequestRef::QueryStories => {
+                let mut stories = Vec::new();
+                for (shard, slot) in self.shared.snapshots.iter().enumerate() {
+                    let snap = slot.load();
+                    stories.extend_from_slice(&snap.stories);
+                    self.shared.query_counters[shard].fetch_add(1, Ordering::Relaxed);
+                }
+                stories.sort_unstable_by_key(|s: &StorySummary| s.id);
+                self.finish(id, seq, Response::Stories(stories), false);
+            }
             RequestRef::GetStory(story) => {
                 let shard = self.shared.shard_of_source(story_source(story));
-                self.push_one(id, shard, Job::GetStory(story, direct_reply(dest)));
+                self.shared.query_counters[shard].fetch_add(1, Ordering::Relaxed);
+                let resp = match self.shared.snapshots[shard].load().get(story) {
+                    Some(summary) => Response::Story(summary.clone()),
+                    None => Response::from_error(&Error::UnknownStory(story)),
+                };
+                self.finish(id, seq, resp, false);
+            }
+            RequestRef::ReplSubscribe {
+                shard,
+                generation,
+                wal_offset,
+            } => {
+                let n = self.shared.queues.len();
+                if shard as usize >= n {
+                    let e = Error::InvalidConfig(format!(
+                        "REPL_SUBSCRIBE for shard {shard}, but the leader has {n} shards"
+                    ));
+                    self.finish(id, seq, Response::from_error(&e), false);
+                    return;
+                }
+                self.push_one(
+                    id,
+                    shard as usize,
+                    Job::Repl {
+                        generation,
+                        wal_offset,
+                        reply: direct_reply(dest),
+                    },
+                );
             }
             RequestRef::RemoveDoc(doc) => self.broadcast(
                 id,
@@ -1536,6 +1729,8 @@ struct ShardServeMetrics {
     quarantined: Gauge,
     busy_rejections: Gauge,
     ingest_latency: HistogramMetric,
+    snapshot_epoch: Gauge,
+    snapshot_age_ops: Gauge,
 }
 
 impl ShardServeMetrics {
@@ -1573,6 +1768,16 @@ impl ShardServeMetrics {
                 "End-to-end shard-side ingest latency (journal + apply) in nanoseconds.",
                 labels,
             ),
+            snapshot_epoch: registry.gauge_with(
+                "storypivot_shard_snapshot_epoch",
+                "Publication count of the shard's lock-free read snapshot.",
+                labels,
+            ),
+            snapshot_age_ops: registry.gauge_with(
+                "storypivot_shard_snapshot_age_ops",
+                "Mutations applied since the current read snapshot was published.",
+                labels,
+            ),
         }
     }
 }
@@ -1585,9 +1790,22 @@ struct ShardWorker {
     policy: PipelinePolicy,
     hist: Histogram,
     ingested: u64,
-    queries: u64,
+    /// Shared with the I/O workers, which bump it on the snapshot read
+    /// path; the shard only reads it for STATS.
+    queries: Arc<AtomicU64>,
     busy: Arc<AtomicU64>,
     queue: Bounded<Job>,
+    /// Where published read snapshots go (shared with I/O workers).
+    slot: SnapshotSlot,
+    snapshot_epoch: u64,
+    /// Mutations applied since the last publish.
+    snapshot_age_ops: u64,
+    snapshot_every_ops: u64,
+    snapshot_max_age: Duration,
+    last_publish: Instant,
+    /// Follower replica: skip local checkpoint scheduling (generation
+    /// and WAL position are the leader's to advance).
+    replica: bool,
     /// The shard's private metrics registry; engine, WAL, and serving
     /// gauges all record here, and `METRICS` snapshots it.
     registry: Registry,
@@ -1629,6 +1847,8 @@ impl ShardWorker {
         cfg: &ServerConfig,
         busy: Arc<AtomicU64>,
         queue: Bounded<Job>,
+        queries: Arc<AtomicU64>,
+        slot: SnapshotSlot,
     ) -> Result<ShardWorker> {
         let policy = PipelinePolicy {
             align_every: cfg.align_every,
@@ -1669,9 +1889,16 @@ impl ShardWorker {
             policy,
             hist: Histogram::new(),
             ingested: 0,
-            queries: 0,
+            queries,
             busy,
             queue,
+            slot,
+            snapshot_epoch: 0,
+            snapshot_age_ops: 0,
+            snapshot_every_ops: cfg.snapshot_every_ops,
+            snapshot_max_age: Duration::from_millis(cfg.snapshot_max_age_ms),
+            last_publish: Instant::now(),
+            replica: cfg.leader.is_some(),
             registry,
             engine_metrics,
             serve_metrics,
@@ -1737,16 +1964,35 @@ impl ShardWorker {
             if !self.worker_delay.is_zero() {
                 std::thread::sleep(self.worker_delay);
             }
+            // Time half of the freshness policy: ops held back by a
+            // large `snapshot_every_ops` still reach readers once the
+            // snapshot outlives `snapshot_max_age`.
+            if self.snapshot_age_ops > 0 && self.last_publish.elapsed() >= self.snapshot_max_age {
+                self.publish_snapshot();
+            }
             match job {
                 Job::AddSource(source, reply) => reply(self.add_source(source)),
                 Job::Ingest(snippet, reply) => reply(self.ingest(snippet)),
                 Job::IngestMany(batch, reply) => reply(self.ingest_many(batch)),
-                Job::Query(reply) => reply(self.query()),
-                Job::GetStory(id, reply) => reply(self.get_story(id)),
                 Job::RemoveDoc(doc, reply) => reply(self.remove_doc(doc)),
                 Job::Stats(reply) => reply(self.stats()),
                 Job::Metrics(reply) => reply(self.metrics_snapshot()),
                 Job::Drain(reply) => reply(self.drain()),
+                Job::Repl {
+                    generation,
+                    wal_offset,
+                    reply,
+                } => reply(self.repl(generation, wal_offset)),
+                Job::ReplBootstrap {
+                    generation,
+                    checkpoint,
+                    ack,
+                } => {
+                    let _ = ack.send(self.repl_bootstrap(generation, checkpoint));
+                }
+                Job::ReplApply { records, ack } => {
+                    let _ = ack.send(self.repl_apply(&records));
+                }
             }
         }
     }
@@ -1774,6 +2020,7 @@ impl ShardWorker {
                 if result.is_ok() {
                     self.ops_since_checkpoint += 1;
                     self.maybe_checkpoint();
+                    self.note_applied();
                 }
                 result
             }
@@ -1833,6 +2080,40 @@ impl ShardWorker {
         m.restarts.set(self.restarts as i64);
         m.quarantined.set(self.quarantined as i64);
         m.busy_rejections.set(self.busy.load(Ordering::Relaxed) as i64);
+        m.snapshot_epoch.set(self.snapshot_epoch as i64);
+        m.snapshot_age_ops.set(self.snapshot_age_ops as i64);
+    }
+
+    /// Build an immutable, id-sorted copy of the current partition and
+    /// swap it into the shared slot. Runs on the shard thread *before*
+    /// the triggering op's reply is delivered, so acked writes are
+    /// always visible to the next read.
+    fn publish_snapshot(&mut self) {
+        self.snapshot_epoch += 1;
+        let mut stories = self.summaries();
+        stories.sort_unstable_by_key(|s| s.id);
+        self.slot.publish(Arc::new(ShardSnapshot {
+            epoch: self.snapshot_epoch,
+            stories,
+        }));
+        self.snapshot_age_ops = 0;
+        self.last_publish = Instant::now();
+        self.serve_metrics.snapshot_epoch.set(self.snapshot_epoch as i64);
+        self.serve_metrics.snapshot_age_ops.set(0);
+    }
+
+    /// Freshness policy after one applied mutation: republish every
+    /// `snapshot_every_ops` ops, or sooner once the snapshot is older
+    /// than `snapshot_max_age`.
+    fn note_applied(&mut self) {
+        self.snapshot_age_ops += 1;
+        if self.snapshot_age_ops >= self.snapshot_every_ops
+            || self.last_publish.elapsed() >= self.snapshot_max_age
+        {
+            self.publish_snapshot();
+        } else {
+            self.serve_metrics.snapshot_age_ops.set(self.snapshot_age_ops as i64);
+        }
     }
 
     /// Reconstruct the engine from the newest valid checkpoint plus the
@@ -1893,6 +2174,9 @@ impl ShardWorker {
                 // A rebuilt engine starts with detached handles; point
                 // it back at the shard's registry.
                 self.engine.pivot_mut().set_metrics(self.engine_metrics.clone());
+                // Readers must see the rebuilt partition, not the
+                // pre-panic (or pre-recovery empty) one.
+                self.publish_snapshot();
                 return;
             }
         }
@@ -1958,6 +2242,12 @@ impl ShardWorker {
     /// Size-triggered checkpoint: once the WAL is past the threshold,
     /// persist a generation and truncate the log.
     fn maybe_checkpoint(&mut self) {
+        // A replica never checkpoints on its own: its generation is
+        // the leader's, and truncating the WAL would desync the
+        // byte-identical copy that serves as the replication cursor.
+        if self.replica {
+            return;
+        }
         if self.checkpoint_every_bytes == 0 || self.checkpoint_dir.is_none() {
             return;
         }
@@ -2053,25 +2343,130 @@ impl ShardWorker {
             .collect()
     }
 
-    fn query(&mut self) -> Response {
-        self.queries += 1;
-        Response::Stories(self.summaries())
+    /// Leader side of one replication poll. The handler runs on the
+    /// shard thread, so `generation`, `ops_since_checkpoint`, and the
+    /// WAL length are mutually consistent — there is no race with a
+    /// concurrent checkpoint.
+    fn repl(&mut self, generation: u64, wal_offset: u64) -> Response {
+        let Some(wal) = self.wal.as_ref() else {
+            return Response::from_error(&Error::InvalidConfig(format!(
+                "shard {}: replication requires the leader to run with --wal-dir",
+                self.idx
+            )));
+        };
+        let wal_len = wal.len();
+        if generation == self.generation && wal_offset <= wal_len {
+            let path = self.wal_path.as_ref().expect("wal implies wal_path");
+            match wal::read_records_range(path, wal_offset, REPL_BATCH_BYTES) {
+                Ok(records) => Response::ReplFrame {
+                    generation: self.generation,
+                    next_offset: wal_offset + records.len() as u64,
+                    leader_wal_len: wal_len,
+                    leader_ops: self.ops_since_checkpoint,
+                    records,
+                },
+                Err(e) => Response::from_error(&Error::Io(format!(
+                    "shard {}: replication read at offset {wal_offset}: {e}",
+                    self.idx
+                ))),
+            }
+        } else {
+            // The follower is on an older generation (or a diverged
+            // offset): re-bootstrap it from the newest checkpoint,
+            // shipped verbatim so both sides agree on the bytes.
+            match self
+                .checkpoint_dir
+                .as_deref()
+                .map(|d| checkpoint::newest_generation_bytes(d, self.idx))
+            {
+                Some(Ok(Some((gen, bytes)))) => Response::ReplCheckpoint {
+                    generation: gen,
+                    checkpoint: bytes,
+                },
+                // No checkpoint on disk: the follower starts from an
+                // empty engine at the leader's generation and tails
+                // the WAL from offset 0.
+                Some(Ok(None)) | None => Response::ReplCheckpoint {
+                    generation: self.generation,
+                    checkpoint: Vec::new(),
+                },
+                Some(Err(e)) => Response::from_error(&e),
+            }
+        }
     }
 
-    fn get_story(&mut self, id: StoryId) -> Response {
-        self.queries += 1;
-        match self.engine.pivot().story(id) {
-            Some(state) => {
-                let mut members = state.story.members.clone();
-                members.sort_unstable();
-                Response::Story(StorySummary {
-                    id,
-                    source: state.source(),
-                    lifespan: state.lifespan(),
-                    members,
-                })
+    /// Follower side: install the leader's checkpoint bytes verbatim
+    /// (persisting the same generation locally), reset the WAL copy,
+    /// and publish the bootstrapped partition.
+    fn repl_bootstrap(&mut self, generation: u64, bytes: Vec<u8>) -> Result<ReplCursor> {
+        let engine = if bytes.is_empty() {
+            DynamicPivot::new(self.pivot_cfg.clone(), self.policy)
+        } else {
+            let pivot = storypivot_core::StoryPivot::load_checkpoint(self.pivot_cfg.clone(), &bytes)?;
+            DynamicPivot::from_pivot(pivot, self.policy)
+        };
+        if let Some(dir) = &self.checkpoint_dir {
+            if !bytes.is_empty() {
+                checkpoint::write_generation(dir, self.idx, generation, &bytes)?;
             }
-            None => Response::from_error(&Error::UnknownStory(id)),
+        }
+        if let Some(w) = &mut self.wal {
+            w.reset()
+                .map_err(|e| Error::Io(format!("shard {} wal reset: {e}", self.idx)))?;
+        }
+        self.engine = engine;
+        self.engine.pivot_mut().set_metrics(self.engine_metrics.clone());
+        self.generation = generation;
+        self.ops_since_checkpoint = 0;
+        self.trace
+            .push("repl_bootstrap", format!("generation {generation}"));
+        self.publish_snapshot();
+        Ok(self.repl_cursor())
+    }
+
+    /// Follower side: append each shipped record to the local WAL
+    /// (reproducing the leader's bytes exactly), then apply it through
+    /// idempotent replay — a duplicate from a resubscribe overlap is a
+    /// no-op, same as WAL-tail replay after a crash.
+    fn repl_apply(&mut self, records: &[u8]) -> Result<ReplCursor> {
+        let (payloads, consumed) = wal::split_records(records);
+        if consumed != records.len() {
+            return Err(Error::Codec(format!(
+                "shard {}: replication frame carried {} undecodable trailing bytes",
+                self.idx,
+                records.len() - consumed
+            )));
+        }
+        let mut applied = false;
+        for payload in payloads {
+            let op = ReplayOp::decode(payload)?;
+            if let Some(w) = &mut self.wal {
+                w.append(payload)
+                    .map_err(|e| Error::Io(format!("shard {} wal append: {e}", self.idx)))?;
+            }
+            // Same error policy as rebuild(): a record the engine
+            // rejects is logged and skipped, not fatal — the leader
+            // already applied (or skipped) it.
+            if let Err(e) = replay_op(&mut self.engine, &op) {
+                eprintln!(
+                    "pivotd: shard {}: replicated op rejected (skipped): {e}",
+                    self.idx
+                );
+            }
+            self.ops_since_checkpoint += 1;
+            applied = true;
+        }
+        if applied {
+            self.publish_snapshot();
+        }
+        Ok(self.repl_cursor())
+    }
+
+    fn repl_cursor(&self) -> ReplCursor {
+        ReplCursor {
+            generation: self.generation,
+            wal_len: self.wal.as_ref().map_or(0, Wal::len),
+            ops: self.ops_since_checkpoint,
         }
     }
 
@@ -2095,7 +2490,7 @@ impl ShardWorker {
                 stories: pivot.story_count() as u64,
                 snippets: pivot.store().len() as u64,
                 ingested: self.ingested,
-                queries: self.queries,
+                queries: self.queries.load(Ordering::Relaxed),
                 busy_rejections: self.busy.load(Ordering::Relaxed),
                 ingest_count: self.hist.count(),
                 ingest_p50_ns: self.hist.percentile(0.50),
@@ -2112,7 +2507,13 @@ impl ShardWorker {
     fn drain(&mut self) -> Response {
         self.trace.push("drain", String::new());
         self.engine.flush();
-        if self.checkpoint_dir.is_some() {
+        // Flushing can realign stories; publish so late readers see
+        // the final partition.
+        self.publish_snapshot();
+        // A replica's durable state is already exactly the leader's
+        // checkpoint + WAL copy; writing a local generation would
+        // desync the replication cursor.
+        if !self.replica && self.checkpoint_dir.is_some() {
             if let Err(e) = self.checkpoint_now() {
                 return Response::Error {
                     code: 7,

@@ -73,7 +73,7 @@ fn random_shard_stats(rng: &mut StdRng) -> ShardStats {
 }
 
 fn random_request(rng: &mut StdRng) -> Request {
-    match rng.random_range(0..8u32) {
+    match rng.random_range(0..9u32) {
         0 => Request::AddSource {
             name: prop::unicode_string(rng, 0, 30),
             kind: SourceKind::ALL[rng.random_range(0..SourceKind::ALL.len())],
@@ -85,12 +85,17 @@ fn random_request(rng: &mut StdRng) -> Request {
         4 => Request::GetStory(StoryId::new(rng.random())),
         5 => Request::RemoveDoc(DocId::new(rng.random())),
         6 => Request::Stats,
+        7 => Request::ReplSubscribe {
+            shard: rng.random_range(0..64u32),
+            generation: rng.random(),
+            wal_offset: rng.random(),
+        },
         _ => Request::Shutdown,
     }
 }
 
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.random_range(0..10u32) {
+    match rng.random_range(0..13u32) {
         0 => Response::SourceAdded(SourceId::new(rng.random_range(0..256u32))),
         1 => Response::Ingested(StoryId::new(rng.random())),
         2 => Response::BatchIngested(rng.random()),
@@ -103,6 +108,20 @@ fn random_response(rng: &mut StdRng) -> Response {
         7 => Response::ShutdownAck,
         8 => Response::Busy {
             retry_after_ms: rng.random(),
+        },
+        9 => Response::NotLeader {
+            leader: prop::unicode_string(rng, 0, 40),
+        },
+        10 => Response::ReplFrame {
+            generation: rng.random(),
+            next_offset: rng.random(),
+            leader_wal_len: rng.random(),
+            leader_ops: rng.random(),
+            records: prop::vec_with(rng, 0, 64, |r| r.random()),
+        },
+        11 => Response::ReplCheckpoint {
+            generation: rng.random(),
+            checkpoint: prop::vec_with(rng, 0, 64, |r| r.random()),
         },
         _ => Response::Error {
             code: rng.random(),

@@ -130,21 +130,19 @@ impl Scan {
     }
 }
 
-/// Read every valid record of a journal. A missing file is an empty
-/// journal, not an error (a fresh shard has simply never logged).
-/// The scan stops at the first record whose header overruns the file,
-/// whose length is absurd, or whose CRC mismatches — everything before
-/// that point is returned, everything after is counted as dropped.
-pub fn scan(path: &Path) -> std::io::Result<Scan> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Scan::default()),
-        Err(e) => return Err(e),
-    }
-    let mut out = Scan::default();
+/// Split a byte run into its leading whole, CRC-valid records. Returns
+/// the payload slices in append order plus the number of bytes they
+/// framed (always a record boundary). The walk stops at the first
+/// record whose header overruns the slice, whose length is absurd, or
+/// whose CRC mismatches — the remainder (`bytes.len() - consumed`) is a
+/// torn tail or corruption from the caller's point of view.
+///
+/// This is the single framing walk the crate trusts: [`scan`] uses it
+/// for crash recovery, and replication uses it to cut a shipping batch
+/// at a record boundary on the leader and to verify shipped bytes
+/// before applying them on a follower.
+pub fn split_records(bytes: &[u8]) -> (Vec<&[u8]>, usize) {
+    let mut records = Vec::new();
     let mut offset = 0usize;
     while offset + RECORD_OVERHEAD as usize <= bytes.len() {
         let len =
@@ -162,12 +160,60 @@ pub fn scan(path: &Path) -> std::io::Result<Scan> {
         if crc32(payload) != stored_crc {
             break; // bit flip (or a tear that landed inside the CRC)
         }
-        out.records.push(payload.to_vec());
+        records.push(payload);
         offset = payload_end;
     }
-    out.valid_len = offset as u64;
-    out.dropped_bytes = (bytes.len() - offset) as u64;
+    (records, offset)
+}
+
+/// Read every valid record of a journal. A missing file is an empty
+/// journal, not an error (a fresh shard has simply never logged).
+/// The scan stops at the first record whose header overruns the file,
+/// whose length is absurd, or whose CRC mismatches — everything before
+/// that point is returned, everything after is counted as dropped.
+pub fn scan(path: &Path) -> std::io::Result<Scan> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Scan::default()),
+        Err(e) => return Err(e),
+    }
+    let mut out = Scan::default();
+    let (records, consumed) = split_records(&bytes);
+    out.records = records.into_iter().map(<[u8]>::to_vec).collect();
+    out.valid_len = consumed as u64;
+    out.dropped_bytes = (bytes.len() - consumed) as u64;
     Ok(out)
+}
+
+/// Read up to `max` bytes of framed records from the journal file at
+/// `path` starting at byte `offset`, trimmed back to the last whole
+/// record boundary. This is the leader side of WAL shipping: the
+/// caller hands a follower's resume offset (always a boundary, since
+/// followers only advance by whole records) and gets a batch that a
+/// follower can append verbatim. A missing file yields an empty batch.
+pub fn read_records_range(path: &Path, offset: u64, max: usize) -> std::io::Result<Vec<u8>> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; max];
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let n = file.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    buf.truncate(filled);
+    let (_, whole) = split_records(&buf);
+    buf.truncate(whole);
+    Ok(buf)
 }
 
 /// An open journal, positioned for appending.
@@ -391,6 +437,53 @@ mod tests {
         let scanned = scan(&path).unwrap();
         assert_eq!(scanned.records.len(), 1);
         assert_eq!(scanned.records[0], b"post-checkpoint");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn split_records_cuts_at_the_last_whole_boundary() {
+        let path = tmp("split");
+        {
+            let (mut wal, _) = Wal::open(&path, SyncPolicy::Always).unwrap();
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+            wal.append(b"three").unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let (records, consumed) = split_records(&bytes);
+        assert_eq!(records, vec![&b"one"[..], b"two", b"three"]);
+        assert_eq!(consumed, bytes.len());
+        // Any mid-record cut keeps exactly the records before the cut.
+        let second_start = RECORD_OVERHEAD as usize + 3;
+        for cut in second_start..second_start + RECORD_OVERHEAD as usize + 3 {
+            let (records, consumed) = split_records(&bytes[..cut]);
+            assert_eq!(records, vec![&b"one"[..]], "cut {cut}");
+            assert_eq!(consumed, second_start, "cut {cut}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_records_range_resumes_and_trims() {
+        let path = tmp("range");
+        {
+            let (mut wal, _) = Wal::open(&path, SyncPolicy::Always).unwrap();
+            wal.append(b"alpha").unwrap();
+            wal.append(b"beta").unwrap();
+            wal.append(b"gamma").unwrap();
+        }
+        let first_len = RECORD_OVERHEAD as usize + 5;
+        // Resume past the first record: the batch holds the rest.
+        let batch = read_records_range(&path, first_len as u64, 1 << 20).unwrap();
+        let (records, consumed) = split_records(&batch);
+        assert_eq!(records, vec![&b"beta"[..], b"gamma"]);
+        assert_eq!(consumed, batch.len());
+        // A cap that lands mid-record is trimmed to the boundary.
+        let tight = read_records_range(&path, 0, first_len + 3).unwrap();
+        assert_eq!(tight.len(), first_len);
+        // Past the end and missing files both yield empty batches.
+        assert!(read_records_range(&path, 1 << 30, 64).unwrap().is_empty());
+        assert!(read_records_range(Path::new("/nonexistent/x.wal"), 0, 64).unwrap().is_empty());
         std::fs::remove_file(&path).ok();
     }
 

@@ -36,6 +36,13 @@ pub enum Error {
         /// Attempts made (initial try plus retries).
         attempts: u32,
     },
+    /// A write (or replication subscribe) was sent to a read-only
+    /// follower replica; carries the leader's address so callers can
+    /// follow the redirect.
+    NotLeader {
+        /// Address of the leader that accepts writes.
+        leader_addr: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -54,6 +61,9 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
             Error::Busy { attempts } => {
                 write!(f, "server busy after {attempts} attempts")
+            }
+            Error::NotLeader { leader_addr } => {
+                write!(f, "not the leader; writes go to {leader_addr}")
             }
         }
     }

@@ -397,6 +397,58 @@ fn shutdown_is_idempotent_and_drains_pending_work() {
 }
 
 #[test]
+fn query_storm_bypasses_the_shard_write_queue() {
+    // A 1-deep queue drained at 100 ms/job: if reads still enqueued,
+    // a 100-query storm would need ≥ 10 s and trip BUSY constantly.
+    // Served from the published snapshots they finish in milliseconds
+    // and the write queue stays empty throughout.
+    let cfg = ServerConfig {
+        shards: 1,
+        queue_depth: 1,
+        align_every: 0,
+        worker_delay: std::time::Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.add_source("s", SourceKind::Wire, 0).unwrap();
+    let snippet = Snippet::builder(
+        SnippetId::new(0),
+        storypivot::types::SourceId::new(0),
+        Timestamp::from_secs(0),
+    )
+    .entity(EntityId::new(1), 1.0)
+    .build();
+    let story = match client.ingest(&snippet).unwrap() {
+        IngestReply::Assigned(id) => id,
+        other => panic!("expected assignment, got {other:?}"),
+    };
+
+    let storm = 100u64;
+    let start = std::time::Instant::now();
+    for _ in 0..storm / 2 {
+        let stories = client.query_stories().unwrap();
+        assert_eq!(stories.len(), 1, "snapshot must already hold the acked ingest");
+        let got = client.get_story(story).unwrap();
+        assert_eq!(got.id, story);
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "query storm took {elapsed:?} — reads are riding the write queue again"
+    );
+
+    // The worker counted every snapshot-served read, and its queue was
+    // empty when it measured itself (the stats job is the only rider).
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards[0].queries, storm);
+    assert_eq!(stats.shards[0].queue_depth, 0, "reads must not occupy the write queue");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
 fn pipelined_requests_return_in_order_past_the_pipeline_cap() {
     // Write a burst of requests without reading a single response, then
     // collect them all: replies must arrive in request order even
