@@ -25,6 +25,10 @@
 //! * Optionally each snippet is rendered as **document text** so the
 //!   full extraction pipeline (tokenizer → gazetteer → TF-IDF) can be
 //!   exercised end to end.
+//! * [`scenario`] reshapes a corpus into phase-based **chaos scripts**
+//!   (flash crowds, duplicate floods, source churn, retraction storms,
+//!   dormant-story resurgence) whose ground truth stays scoreable
+//!   under load.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,11 +37,13 @@ pub mod config;
 pub mod corpus;
 pub mod names;
 pub mod render;
+pub mod scenario;
 pub mod truth;
 pub mod zipf;
 
 pub use config::GenConfig;
 pub use corpus::{Corpus, CorpusBuilder};
 pub use render::render_document;
+pub use scenario::{Phase, Scenario, ScenarioOp, Script, Segment};
 pub use truth::GroundTruth;
 pub use zipf::Zipf;

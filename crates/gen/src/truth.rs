@@ -29,6 +29,13 @@ impl GroundTruth {
         self.labels.get(&snippet).copied()
     }
 
+    /// Forget a snippet (its document was retracted); returns whether
+    /// it was present.
+    pub fn remove(&mut self, snippet: SnippetId) -> bool {
+        self.sources.remove(&snippet);
+        self.labels.remove(&snippet).is_some()
+    }
+
     /// Number of labelled snippets.
     pub fn len(&self) -> usize {
         self.labels.len()

@@ -20,23 +20,31 @@
 //! fan-out bench: `--queries N` QUERY_STORIES round trips are
 //! round-robined across the leader (`--addr`) and every replica, and
 //! the report breaks round-trip latency down per target.
+//!
+//! `--scenario NAME` replays a builtin chaos scenario (flash_crowd,
+//! duplicate_flood, source_churn, retraction_storm, resurgence)
+//! instead of a plain corpus: phase-structured load with mid-stream
+//! source registration, duplicate floods, and retractions.
 
 use std::path::PathBuf;
 
-use storypivot_gen::{CorpusBuilder, GenConfig};
+use storypivot_gen::{scenario, CorpusBuilder, GenConfig};
 use storypivot_serve::client::Client;
 use storypivot_serve::load::{
-    conn_storm, query_fanout, replay, LoadOptions, QueryOptions, StormOptions,
+    conn_storm, query_fanout, replay, replay_script, LoadOptions, QueryOptions, StormOptions,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--events N] [--sources N] [--conns N] \
-         [--rate EV_PER_S] [--seed N] [--json PATH] [--quick] [--stats] [--metrics] \
+         [--rate EV_PER_S] [--seed N] [--scenario NAME] [--json PATH] [--quick] \
+         [--stats] [--metrics] \
          [--shutdown] [--partition-file PATH] [--query-only] \
          [--replicas HOST:PORT,HOST:PORT] [--queries N]\n\
+         scenarios: {}\n\
          storm mode: loadgen --addr HOST:PORT --storm [--conns N] [--drivers N] \
-         [--rounds N] [--interval-ms N] [--json PATH]"
+         [--rounds N] [--interval-ms N] [--json PATH]",
+        scenario::BUILTIN.join(", ")
     );
     std::process::exit(2);
 }
@@ -85,6 +93,7 @@ fn main() {
     let mut opts = LoadOptions::default();
     let mut storm = false;
     let mut storm_opts = StormOptions::default();
+    let mut scenario_name: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -105,6 +114,7 @@ fn main() {
             }
             "--rate" => opts.rate = parse(&mut args, "--rate"),
             "--seed" => seed = parse(&mut args, "--seed"),
+            "--scenario" => scenario_name = Some(parse::<String>(&mut args, "--scenario")),
             "--json" => json = Some(parse::<PathBuf>(&mut args, "--json")),
             "--quick" => {
                 events = 600;
@@ -145,6 +155,38 @@ fn main() {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("loadgen: storm failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("{}", report.summary());
+        if let Some(path) = &json {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("loadgen: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    } else if let Some(name) = &scenario_name {
+        let Some(script) = scenario::by_name(name, events, seed) else {
+            eprintln!(
+                "loadgen: unknown scenario {name:?} (builtins: {})",
+                scenario::BUILTIN.join(", ")
+            );
+            std::process::exit(2);
+        };
+        eprintln!(
+            "replaying scenario {}: {} snippets, {} retractions, {} segments, \
+             {} connections",
+            script.name,
+            script.events(),
+            script.removed_docs(),
+            script.segments.len(),
+            opts.connections,
+        );
+        let report = match replay_script(addr.as_str(), &script, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: scenario replay failed: {e}");
                 std::process::exit(1);
             }
         };

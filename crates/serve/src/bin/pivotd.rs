@@ -24,16 +24,25 @@
 //! required in this mode (the byte-identical WAL copy is the durable
 //! replication cursor). `--snapshot-every-ops` / `--snapshot-max-age-ms`
 //! tune read-snapshot freshness on leaders and replicas alike.
+//!
+//! `--deadline-ms N` turns on deadline shedding: a single-snippet
+//! ingest that waited in its shard queue longer than N milliseconds is
+//! answered with SHED (plus a retry hint) instead of being applied.
+//! Debug builds also honor `STORYPIVOT_FAULTS` (e.g.
+//! `seed=7,wal_enospc=20,wal_short=10,checkpoint=50,repl_drop=100` —
+//! rates in permille) for deterministic fault injection.
 
 use std::path::PathBuf;
 
 use storypivot_serve::server::{serve, ServerConfig};
+use storypivot_substrate::fault::FaultPlan;
 use storypivot_substrate::wal::SyncPolicy;
 
 fn usage() -> ! {
     eprintln!(
         "usage: pivotd [--addr HOST:PORT] [--shards N] [--queue-depth N] \
-         [--align-every N] [--retry-after-ms N] [--io-workers N] \
+         [--align-every N] [--retry-after-ms N] [--deadline-ms N] \
+         [--io-workers N] \
          [--max-pipeline N] [--idle-timeout-ms N] [--checkpoint-dir DIR] \
          [--wal-dir DIR] [--fsync always|never|every:N] \
          [--checkpoint-every-bytes N] [--port-file PATH] \
@@ -67,6 +76,7 @@ fn main() {
             "--queue-depth" => cfg.queue_depth = parse(&mut args, "--queue-depth"),
             "--align-every" => cfg.align_every = parse(&mut args, "--align-every"),
             "--retry-after-ms" => cfg.retry_after_ms = parse(&mut args, "--retry-after-ms"),
+            "--deadline-ms" => cfg.deadline_ms = parse(&mut args, "--deadline-ms"),
             "--io-workers" => cfg.io_workers = parse(&mut args, "--io-workers"),
             "--max-pipeline" => cfg.max_pipeline = parse(&mut args, "--max-pipeline"),
             "--idle-timeout-ms" => {
@@ -100,6 +110,12 @@ fn main() {
     if cfg.leader.is_some() && !replica {
         eprintln!("--leader only makes sense with --replica");
         usage();
+    }
+    // Deterministic fault injection, debug/test builds only (the hooks
+    // are inert in release binaries even when the plan is set).
+    cfg.faults = FaultPlan::from_env();
+    if let Some(plan) = &cfg.faults {
+        eprintln!("pivotd: fault plan active: {plan:?}");
     }
 
     let handle = match serve(addr.as_str(), cfg) {

@@ -10,8 +10,9 @@ use storypivot_types::{DocId, Error, Result, Snippet, SourceId, SourceKind, Stor
 use crate::proto::{frame, read_frame, Request, Response, StorySummary};
 use crate::stats::ServeStats;
 
-/// The outcome of a single-snippet ingest: either a story assignment or
-/// a BUSY push-back from a full shard queue.
+/// The outcome of a single-snippet ingest: a story assignment, a BUSY
+/// push-back from a full shard queue, or a SHED drop from a write that
+/// sat in queue past its deadline budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestReply {
     /// The snippet joined this per-source story.
@@ -21,6 +22,31 @@ pub enum IngestReply {
         /// Suggested backoff in milliseconds.
         retry_after_ms: u32,
     },
+    /// The write was admitted but expired in queue and was dropped
+    /// unapplied; retrying starts a fresh deadline budget.
+    Shed {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+}
+
+/// How many push-backs an [`Client::ingest_backoff`] call absorbed
+/// before the snippet landed, broken down by kind so overload reports
+/// can tell admission-control rejections (BUSY) apart from
+/// deadline-expiry drops (SHED).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStats {
+    /// Retries caused by BUSY (queue full at admission).
+    pub busy: u32,
+    /// Retries caused by SHED (deadline expired in queue).
+    pub shed: u32,
+}
+
+impl RetryStats {
+    /// Total retries of either kind.
+    pub fn total(&self) -> u32 {
+        self.busy + self.shed
+    }
 }
 
 /// Jittered exponential backoff for BUSY replies: the first sleep
@@ -209,12 +235,13 @@ impl Client {
         }
     }
 
-    /// Ingest one snippet, surfacing BUSY to the caller.
+    /// Ingest one snippet, surfacing BUSY and SHED to the caller.
     pub fn ingest(&mut self, snippet: &Snippet) -> Result<IngestReply> {
         match self.request_ok(&Request::IngestSnippet(snippet.clone()))? {
             Response::Ingested(story) => Ok(IngestReply::Assigned(story)),
             Response::Busy { retry_after_ms } => Ok(IngestReply::Busy { retry_after_ms }),
-            other => Err(unexpected("Ingested/Busy", &other)),
+            Response::Shed { retry_after_ms } => Ok(IngestReply::Shed { retry_after_ms }),
+            other => Err(unexpected("Ingested/Busy/Shed", &other)),
         }
     }
 
@@ -225,7 +252,7 @@ impl Client {
         loop {
             match self.ingest(snippet)? {
                 IngestReply::Assigned(story) => return Ok((story, retries)),
-                IngestReply::Busy { retry_after_ms } => {
+                IngestReply::Busy { retry_after_ms } | IngestReply::Shed { retry_after_ms } => {
                     if retries >= max_retries {
                         return Err(Error::Io(format!(
                             "shard still busy after {max_retries} retries"
@@ -238,9 +265,9 @@ impl Client {
         }
     }
 
-    /// Ingest one snippet with jittered exponential backoff on BUSY.
-    /// Returns the story id and how many retries were needed; once
-    /// `policy.max_attempts` tries all came back BUSY the typed
+    /// Ingest one snippet with jittered exponential backoff on BUSY and
+    /// SHED. Returns the story id and the per-kind retry counts; once
+    /// `policy.max_attempts` tries all came back pushed-back the typed
     /// [`Error::Busy`] is returned (with the attempt count) so callers
     /// can tell saturation apart from I/O failure. Jitter is
     /// deterministic per snippet id.
@@ -248,22 +275,29 @@ impl Client {
         &mut self,
         snippet: &Snippet,
         policy: BackoffPolicy,
-    ) -> Result<(StoryId, u32)> {
+    ) -> Result<(StoryId, RetryStats)> {
         let mut jitter_state = 0x9E37_79B9_7F4A_7C15u64 ^ snippet.id.raw() as u64;
         let max_attempts = policy.max_attempts.max(1);
         let mut attempts = 0u32;
+        let mut retries = RetryStats::default();
         loop {
             attempts += 1;
-            match self.ingest(snippet)? {
-                IngestReply::Assigned(story) => return Ok((story, attempts - 1)),
+            let retry_after_ms = match self.ingest(snippet)? {
+                IngestReply::Assigned(story) => return Ok((story, retries)),
                 IngestReply::Busy { retry_after_ms } => {
-                    if attempts >= max_attempts {
-                        return Err(Error::Busy { attempts });
-                    }
-                    let ms = backoff_delay_ms(policy, retry_after_ms, attempts, &mut jitter_state);
-                    std::thread::sleep(Duration::from_millis(ms));
+                    retries.busy += 1;
+                    retry_after_ms
                 }
+                IngestReply::Shed { retry_after_ms } => {
+                    retries.shed += 1;
+                    retry_after_ms
+                }
+            };
+            if attempts >= max_attempts {
+                return Err(Error::Busy { attempts });
             }
+            let ms = backoff_delay_ms(policy, retry_after_ms, attempts, &mut jitter_state);
+            std::thread::sleep(Duration::from_millis(ms));
         }
     }
 

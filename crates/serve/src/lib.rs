@@ -52,11 +52,11 @@ pub mod server;
 pub mod snapshot;
 pub mod stats;
 
-pub use client::{BackoffPolicy, Client, IngestReply, ReplDelivery};
+pub use client::{BackoffPolicy, Client, IngestReply, ReplDelivery, RetryStats};
 pub use snapshot::{ShardSnapshot, SnapshotSlot};
 pub use load::{
-    conn_storm, query_fanout, replay, LoadOptions, LoadReport, QueryOptions, QueryReport,
-    StormOptions, StormReport, TargetReport,
+    conn_storm, query_fanout, replay, replay_script, LoadOptions, LoadReport, QueryOptions,
+    QueryReport, StormOptions, StormReport, TargetReport,
 };
 pub use proto::{Request, Response, StorySummary, MAX_FRAME_LEN};
 pub use server::{serve, ServerConfig, ServerHandle, POISON_HEADLINE};

@@ -13,11 +13,12 @@ use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use storypivot_gen::scenario::{ScenarioOp, Script};
 use storypivot_gen::Corpus;
 use storypivot_substrate::timing::Histogram;
-use storypivot_types::{Error, Result, Snippet, StoryId};
+use storypivot_types::{DocId, Error, Result, Snippet, Source, StoryId};
 
-use crate::client::{BackoffPolicy, Client};
+use crate::client::{BackoffPolicy, Client, RetryStats};
 use crate::proto::{frame, Request, MAX_FRAME_LEN};
 
 /// Load-generation options.
@@ -49,6 +50,16 @@ pub struct LoadReport {
     pub events: u64,
     /// BUSY replies absorbed (each one cost a retry round-trip).
     pub busy_retries: u64,
+    /// SHED replies absorbed: ingests the server admitted but dropped
+    /// past their deadline budget. Counted apart from BUSY because they
+    /// cost the server queue residency, not just an admission check.
+    pub shed_retries: u64,
+    /// Typed rejections absorbed during a scenario replay (e.g. an
+    /// injected journal fault failing the append). The server applies
+    /// nothing on a rejection — append-before-apply — so the replay
+    /// retries the snippet; always zero for [`replay`], which treats
+    /// any rejection as fatal.
+    pub rejected_retries: u64,
     /// Wall-clock time of the replay.
     pub wall: Duration,
     /// Per-request round-trip latency (nanoseconds).
@@ -82,7 +93,8 @@ impl LoadReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} events in {:.2}s → {:.0} ev/s; rtt p50/p95/p99 {:.1}/{:.1}/{:.1} µs; {} busy retries",
+            "{} events in {:.2}s → {:.0} ev/s; rtt p50/p95/p99 {:.1}/{:.1}/{:.1} µs; \
+             {} busy retries; {} shed retries; {} rejected retries",
             self.events,
             self.wall.as_secs_f64(),
             self.throughput(),
@@ -90,6 +102,8 @@ impl LoadReport {
             self.p95_us(),
             self.p99_us(),
             self.busy_retries,
+            self.shed_retries,
+            self.rejected_retries,
         )
     }
 
@@ -100,6 +114,8 @@ impl LoadReport {
                 "{{\n",
                 "  \"events\": {},\n",
                 "  \"busy_retries\": {},\n",
+                "  \"shed_retries\": {},\n",
+                "  \"rejected_retries\": {},\n",
                 "  \"wall_secs\": {:.6},\n",
                 "  \"throughput_ev_per_s\": {:.2},\n",
                 "  \"rtt_p50_us\": {:.2},\n",
@@ -109,6 +125,8 @@ impl LoadReport {
             ),
             self.events,
             self.busy_retries,
+            self.shed_retries,
+            self.rejected_retries,
             self.wall.as_secs_f64(),
             self.throughput(),
             self.p50_us(),
@@ -162,11 +180,11 @@ pub fn replay<A: ToSocketAddrs>(addr: A, corpus: &Corpus, opts: &LoadOptions) ->
         ..BackoffPolicy::default()
     };
     for lane in per_lane {
-        handles.push(std::thread::spawn(move || -> Result<(u64, u64, Histogram)> {
+        handles.push(std::thread::spawn(move || -> Result<(u64, RetryStats, Histogram)> {
             let mut client = Client::connect(addr)?;
             let mut hist = Histogram::new();
             let mut events = 0u64;
-            let mut busy = 0u64;
+            let mut retries = RetryStats::default();
             let lane_start = Instant::now();
             for (i, snippet) in lane.iter().enumerate() {
                 if per_lane_rate > 0.0 {
@@ -179,31 +197,217 @@ pub fn replay<A: ToSocketAddrs>(addr: A, corpus: &Corpus, opts: &LoadOptions) ->
                     }
                 }
                 let t = Instant::now();
-                let (_, retries) = client.ingest_backoff(snippet, backoff)?;
-                busy += retries as u64;
+                let (_, r) = client.ingest_backoff(snippet, backoff)?;
+                retries.busy += r.busy;
+                retries.shed += r.shed;
                 hist.record(t.elapsed().as_nanos() as u64);
                 events += 1;
             }
-            Ok((events, busy, hist))
+            Ok((events, retries, hist))
         }));
     }
 
     let mut report = LoadReport {
         events: 0,
         busy_retries: 0,
+        shed_retries: 0,
+        rejected_retries: 0,
         wall: Duration::ZERO,
         latency: Histogram::new(),
     };
     let mut failure = None;
     for handle in handles {
         match handle.join() {
-            Ok(Ok((events, busy, hist))) => {
+            Ok(Ok((events, retries, hist))) => {
                 report.events += events;
-                report.busy_retries += busy;
+                report.busy_retries += retries.busy as u64;
+                report.shed_retries += retries.shed as u64;
                 report.latency.merge(&hist);
             }
             Ok(Err(e)) => failure = Some(e),
             Err(_) => failure = Some(Error::Io("loadgen connection thread panicked".into())),
+        }
+    }
+    report.wall = start.elapsed();
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
+}
+
+// ---- chaos scenario replay -------------------------------------------
+
+/// One segment's work, pre-split for the lanes: control ops run on
+/// lane 0 with barriers around them so no lane ingests a snippet of a
+/// source that is not registered yet, and no document is retracted
+/// before every lane has finished the segment's ingests.
+struct SegmentPlan {
+    rate: u64,
+    gap_ms: u64,
+    adds: Vec<Source>,
+    per_lane: Vec<Vec<Snippet>>,
+    removes: Vec<DocId>,
+}
+
+/// Replay a compiled chaos [`Script`] against a running server.
+///
+/// Like [`replay`], snippets are partitioned across `opts.connections`
+/// lanes by source id, so each source's stream stays in order. The
+/// lanes advance segment by segment behind barriers: lane 0 plays the
+/// segment's mid-stream ADD_SOURCE ops (and, after everyone's ingests,
+/// its REMOVE_DOC retractions); every lane observes the segment's
+/// dormancy gap and paces toward its share of the segment's rate.
+pub fn replay_script<A: ToSocketAddrs>(
+    addr: A,
+    script: &Script,
+    opts: &LoadOptions,
+) -> Result<LoadReport> {
+    if opts.connections == 0 {
+        return Err(Error::InvalidConfig("loadgen: connections must be >= 1".into()));
+    }
+    let addr: SocketAddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| Error::InvalidConfig("loadgen: address resolved to nothing".into()))?;
+
+    let mut setup = Client::connect(addr)?;
+    for source in &script.sources {
+        let got = setup.add_source(&source.name, source.kind, source.typical_lag)?;
+        if got != source.id {
+            return Err(Error::InvalidConfig(format!(
+                "server allocated source id {got} where the script expects {} — \
+                 is the server fresh?",
+                source.id
+            )));
+        }
+    }
+
+    let lanes = opts.connections;
+    let plans: Vec<SegmentPlan> = script
+        .segments
+        .iter()
+        .map(|seg| {
+            let mut plan = SegmentPlan {
+                rate: seg.rate,
+                gap_ms: seg.gap_ms,
+                adds: Vec::new(),
+                per_lane: vec![Vec::new(); lanes],
+                removes: Vec::new(),
+            };
+            for op in &seg.ops {
+                match op {
+                    ScenarioOp::AddSource(s) => plan.adds.push(s.clone()),
+                    ScenarioOp::Ingest(s) => {
+                        plan.per_lane[s.source.raw() as usize % lanes].push(s.clone())
+                    }
+                    ScenarioOp::RemoveDoc(d) => plan.removes.push(*d),
+                }
+            }
+            plan
+        })
+        .collect();
+    let plans = std::sync::Arc::new(plans);
+    let gate = std::sync::Arc::new(std::sync::Barrier::new(lanes));
+
+    let backoff = BackoffPolicy {
+        max_attempts: opts.max_retries.saturating_add(1),
+        ..BackoffPolicy::default()
+    };
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(lanes);
+    for lane in 0..lanes {
+        let plans = std::sync::Arc::clone(&plans);
+        let gate = std::sync::Arc::clone(&gate);
+        handles.push(std::thread::spawn(move || -> Result<(u64, RetryStats, u64, Histogram)> {
+            let mut client = Client::connect(addr)?;
+            let mut hist = Histogram::new();
+            let mut events = 0u64;
+            let mut retries = RetryStats::default();
+            let mut rejected = 0u64;
+            for plan in plans.iter() {
+                gate.wait();
+                if plan.gap_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(plan.gap_ms));
+                }
+                // Mid-stream registrations land before any lane may
+                // ingest the new sources' snippets.
+                if lane == 0 {
+                    for source in &plan.adds {
+                        let got =
+                            client.add_source(&source.name, source.kind, source.typical_lag)?;
+                        if got != source.id {
+                            return Err(Error::InvalidConfig(format!(
+                                "server allocated source id {got} where the script expects {}",
+                                source.id
+                            )));
+                        }
+                    }
+                }
+                gate.wait();
+                let per_lane_rate = plan.rate as f64 / lanes as f64;
+                let seg_start = Instant::now();
+                for (i, snippet) in plan.per_lane[lane].iter().enumerate() {
+                    if per_lane_rate > 0.0 {
+                        let due = Duration::from_secs_f64(i as f64 / per_lane_rate);
+                        let elapsed = seg_start.elapsed();
+                        if due > elapsed {
+                            std::thread::sleep(due - elapsed);
+                        }
+                    }
+                    let t = Instant::now();
+                    let mut attempts = 0u32;
+                    let r = loop {
+                        match client.ingest_backoff(snippet, backoff) {
+                            Ok((_, r)) => break r,
+                            // A typed rejection (a chaos server failing
+                            // the journal append, say) applied nothing —
+                            // append-before-apply — so a straight retry
+                            // is safe. Bounded, so a dead server still
+                            // fails the lane instead of spinning.
+                            Err(_) if attempts < 50 => {
+                                attempts += 1;
+                                rejected += 1;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    };
+                    retries.busy += r.busy;
+                    retries.shed += r.shed;
+                    hist.record(t.elapsed().as_nanos() as u64);
+                    events += 1;
+                }
+                gate.wait();
+                // Retractions only after every lane's ingests landed.
+                if lane == 0 {
+                    for doc in &plan.removes {
+                        client.remove_doc(*doc)?;
+                    }
+                }
+            }
+            Ok((events, retries, rejected, hist))
+        }));
+    }
+
+    let mut report = LoadReport {
+        events: 0,
+        busy_retries: 0,
+        shed_retries: 0,
+        rejected_retries: 0,
+        wall: Duration::ZERO,
+        latency: Histogram::new(),
+    };
+    let mut failure = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((events, retries, rejected, hist))) => {
+                report.events += events;
+                report.busy_retries += retries.busy as u64;
+                report.shed_retries += retries.shed as u64;
+                report.rejected_retries += rejected;
+                report.latency.merge(&hist);
+            }
+            Ok(Err(e)) => failure = Some(e),
+            Err(_) => failure = Some(Error::Io("loadgen scenario lane panicked".into())),
         }
     }
     report.wall = start.elapsed();
@@ -606,6 +810,8 @@ mod tests {
         let r = LoadReport {
             events: 3,
             busy_retries: 1,
+            shed_retries: 2,
+            rejected_retries: 4,
             wall: Duration::from_millis(30),
             latency,
         };
@@ -614,7 +820,11 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"events\": 3"));
         assert!(json.contains("\"busy_retries\": 1"));
+        assert!(json.contains("\"shed_retries\": 2"));
+        assert!(json.contains("\"rejected_retries\": 4"));
         assert!(r.summary().contains("3 events"));
+        assert!(r.summary().contains("2 shed retries"));
+        assert!(r.summary().contains("4 rejected retries"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! where `len` counts the opcode plus body. Requests use opcodes
-//! `0x01..=0x0A`, responses `0x81..=0x8E`; snippets and sources reuse
+//! `0x01..=0x0A`, responses `0x81..=0x8F`; snippets and sources reuse
 //! the store's binary codec, so a served snippet is byte-identical to a
 //! checkpointed one. Every decode path bounds-checks before touching
 //! bytes: torn frames, oversized length prefixes, garbage opcodes, and
@@ -91,6 +91,9 @@ pub const OP_REPL_FRAME: u8 = 0x8D;
 /// Bootstrap / catch-up checkpoint (body: generation u64,
 /// checkpoint bytes — empty bytes mean "start from a fresh engine").
 pub const OP_REPL_CHECKPOINT: u8 = 0x8E;
+/// Write shed: it waited in queue past its deadline budget and was
+/// dropped unapplied (body: retry_after_ms u32).
+pub const OP_SHED: u8 = 0x8F;
 
 // ---- bounded readers -------------------------------------------------
 
@@ -677,6 +680,11 @@ pub enum ResponseRef<'a> {
         /// Suggested client-side backoff in milliseconds.
         retry_after_ms: u32,
     },
+    /// The write waited past its deadline budget and was shed unapplied.
+    Shed {
+        /// Suggested client-side backoff in milliseconds.
+        retry_after_ms: u32,
+    },
     /// The request failed.
     Error {
         /// Coarse error class (see [`error_code`]).
@@ -728,6 +736,7 @@ impl ResponseRef<'_> {
                 text: text.to_string(),
             },
             ResponseRef::Busy { retry_after_ms } => Response::Busy { retry_after_ms },
+            ResponseRef::Shed { retry_after_ms } => Response::Shed { retry_after_ms },
             ResponseRef::Error { code, message } => Response::Error {
                 code,
                 message: message.to_string(),
@@ -801,6 +810,9 @@ impl Response {
             },
             OP_BUSY => ResponseRef::Busy {
                 retry_after_ms: get_u32(buf, "retry hint")?,
+            },
+            OP_SHED => ResponseRef::Shed {
+                retry_after_ms: get_u32(buf, "shed retry hint")?,
             },
             OP_ERROR => {
                 let code = get_u8(buf, "error code")?;
@@ -909,6 +921,13 @@ pub enum Response {
     },
     /// The target shard's queue is full; retry after the hint.
     Busy {
+        /// Suggested client-side backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The write was admitted but waited in queue past its deadline
+    /// budget (`--deadline-ms`) and was shed before touching the
+    /// engine. Retrying starts a fresh budget.
+    Shed {
         /// Suggested client-side backoff in milliseconds.
         retry_after_ms: u32,
     },
@@ -1047,6 +1066,10 @@ impl Response {
                 buf.put_u8(OP_BUSY);
                 buf.put_u32_le(*retry_after_ms);
             }
+            Response::Shed { retry_after_ms } => {
+                buf.put_u8(OP_SHED);
+                buf.put_u32_le(*retry_after_ms);
+            }
             Response::Error { code, message } => {
                 buf.put_u8(OP_ERROR);
                 buf.put_u8(*code);
@@ -1116,6 +1139,9 @@ impl Response {
             },
             OP_BUSY => Response::Busy {
                 retry_after_ms: get_u32(buf, "retry hint")?,
+            },
+            OP_SHED => Response::Shed {
+                retry_after_ms: get_u32(buf, "shed retry hint")?,
             },
             OP_ERROR => {
                 let code = get_u8(buf, "error code")?;
@@ -1386,6 +1412,7 @@ mod tests {
                 .into(),
         });
         round_trip_response(Response::Busy { retry_after_ms: 10 });
+        round_trip_response(Response::Shed { retry_after_ms: 25 });
         round_trip_response(Response::Error {
             code: 4,
             message: "codec error: torn".into(),
@@ -1556,6 +1583,7 @@ mod tests {
                 text: "storypivot_ingest_total 8\n".into(),
             },
             Response::Busy { retry_after_ms: 10 },
+            Response::Shed { retry_after_ms: 25 },
             Response::Error {
                 code: 4,
                 message: "codec error: torn".into(),

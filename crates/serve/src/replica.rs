@@ -24,14 +24,18 @@
 //!    resubscribe (or replay after a crash) is a no-op.
 //!
 //! Lag is exported per shard as `storypivot_replica_lag_ops` and
-//! `storypivot_replica_lag_bytes` gauges in the METRICS exposition.
-//! Pullers reconnect with capped backoff while the leader is away and
-//! exit when the replica itself is shut down.
+//! `storypivot_replica_lag_bytes` gauges in the METRICS exposition,
+//! and reconnect attempts as `storypivot_replica_reconnects`. Pullers
+//! reconnect with capped, jittered exponential backoff while the
+//! leader is away — jitter keeps a fleet of shard pullers from
+//! stampeding a recovering leader in lockstep — and exit when the
+//! replica itself is shut down.
 
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::time::Duration;
 
+use storypivot_substrate::fault::FaultHook;
 use storypivot_substrate::metrics::Gauge;
 use storypivot_substrate::queue::Bounded;
 
@@ -54,6 +58,13 @@ pub(crate) struct PullerCtx {
     pub(crate) shared: Arc<Shared>,
     pub(crate) lag_ops: Gauge,
     pub(crate) lag_bytes: Gauge,
+    /// Reconnect attempts to the leader (the initial connection is not
+    /// counted); failed attempts count too.
+    pub(crate) reconnects: Gauge,
+    /// Debug/test-gated `repl_drop` fault: when it fires, the puller
+    /// drops its leader connection mid-tail and goes back through the
+    /// reconnect path, exercising cursor re-probing under churn.
+    pub(crate) drop_fault: FaultHook,
 }
 
 impl PullerCtx {
@@ -88,12 +99,37 @@ impl PullerCtx {
     }
 }
 
+/// One splitmix64 step: the deterministic jitter source for reconnect
+/// backoff (seeded per shard so pullers spread out without sharing
+/// state).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Jitter a nominal backoff into `[delay/2, delay)`: half the delay is
+/// kept so backoff still backs off, the other half is randomized so no
+/// two pullers retry on the same beat.
+fn jittered(delay_ms: u64, state: &mut u64) -> u64 {
+    let half = (delay_ms / 2).max(1);
+    half + splitmix64(state) % half
+}
+
 /// Body of one `pivot-repl-{i}` thread: bootstrap-or-tail the leader
 /// until the replica shuts down.
-pub(crate) fn run_puller(ctx: PullerCtx) {
+pub(crate) fn run_puller(mut ctx: PullerCtx) {
     let Some(mut cursor) = ctx.local_cursor() else { return };
     let mut backoff_ms = 50u64;
+    let mut jitter_state = 0x5bd1_e995u64 ^ ((ctx.shard as u64) << 32);
+    let mut connects = 0u64;
     'reconnect: while !ctx.shared.is_done() {
+        if connects > 0 {
+            ctx.reconnects.add(1);
+        }
+        connects += 1;
         let mut client = match Client::connect(&ctx.leader) {
             Ok(c) => c,
             Err(e) => {
@@ -101,7 +137,7 @@ pub(crate) fn run_puller(ctx: PullerCtx) {
                     "pivotd: replica shard {}: leader {} unreachable: {e}",
                     ctx.shard, ctx.leader
                 );
-                std::thread::sleep(Duration::from_millis(backoff_ms));
+                std::thread::sleep(Duration::from_millis(jittered(backoff_ms, &mut jitter_state)));
                 backoff_ms = (backoff_ms * 2).min(2000);
                 continue;
             }
@@ -113,6 +149,13 @@ pub(crate) fn run_puller(ctx: PullerCtx) {
         loop {
             if ctx.shared.is_done() {
                 break 'reconnect;
+            }
+            if ctx.drop_fault.fire() {
+                eprintln!(
+                    "pivotd: replica shard {}: injected fault: dropping leader connection",
+                    ctx.shard
+                );
+                continue 'reconnect;
             }
             let delivery =
                 match client.repl_subscribe(ctx.shard as u32, cursor.generation, cursor.wal_len) {

@@ -100,6 +100,7 @@ use storypivot_core::metrics::EngineMetrics;
 use storypivot_core::oplog::{replay_op, ReplayOp};
 use storypivot_core::pipeline::{DynamicPivot, PipelinePolicy};
 use storypivot_core::refine::story_source;
+use storypivot_substrate::fault::FaultHook;
 use storypivot_substrate::metrics::{Counter, Gauge, HistogramMetric, Registry, Snapshot};
 use storypivot_substrate::net;
 use storypivot_substrate::pool::{BufferPool, PooledBuf};
@@ -190,6 +191,17 @@ pub struct ServerConfig {
     /// many milliseconds *and* ops have been applied since it was
     /// built (checked as the worker processes jobs).
     pub snapshot_max_age_ms: u64,
+    /// Per-request deadline budget for single-snippet ingests, in
+    /// milliseconds. A write that has already waited in its shard queue
+    /// longer than this is shed (SHED reply, counted in
+    /// `storypivot_shed_total`) instead of applied late. Zero disables
+    /// shedding.
+    pub deadline_ms: u64,
+    /// Deterministic fault-injection plan consulted by WAL appends,
+    /// checkpoint writes, and replica-tail connections. `None` (and any
+    /// release build) injects nothing; `pivotd` fills it from the
+    /// `STORYPIVOT_FAULTS` environment variable.
+    pub faults: Option<storypivot_substrate::fault::FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -211,6 +223,8 @@ impl Default for ServerConfig {
             leader: None,
             snapshot_every_ops: 1,
             snapshot_max_age_ms: 100,
+            deadline_ms: 0,
+            faults: None,
         }
     }
 }
@@ -248,7 +262,10 @@ pub(crate) type ReplAck = SyncSender<Result<ReplCursor>>;
 /// Work routed to one shard.
 pub(crate) enum Job {
     AddSource(Source, Reply),
-    Ingest(Snippet, Reply),
+    /// A single-snippet ingest; the `Instant` is when the job was
+    /// enqueued, so the shard worker can shed it once its deadline
+    /// budget (`ServerConfig::deadline_ms`) has already elapsed.
+    Ingest(Snippet, Reply, Instant),
     IngestMany(Vec<Snippet>, Reply),
     RemoveDoc(DocId, Reply),
     Stats(Reply),
@@ -474,7 +491,7 @@ impl<T> Drop for FanGuard<T> {
 fn fail_job(job: Job, resp: Response) {
     match job {
         Job::AddSource(_, r)
-        | Job::Ingest(_, r)
+        | Job::Ingest(_, r, _)
         | Job::IngestMany(_, r)
         | Job::RemoveDoc(_, r)
         | Job::Stats(r)
@@ -507,6 +524,7 @@ struct IoMetrics {
     pool_buffers_outstanding: Gauge,
     pool_bytes_highwater: Gauge,
     accept_errors: Counter,
+    degraded_reads: Counter,
 }
 
 impl IoMetrics {
@@ -532,6 +550,11 @@ impl IoMetrics {
                 "storypivot_accept_errors_total",
                 "Transient accept(2) failures (e.g. EMFILE) that triggered backoff.",
             ),
+            degraded_reads: registry.counter(
+                "storypivot_degraded_reads_total",
+                "Snapshot reads answered while the target shard's write queue was \
+                 saturated (degraded-read mode).",
+            ),
         }
     }
 }
@@ -554,6 +577,11 @@ pub(crate) struct Shared {
     shutting_down: AtomicBool,
     done: AtomicBool,
     retry_after_ms: u32,
+    /// Per-shard EWMA of single-snippet ingest service time in
+    /// nanoseconds, maintained by the shard workers. The BUSY path
+    /// multiplies it by the queue depth to turn the flat retry-after
+    /// hint into one proportional to the actual backlog drain time.
+    service_ewma_ns: Vec<Arc<AtomicU64>>,
     inboxes: Vec<Arc<Inbox>>,
     /// Frame buffers for reads and encoded responses.
     pool: BufferPool,
@@ -579,6 +607,31 @@ impl Shared {
     /// know when to stop tailing the leader).
     pub(crate) fn is_done(&self) -> bool {
         self.done.load(Ordering::SeqCst)
+    }
+
+    /// Queue-depth-proportional retry hint for a shard: the estimated
+    /// drain time of the jobs already queued (depth × EWMA of observed
+    /// per-snippet service time). Floored at the configured flat
+    /// `retry_after_ms` — which is also the exact hint before the first
+    /// ingest has seeded the EWMA — and capped so a hostile queue depth
+    /// can never park clients for minutes.
+    fn busy_hint(&self, shard: usize) -> u32 {
+        retry_hint(
+            self.queues[shard].len(),
+            self.service_ewma_ns[shard].load(Ordering::Relaxed),
+            self.retry_after_ms,
+        )
+    }
+
+    /// Degraded-read accounting: a snapshot read served while the
+    /// target shard's write queue is saturated would have stalled (or
+    /// been rejected) if reads went through the queue. Counting them
+    /// makes the degraded mode observable at METRICS.
+    fn note_degraded_read(&self, shard: usize) {
+        let q = &self.queues[shard];
+        if q.len() >= q.capacity() {
+            self.io_metrics.degraded_reads.inc();
+        }
     }
 
     /// Refresh the I/O gauges from their atomic sources.
@@ -671,6 +724,8 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
     let snapshots: Vec<SnapshotSlot> = (0..cfg.shards).map(|_| SnapshotSlot::new()).collect();
     let query_counters: Vec<Arc<AtomicU64>> =
         (0..cfg.shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let service_ewma_ns: Vec<Arc<AtomicU64>> =
+        (0..cfg.shards).map(|_| Arc::new(AtomicU64::new(0))).collect();
 
     // Recover every shard before serving: clients must never observe a
     // partially recovered partition. Each worker publishes its first
@@ -685,6 +740,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
             queue.clone(),
             Arc::clone(&query_counters[idx]),
             snapshots[idx].clone(),
+            Arc::clone(&service_ewma_ns[idx]),
         )?);
     }
     // Resume source-id allocation past everything the checkpoints and
@@ -720,6 +776,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
         shutting_down: AtomicBool::new(false),
         done: AtomicBool::new(false),
         retry_after_ms: cfg.retry_after_ms,
+        service_ewma_ns,
         inboxes,
         pool: BufferPool::new(8 * 1024, 1024),
         registry,
@@ -792,6 +849,17 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> Result<ServerHandl
                     "Leader WAL bytes not yet replicated to this shard.",
                     labels,
                 ),
+                reconnects: shared.registry.gauge_with(
+                    "storypivot_replica_reconnects",
+                    "Reconnect attempts to the leader by this shard's puller \
+                     (the initial connection is not counted).",
+                    labels,
+                ),
+                drop_fault: cfg
+                    .faults
+                    .as_ref()
+                    .map(|p| p.hook("repl_drop", i as u64))
+                    .unwrap_or_else(storypivot_substrate::fault::FaultHook::inert),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -1287,7 +1355,7 @@ impl IoWorker {
                 // full shard queue is the client's problem (retry after
                 // the hint), never the server's memory.
                 let shard = self.shared.shard_of_source(sref.source);
-                let job = Job::Ingest(sref.to_owned(), direct_reply(dest));
+                let job = Job::Ingest(sref.to_owned(), direct_reply(dest), Instant::now());
                 match self.shared.queues[shard].try_push(job) {
                     Ok(()) => {}
                     Err(PushError::Full(job)) => {
@@ -1295,7 +1363,7 @@ impl IoWorker {
                         fail_job(
                             job,
                             Response::Busy {
-                                retry_after_ms: self.shared.retry_after_ms,
+                                retry_after_ms: self.shared.busy_hint(shard),
                             },
                         );
                     }
@@ -1353,6 +1421,7 @@ impl IoWorker {
                     let snap = slot.load();
                     stories.extend_from_slice(&snap.stories);
                     self.shared.query_counters[shard].fetch_add(1, Ordering::Relaxed);
+                    self.shared.note_degraded_read(shard);
                 }
                 stories.sort_unstable_by_key(|s: &StorySummary| s.id);
                 self.finish(id, seq, Response::Stories(stories), false);
@@ -1360,6 +1429,7 @@ impl IoWorker {
             RequestRef::GetStory(story) => {
                 let shard = self.shared.shard_of_source(story_source(story));
                 self.shared.query_counters[shard].fetch_add(1, Ordering::Relaxed);
+                self.shared.note_degraded_read(shard);
                 let resp = match self.shared.snapshots[shard].load().get(story) {
                     Some(summary) => Response::Story(summary.clone()),
                     None => Response::from_error(&Error::UnknownStory(story)),
@@ -1728,6 +1798,7 @@ struct ShardServeMetrics {
     restarts: Gauge,
     quarantined: Gauge,
     busy_rejections: Gauge,
+    shed: Counter,
     ingest_latency: HistogramMetric,
     snapshot_epoch: Gauge,
     snapshot_age_ops: Gauge,
@@ -1763,6 +1834,12 @@ impl ShardServeMetrics {
                 "Ingests rejected with BUSY because the queue was full.",
                 labels,
             ),
+            shed: registry.counter_with(
+                "storypivot_shed_total",
+                "Admitted ingests dropped unapplied because they waited in the \
+                 queue past the per-request deadline (--deadline-ms).",
+                labels,
+            ),
             ingest_latency: registry.histogram_with(
                 "storypivot_shard_ingest_latency_ns",
                 "End-to-end shard-side ingest latency (journal + apply) in nanoseconds.",
@@ -1794,6 +1871,16 @@ struct ShardWorker {
     /// path; the shard only reads it for STATS.
     queries: Arc<AtomicU64>,
     busy: Arc<AtomicU64>,
+    /// EWMA of single-snippet ingest service time in nanoseconds,
+    /// shared with the I/O workers so BUSY/SHED retry hints scale with
+    /// how long the queued work will actually take to drain.
+    service_ewma: Arc<AtomicU64>,
+    /// Per-request queueing budget; zero disables deadline shedding.
+    deadline: Duration,
+    /// Floor for retry-after hints (the configured flat value).
+    retry_floor_ms: u32,
+    /// Debug/test-gated fault consulted before each checkpoint write.
+    checkpoint_fault: FaultHook,
     queue: Bounded<Job>,
     /// Where published read snapshots go (shared with I/O workers).
     slot: SnapshotSlot,
@@ -1849,6 +1936,7 @@ impl ShardWorker {
         queue: Bounded<Job>,
         queries: Arc<AtomicU64>,
         slot: SnapshotSlot,
+        service_ewma: Arc<AtomicU64>,
     ) -> Result<ShardWorker> {
         let policy = PipelinePolicy {
             align_every: cfg.align_every,
@@ -1891,6 +1979,14 @@ impl ShardWorker {
             ingested: 0,
             queries,
             busy,
+            service_ewma,
+            deadline: Duration::from_millis(cfg.deadline_ms),
+            retry_floor_ms: cfg.retry_after_ms,
+            checkpoint_fault: cfg
+                .faults
+                .as_ref()
+                .map(|p| p.hook("checkpoint", idx as u64))
+                .unwrap_or_else(FaultHook::inert),
             queue,
             slot,
             snapshot_epoch: 0,
@@ -1951,6 +2047,12 @@ impl ShardWorker {
                     scan.dropped_bytes
                 );
             }
+            if let Some(plan) = &cfg.faults {
+                wal.set_faults(storypivot_substrate::wal::WalFaults {
+                    enospc: plan.hook("wal_enospc", idx as u64),
+                    short_write: plan.hook("wal_short", idx as u64),
+                });
+            }
             worker.wal_path = Some(path);
             worker.wal = Some(wal);
         }
@@ -1972,7 +2074,20 @@ impl ShardWorker {
             }
             match job {
                 Job::AddSource(source, reply) => reply(self.add_source(source)),
-                Job::Ingest(snippet, reply) => reply(self.ingest(snippet)),
+                Job::Ingest(snippet, reply, enqueued) => {
+                    // Deadline shedding: work that waited past the
+                    // client's budget is answered with SHED *before*
+                    // the WAL or engine see it — under saturation the
+                    // worker spends its time on requests someone is
+                    // still waiting for. Only single-snippet ingests
+                    // carry a budget; batches and control ops park for
+                    // backpressure at admission instead.
+                    if !self.deadline.is_zero() && enqueued.elapsed() > self.deadline {
+                        reply(self.shed(snippet));
+                    } else {
+                        reply(self.ingest(snippet));
+                    }
+                }
                 Job::IngestMany(batch, reply) => reply(self.ingest_many(batch)),
                 Job::RemoveDoc(doc, reply) => reply(self.remove_doc(doc)),
                 Job::Stats(reply) => reply(self.stats()),
@@ -2269,6 +2384,16 @@ impl ShardWorker {
         let Some(dir) = self.checkpoint_dir.clone() else {
             return Ok(());
         };
+        // Injected checkpoint failure: fails before the generation
+        // advances, so the newest valid on-disk generation (plus the
+        // intact WAL) still reconstructs the exact partition.
+        if self.checkpoint_fault.fire() {
+            self.trace.push("checkpoint", "injected fault");
+            return Err(Error::Io(format!(
+                "shard {}: injected fault: checkpoint write failed",
+                self.idx
+            )));
+        }
         let bytes = self.engine.pivot().save_checkpoint();
         self.generation += 1;
         self.trace
@@ -2290,6 +2415,31 @@ impl ShardWorker {
         }
     }
 
+    /// Drop an expired ingest and tell the client when the queue should
+    /// have drained enough to be worth a fresh attempt.
+    fn shed(&mut self, snippet: Snippet) -> Response {
+        self.trace.push("shed", format!("doc={}", snippet.doc.raw()));
+        self.serve_metrics.shed.inc();
+        Response::Shed {
+            retry_after_ms: retry_hint(
+                self.queue.len(),
+                self.service_ewma.load(Ordering::Relaxed),
+                self.retry_floor_ms,
+            ),
+        }
+    }
+
+    /// Fold one observed service time into the shared EWMA (α = 1/8).
+    fn note_service(&self, elapsed_ns: u64) {
+        let prev = self.service_ewma.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            elapsed_ns
+        } else {
+            prev - prev / 8 + elapsed_ns / 8
+        };
+        self.service_ewma.store(next, Ordering::Relaxed);
+    }
+
     fn ingest(&mut self, snippet: Snippet) -> Response {
         let t = Instant::now();
         match self.mutate(ReplayOp::Ingest(snippet)) {
@@ -2297,6 +2447,7 @@ impl ShardWorker {
                 let elapsed = t.elapsed().as_nanos() as u64;
                 self.hist.record(elapsed);
                 self.serve_metrics.ingest_latency.record(elapsed);
+                self.note_service(elapsed);
                 self.ingested += 1;
                 Response::Ingested(story)
             }
@@ -2314,6 +2465,7 @@ impl ShardWorker {
                     let elapsed = t.elapsed().as_nanos() as u64;
                     self.hist.record(elapsed);
                     self.serve_metrics.ingest_latency.record(elapsed);
+                    self.note_service(elapsed);
                     self.ingested += 1;
                     count += 1;
                 }
@@ -2537,4 +2689,13 @@ fn internal_shape_error() -> Response {
         code: 6,
         message: "internal: mutation produced a mismatched result shape".into(),
     }
+}
+
+/// Expected queue drain time as a retry-after hint, in milliseconds:
+/// `depth × ewma_ns`, clamped to `[floor_ms, max(10s, floor_ms)]`.
+/// A zero EWMA (no ingest observed yet) degenerates to the floor.
+fn retry_hint(depth: usize, ewma_ns: u64, floor_ms: u32) -> u32 {
+    let est_ms = (depth as u64).saturating_mul(ewma_ns) / 1_000_000;
+    let cap = 10_000u64.max(floor_ms as u64);
+    est_ms.max(floor_ms as u64).min(cap) as u32
 }

@@ -95,7 +95,7 @@ fn random_request(rng: &mut StdRng) -> Request {
 }
 
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.random_range(0..13u32) {
+    match rng.random_range(0..14u32) {
         0 => Response::SourceAdded(SourceId::new(rng.random_range(0..256u32))),
         1 => Response::Ingested(StoryId::new(rng.random())),
         2 => Response::BatchIngested(rng.random()),
@@ -122,6 +122,9 @@ fn random_response(rng: &mut StdRng) -> Response {
         11 => Response::ReplCheckpoint {
             generation: rng.random(),
             checkpoint: prop::vec_with(rng, 0, 64, |r| r.random()),
+        },
+        12 => Response::Shed {
+            retry_after_ms: rng.random(),
         },
         _ => Response::Error {
             code: rng.random(),

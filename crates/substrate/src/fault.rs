@@ -1,0 +1,246 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a seeded table of per-site failure rates. Code on
+//! the durability and replication paths asks the plan for a
+//! [`FaultHook`] at startup (one per site × instance, e.g. per shard)
+//! and consults it at each fault point. Every hook owns an independent
+//! splitmix64 stream derived from `seed ^ fnv(site) ^ instance`, so a
+//! given plan injects *exactly* the same faults at the same operations
+//! on every run — chaos tests replay bit-for-bit.
+//!
+//! Injection is debug/test-gated: in release builds [`FaultHook::fire`]
+//! is always `false` and the hooks compile down to a counter bump, the
+//! same stance as the serving layer's `POISON_HEADLINE` panic injection.
+//! Production binaries cannot be talked into failing by an environment
+//! variable.
+//!
+//! Plan specs are comma-separated `key=value` pairs; rates are in
+//! permille (so CI smoke rates like `wal_enospc=25` read as 2.5%):
+//!
+//! ```text
+//! seed=7,wal_enospc=100,wal_short=50,checkpoint=200,repl_drop=100
+//! ```
+//!
+//! Site names are free-form — the plan stores whatever keys the spec
+//! carries and hands out inert hooks for sites it never mentions. The
+//! sites currently consulted in-tree are `wal_enospc` (append fails
+//! before writing), `wal_short` (append tears mid-record, then repairs
+//! to the last whole-record boundary exactly like a crash-and-reopen),
+//! `checkpoint` (generation write fails), and `repl_drop` (a follower's
+//! leader connection is dropped mid-tail).
+
+use crate::rng::splitmix64;
+
+/// Seeded per-site fault rates. Parsed from a spec string (see the
+/// module docs) or built empty via `Default` — an empty plan hands out
+/// inert hooks everywhere.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: Vec<(String, u32)>,
+}
+
+/// FNV-1a, so each site name perturbs the seed differently.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl FaultPlan {
+    /// Parse a plan spec: comma-separated `key=value` pairs where
+    /// `seed=N` sets the stream seed and any other key sets that
+    /// site's failure rate in permille (0..=1000).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry {part:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                plan.seed = value
+                    .parse()
+                    .map_err(|_| format!("fault seed {value:?} is not a u64"))?;
+                continue;
+            }
+            let rate: u32 = value
+                .parse()
+                .map_err(|_| format!("fault rate {value:?} for {key:?} is not a u32"))?;
+            if rate > 1000 {
+                return Err(format!("fault rate {rate} for {key:?} exceeds 1000 permille"));
+            }
+            match plan.rates.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = rate,
+                None => plan.rates.push((key.to_string(), rate)),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Read a plan from the `STORYPIVOT_FAULTS` environment variable.
+    /// Absent/empty → `None`; a malformed spec panics (a chaos run with
+    /// a typo'd plan silently testing nothing is worse than a crash).
+    pub fn from_env() -> Option<FaultPlan> {
+        let spec = std::env::var("STORYPIVOT_FAULTS").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        Some(FaultPlan::parse(&spec).expect("malformed STORYPIVOT_FAULTS"))
+    }
+
+    /// The rate configured for `site`, in permille.
+    pub fn rate(&self, site: &str) -> u32 {
+        self.rates
+            .iter()
+            .find(|(k, _)| k == site)
+            .map(|&(_, r)| r)
+            .unwrap_or(0)
+    }
+
+    /// A hook for one fault site. `instance` separates streams that
+    /// share a site name (e.g. one per shard): two hooks with the same
+    /// `(site, instance)` fire identically, different instances draw
+    /// from unrelated streams.
+    pub fn hook(&self, site: &str, instance: u64) -> FaultHook {
+        FaultHook {
+            rate_permille: self.rate(site),
+            state: self.seed ^ fnv1a(site) ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            fired: 0,
+        }
+    }
+}
+
+/// One fault site's injection state: a failure rate plus a private
+/// deterministic stream. Obtain via [`FaultPlan::hook`]; a
+/// default-constructed hook is inert.
+#[derive(Debug, Clone, Default)]
+pub struct FaultHook {
+    rate_permille: u32,
+    state: u64,
+    fired: u64,
+}
+
+impl FaultHook {
+    /// A hook that never fires (for code paths with no plan attached).
+    pub fn inert() -> FaultHook {
+        FaultHook::default()
+    }
+
+    /// Whether this hook can ever fire in this build. False for
+    /// zero-rate hooks, and always false in release builds.
+    pub fn is_active(&self) -> bool {
+        cfg!(debug_assertions) && self.rate_permille > 0
+    }
+
+    /// Advance the stream one step and report whether the fault fires
+    /// at this operation. Release builds never fire (the stream does
+    /// not even advance, keeping the hot path untouched).
+    pub fn fire(&mut self) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        let draw = splitmix64(&mut self.state) % 1000;
+        if draw < self.rate_permille as u64 {
+            self.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many times this hook has fired.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_rates_and_seed() {
+        let p = FaultPlan::parse("seed=7, wal_enospc=100, wal_short=50").unwrap();
+        assert_eq!(p.rate("wal_enospc"), 100);
+        assert_eq!(p.rate("wal_short"), 50);
+        assert_eq!(p.rate("checkpoint"), 0);
+        assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("wal_enospc").is_err());
+        assert!(FaultPlan::parse("seed=x").is_err());
+        assert!(FaultPlan::parse("wal_enospc=1001").is_err());
+        assert!(FaultPlan::parse("wal_enospc=-3").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_the_empty_plan() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        assert_eq!(FaultPlan::parse(" , ,").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_rate() {
+        let p = FaultPlan::parse("checkpoint=10,checkpoint=900").unwrap();
+        assert_eq!(p.rate("checkpoint"), 900);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn streams_are_deterministic_and_instance_separated() {
+        let plan = FaultPlan::parse("seed=42,wal_short=500").unwrap();
+        let draws = |mut h: FaultHook| (0..64).map(|_| h.fire()).collect::<Vec<_>>();
+        let a = draws(plan.hook("wal_short", 0));
+        let b = draws(plan.hook("wal_short", 0));
+        let c = draws(plan.hook("wal_short", 1));
+        assert_eq!(a, b, "same (site, instance) must replay identically");
+        assert_ne!(a, c, "different instances must draw different streams");
+        assert!(a.iter().any(|&f| f), "a 50% hook must fire within 64 draws");
+        assert!(a.iter().any(|&f| !f), "and must not fire every time");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn fire_rate_tracks_the_configured_permille() {
+        let plan = FaultPlan::parse("seed=1,site=100").unwrap();
+        let mut h = plan.hook("site", 3);
+        for _ in 0..10_000 {
+            h.fire();
+        }
+        let rate = h.fired() as f64 / 10_000.0;
+        assert!((0.07..0.13).contains(&rate), "got {rate}, wanted ≈0.10");
+    }
+
+    #[test]
+    fn zero_rate_and_inert_hooks_never_fire() {
+        let plan = FaultPlan::parse("seed=9,other=1000").unwrap();
+        let mut h = plan.hook("unmentioned", 0);
+        let mut i = FaultHook::inert();
+        for _ in 0..256 {
+            assert!(!h.fire());
+            assert!(!i.fire());
+        }
+        assert!(!h.is_active());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_builds_never_fire() {
+        let plan = FaultPlan::parse("seed=1,site=1000").unwrap();
+        let mut h = plan.hook("site", 0);
+        for _ in 0..256 {
+            assert!(!h.fire(), "release builds must be immune to fault plans");
+        }
+        assert!(!h.is_active());
+    }
+}

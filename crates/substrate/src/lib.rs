@@ -41,6 +41,11 @@
 //! * [`trace`] — [`trace::TraceRing`], a fixed-capacity ring buffer of
 //!   recent engine events, dumped on shard panic so supervision leaves
 //!   a diagnosable artifact behind.
+//! * [`fault`] — seeded, debug/test-gated deterministic fault
+//!   injection ([`fault::FaultPlan`]): the durability and replication
+//!   paths consult per-site hooks so chaos tests can inject
+//!   short-write/ENOSPC-style disk faults and connection drops
+//!   reproducibly.
 //!
 //! Everything here is deterministic: the same seed produces the same
 //! corpus, the same property-test cases, and the same experiment tables
@@ -53,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod buf;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod pool;
@@ -65,6 +71,7 @@ pub mod trace;
 pub mod wal;
 
 pub use buf::{Buf, BufMut, ByteBuf};
+pub use fault::{FaultHook, FaultPlan};
 pub use metrics::Registry;
 pub use pool::BufferPool;
 pub use queue::Bounded;
@@ -72,4 +79,4 @@ pub use timing::Histogram;
 pub use rng::{RngCore, RngExt, SliceRandom, StdRng, Zipf};
 pub use shared::Shared;
 pub use trace::TraceRing;
-pub use wal::{SyncPolicy, Wal};
+pub use wal::{SyncPolicy, Wal, WalFaults};

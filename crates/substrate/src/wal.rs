@@ -33,6 +33,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::fault::FaultHook;
 use crate::metrics::{Counter, HistogramMetric};
 
 /// Optional instrumentation hooks for a [`Wal`]; see
@@ -48,6 +49,22 @@ pub struct WalMetrics {
     pub sync_duration: HistogramMetric,
     /// Total journal bytes appended (framing included).
     pub appended_bytes: Counter,
+}
+
+/// Deterministic disk-fault hooks for a [`Wal`]; see
+/// [`Wal::set_faults`]. Default (and any release build) is inert.
+#[derive(Debug, Clone, Default)]
+pub struct WalFaults {
+    /// Fires *before* a record is written: the append fails cleanly
+    /// with an out-of-space style error and the journal is unchanged,
+    /// like a full disk rejecting the write.
+    pub enospc: FaultHook,
+    /// Fires *during* a record write: only a prefix of the record
+    /// reaches the file, then the journal is repaired back to the last
+    /// whole-record boundary and the append fails — byte-for-byte what
+    /// a crash mid-write plus [`Wal::open`]'s torn-tail repair leaves
+    /// behind, without restarting the process.
+    pub short_write: FaultHook,
 }
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), computed with
@@ -225,6 +242,7 @@ pub struct Wal {
     len: u64,
     appends_since_sync: u32,
     metrics: WalMetrics,
+    faults: WalFaults,
 }
 
 impl std::fmt::Debug for WalMetrics {
@@ -260,6 +278,7 @@ impl Wal {
                 len: scanned.valid_len,
                 appends_since_sync: 0,
                 metrics: WalMetrics::default(),
+                faults: WalFaults::default(),
             },
             scanned,
         ))
@@ -268,6 +287,12 @@ impl Wal {
     /// Attach instrumentation hooks (default: detached no-ops).
     pub fn set_metrics(&mut self, metrics: WalMetrics) {
         self.metrics = metrics;
+    }
+
+    /// Attach deterministic disk-fault hooks (default: inert; release
+    /// builds are always inert regardless of what is attached).
+    pub fn set_faults(&mut self, faults: WalFaults) {
+        self.faults = faults;
     }
 
     /// The journal's file path.
@@ -292,6 +317,30 @@ impl Wal {
         let mut header = [0u8; RECORD_OVERHEAD as usize];
         header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        if self.faults.enospc.fire() {
+            // Full-disk style rejection: nothing reaches the file, the
+            // journal is exactly as it was, the caller sees a clean error.
+            drop(timer);
+            return Err(std::io::Error::other(
+                "injected fault: no space left on journal device",
+            ));
+        }
+        if self.faults.short_write.fire() {
+            // Torn write: a prefix of the record lands on disk, then the
+            // journal is repaired back to the last whole-record boundary —
+            // the state a crash mid-write plus reopen repair would leave.
+            self.writer.write_all(&header)?;
+            self.writer.write_all(&payload[..payload.len() / 2])?;
+            self.writer.flush()?;
+            let file = self.writer.get_mut();
+            file.set_len(self.len)?;
+            file.sync_all()?;
+            file.seek(SeekFrom::Start(self.len))?;
+            drop(timer);
+            return Err(std::io::Error::other(
+                "injected fault: short write tore the record (repaired)",
+            ));
+        }
         self.writer.write_all(&header)?;
         self.writer.write_all(payload)?;
         self.len += RECORD_OVERHEAD + payload.len() as u64;
@@ -515,6 +564,40 @@ mod tests {
             metrics.appended_bytes.get(),
             2 * RECORD_OVERHEAD + b"abcd".len() as u64
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn injected_faults_fail_the_append_but_never_corrupt_the_journal() {
+        use crate::fault::FaultPlan;
+        let path = tmp("faults");
+        let plan = FaultPlan::parse("seed=3,wal_enospc=250,wal_short=250").unwrap();
+        let (mut wal, _) = Wal::open(&path, SyncPolicy::Always).unwrap();
+        wal.set_faults(WalFaults {
+            enospc: plan.hook("wal_enospc", 0),
+            short_write: plan.hook("wal_short", 0),
+        });
+        let mut landed: Vec<Vec<u8>> = Vec::new();
+        let mut failures = 0u32;
+        for i in 0..200u32 {
+            let payload = format!("record-{i}").into_bytes();
+            // Retry until the record lands, like a caller would.
+            loop {
+                match wal.append(&payload) {
+                    Ok(_) => break,
+                    Err(_) => failures += 1,
+                }
+            }
+            landed.push(payload);
+        }
+        assert!(failures > 0, "a 25%+25% plan must fire within 200 appends");
+        drop(wal);
+        // Every acked record survives, in order, with nothing torn: the
+        // scan sees exactly the landed set and no damage.
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.records, landed);
+        assert!(!scanned.damaged(), "short-write repair must leave whole records");
         std::fs::remove_file(&path).ok();
     }
 

@@ -217,7 +217,8 @@ fn tiny_queue_pushes_back_with_busy_and_recovers() {
                 // until the snippet lands.
                 match client.ingest(&snippet).unwrap() {
                     IngestReply::Assigned(_) => {}
-                    IngestReply::Busy { retry_after_ms } => {
+                    IngestReply::Busy { retry_after_ms }
+                    | IngestReply::Shed { retry_after_ms } => {
                         busy += 1;
                         assert!(retry_after_ms > 0, "BUSY must carry a retry hint");
                         std::thread::sleep(std::time::Duration::from_millis(retry_after_ms as u64));
