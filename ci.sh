@@ -39,6 +39,13 @@ trap cleanup EXIT
 cargo run -p storypivot-bench --bin harness --release -- e1 --quick --json "$SMOKE_DIR/bench"
 test -s "$SMOKE_DIR/bench/BENCH_e1.json"
 
+echo "==> smoke: bench harness hotpath (E17 before/after, partition equality asserted in-run)"
+# The harness itself asserts the cache-on and cache-off partitions are
+# identical; CI just checks the artifact landed with a timing column.
+cargo run -p storypivot-bench --bin harness --release -- hotpath --quick --json "$SMOKE_DIR/bench"
+test -s "$SMOKE_DIR/bench/BENCH_hotpath.json"
+grep -q '"ns/event"' "$SMOKE_DIR/bench/BENCH_hotpath.json"
+
 # Poll a pivotd --port-file until the daemon binds; dies if the daemon does.
 wait_port() { # args: port_file pid
     for _ in $(seq 1 100); do
@@ -68,6 +75,9 @@ grep -q '^storypivot_connections_open ' "$SMOKE_DIR/metrics.txt"
 grep -q '^storypivot_pipeline_depth ' "$SMOKE_DIR/metrics.txt"
 grep -q '^storypivot_pool_buffers_outstanding ' "$SMOKE_DIR/metrics.txt"
 grep -q '^storypivot_pool_bytes_highwater ' "$SMOKE_DIR/metrics.txt"
+# The hot-story-cache hit/miss counters are registered and exported.
+grep -q '^storypivot_story_cache_hits_total' "$SMOKE_DIR/metrics.txt"
+grep -q '^storypivot_story_cache_misses_total' "$SMOKE_DIR/metrics.txt"
 # SHUTDOWN must terminate the daemon gracefully (exit 0) and leave one
 # generation-numbered checkpoint per shard.
 wait "$PIVOTD_PID"

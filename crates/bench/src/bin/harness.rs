@@ -21,6 +21,8 @@
 //!   conns (e14) many-connection serving memory/rtt (serving runtime)
 //!   replica (e15) read fan-out across followers + snapshot staleness
 //!   chaos (e16) adversarial scenario quality under load  (robustness)
+//!   hotpath (e17) similarity inner-loop before/after: flat kernels,
+//!                 allocation-free scoring, hot-story cache
 
 use std::time::{Duration, Instant};
 
@@ -123,7 +125,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "wal", "metrics", "conns",
-            "replica", "chaos",
+            "replica", "chaos", "hotpath",
         ]
         .map(String::from)
         .to_vec();
@@ -152,10 +154,11 @@ fn main() {
             "conns" | "e14" => e14_conns(&scale),
             "replica" | "e15" => e15_replica(&scale, seed),
             "chaos" | "e16" => e16_chaos(&scale, seed),
+            "hotpath" | "e17" => e17_hotpath(&scale, seed),
             other => {
                 eprintln!(
                     "unknown experiment {other:?} (use e1..e10, wal, metrics, conns, replica, \
-                     chaos, or all)"
+                     chaos, hotpath, or all)"
                 );
                 continue;
             }
@@ -1153,6 +1156,170 @@ fn e16_chaos(scale: &Scale, seed: u64) -> Table {
         ]);
         client.shutdown().expect("e16 shutdown");
         handle.join();
+    }
+    print!("{}", table.to_markdown());
+    table
+}
+
+/// E17 — the similarity hot path before/after the kernel rework.
+///
+/// Three configurations over the identical seeded Zipf corpus, driving
+/// the store and per-source identifiers directly so only the identify
+/// inner loop sits inside the timer:
+///
+/// * **legacy scoring (before)** — the pre-rework loop preserved in
+///   `storypivot_bench::legacy`: full-pass norms per cosine and a fresh
+///   allocation per candidate. Timed per probe against the same
+///   evolving story state (the state evolves via untimed real assigns).
+/// * **flat kernels, cache off** — `Identifier::assign` with
+///   `hot_cache_capacity = 0`: cached norms, batch kernels, scratch
+///   accumulators.
+/// * **flat kernels + hot cache** — the default configuration.
+///
+/// The run also asserts live that the cache-off and cache-on partitions
+/// are byte-identical.
+fn e17_hotpath(scale: &Scale, seed: u64) -> Table {
+    use std::collections::HashMap;
+
+    use storypivot_bench::legacy;
+    use storypivot_core::identify::Identifier;
+    use storypivot_store::EventStore;
+    use storypivot_types::{SourceId, StoryId};
+
+    println!("\n## E17 — similarity hot path: flat kernels + hot-story cache\n");
+    const TRIALS: usize = 3;
+    // Few sources for the same corpus → denser per-source windows,
+    // which is exactly what stresses the quadratic fold the rework
+    // removed (Zipf story popularity keeps the hot stories hot).
+    let corpus = corpus_fixed_period(scale.mid, 2, seed ^ 53);
+    let base = PivotConfig::temporal(OMEGA);
+
+    struct Run {
+        ns_per_event: f64,
+        cache_hits: u64,
+        cache_misses: u64,
+        partition: Vec<(StoryId, Vec<SnippetId>)>,
+    }
+
+    // Drive one full pass over the corpus. Only the candidate-scoring
+    // loop sits inside the timer in every configuration — the legacy
+    // row times `legacy::score_probe`, the modern rows time
+    // `Identifier::score_probe` — and the (identical) decision
+    // bookkeeping evolves the story state untimed, so the rows compare
+    // exactly the work the rework changed.
+    let drive = |hot_cache_capacity: usize, legacy_timing: bool| -> Run {
+        let mut cfg = base.clone();
+        cfg.identify.hot_cache_capacity = hot_cache_capacity;
+        let mut store = EventStore::new();
+        let mut idents: HashMap<SourceId, Identifier> = HashMap::new();
+        for src in &corpus.sources {
+            store
+                .register_source(
+                    storypivot_types::Source::new(src.id, src.name.clone(), src.kind)
+                        .with_lag(src.typical_lag),
+                )
+                .expect("register corpus source");
+            idents.insert(src.id, Identifier::new(src.id, cfg.identify.clone(), cfg.sketch));
+        }
+        let mut timed = Duration::ZERO;
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for s in &corpus.snippets {
+            store.insert(s.clone()).expect("valid corpus snippet");
+            let ident = idents.get_mut(&s.source).expect("registered source");
+            if legacy_timing {
+                let t = Instant::now();
+                let (best, _compared) = legacy::score_probe(&cfg.identify, s, &store, ident);
+                timed += t.elapsed();
+                std::hint::black_box(best);
+                ident.assign(s, &store); // untimed: evolve the shared state
+            } else {
+                let t = Instant::now();
+                let (_, h, m) = ident.score_probe(s, &store);
+                timed += t.elapsed();
+                hits += h as u64;
+                misses += m as u64;
+                ident.assign(s, &store); // untimed: commit the decision
+            }
+            if ident.maintenance_due() {
+                ident.maintain(&store); // untimed in every configuration
+            }
+        }
+        let mut partition: Vec<(StoryId, Vec<SnippetId>)> = idents
+            .values()
+            .flat_map(|ident| {
+                ident.story_ids().into_iter().map(move |sid| {
+                    let mut members =
+                        ident.story(sid).expect("listed story").story.members.clone();
+                    members.sort_unstable();
+                    (sid, members)
+                })
+            })
+            .collect();
+        partition.sort_unstable_by_key(|&(sid, _)| sid);
+        Run {
+            ns_per_event: timed.as_nanos() as f64 / corpus.len() as f64,
+            cache_hits: hits,
+            cache_misses: misses,
+            partition,
+        }
+    };
+
+    let default_capacity = base.identify.hot_cache_capacity;
+    let configs: [(&str, usize, bool); 3] = [
+        ("legacy scoring (before)", default_capacity, true),
+        ("flat kernels, cache off", 0, false),
+        ("flat kernels + hot cache", default_capacity, false),
+    ];
+    let mut best: [Option<Run>; 3] = [None, None, None];
+    for _ in 0..TRIALS {
+        for (slot, &(_, capacity, legacy_timing)) in configs.iter().enumerate() {
+            let run = drive(capacity, legacy_timing);
+            let better = best[slot]
+                .as_ref()
+                .is_none_or(|b| run.ns_per_event < b.ns_per_event);
+            if better {
+                best[slot] = Some(run);
+            }
+        }
+    }
+    let best = best.map(|r| r.expect("ran"));
+    assert_eq!(
+        best[1].partition, best[2].partition,
+        "hot-story cache changed the identification partition"
+    );
+    println!("best of {TRIALS} trials per configuration\n");
+
+    let mut table = Table::new([
+        "config",
+        "events",
+        "ns/event",
+        "speedup vs legacy",
+        "cache hits",
+        "cache misses",
+        "hit rate",
+    ]);
+    let legacy_ns = best[0].ns_per_event;
+    for (slot, &(name, _, legacy_timing)) in configs.iter().enumerate() {
+        let r = &best[slot];
+        let folds = r.cache_hits + r.cache_misses;
+        let hit_rate = if folds == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", r.cache_hits as f64 / folds as f64 * 100.0)
+        };
+        table.row([
+            name.to_string(),
+            corpus.len().to_string(),
+            format!("{:.0}", r.ns_per_event),
+            if slot == 0 {
+                "baseline".to_string()
+            } else {
+                format!("{:.2}x", legacy_ns / r.ns_per_event)
+            },
+            if legacy_timing { "-".into() } else { r.cache_hits.to_string() },
+            if legacy_timing { "-".into() } else { r.cache_misses.to_string() },
+            hit_rate,
+        ]);
     }
     print!("{}", table.to_markdown());
     table

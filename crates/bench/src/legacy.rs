@@ -1,0 +1,265 @@
+//! The pre-kernel identification scoring loop, preserved for the E17
+//! before/after benchmark.
+//!
+//! This module re-implements the similarity inner loop exactly as it
+//! stood before the hot-path rework, with its two performance bugs
+//! intact:
+//!
+//! 1. cosine recomputes **both** operands' full-pass L2 norms (with
+//!    `sqrt`) on every call — no cached norm;
+//! 2. candidate accumulation allocates a **fresh merged vector per
+//!    candidate** (`merge_alloc`), O(story size) allocation per
+//!    candidate per probe.
+//!
+//! The harness times [`score_probe`] against the *same evolving story
+//! state* as the real `Identifier::score_probe`, so the before/after
+//! ns/event in `BENCH_hotpath.json` compare identical work on identical
+//! data: both timers cover exactly the candidate-scoring loop, while
+//! the (unchanged) decision bookkeeping evolves the state untimed.
+
+use std::collections::HashMap;
+
+use storypivot_core::config::{IdentifyConfig, MatchMode};
+use storypivot_core::identify::Identifier;
+use storypivot_store::EventStore;
+use storypivot_types::{EntityId, Snippet, StoryId, TermId};
+
+/// Full-pass Euclidean norm — the per-call cost the norm cache removes.
+fn full_norm<K>(v: &[(K, f32)]) -> f64 {
+    v.iter().map(|&(_, w)| (w as f64) * (w as f64)).sum::<f64>().sqrt()
+}
+
+/// Match-based merge dot product (the historical `SparseVec::dot`).
+fn dot<K: Copy + Ord>(a: &[(K, f32)], b: &[(K, f32)]) -> f64 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0f64);
+    while i < a.len() && j < b.len() {
+        let (ka, wa) = a[i];
+        let (kb, wb) = b[j];
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += wa as f64 * wb as f64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Cosine with both norms recomputed per call (performance bug #1).
+fn cosine<K: Copy + Ord>(a: &[(K, f32)], b: &[(K, f32)]) -> f64 {
+    let denom = full_norm(a) * full_norm(b);
+    if denom == 0.0 {
+        0.0
+    } else {
+        (dot(a, b) / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Match-based weighted Jaccard (the historical implementation).
+fn weighted_jaccard<K: Copy + Ord>(a: &[(K, f32)], b: &[(K, f32)]) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut num, mut den) = (0f64, 0f64);
+    while i < a.len() && j < b.len() {
+        let (ka, wa) = a[i];
+        let (kb, wb) = b[j];
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => {
+                den += wa as f64;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                den += wb as f64;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                num += wa.min(wb) as f64;
+                den += wa.max(wb) as f64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    den += a[i..].iter().map(|&(_, w)| w as f64).sum::<f64>();
+    den += b[j..].iter().map(|&(_, w)| w as f64).sum::<f64>();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Element-wise sum allocating a fresh output vector (performance
+/// bug #2: the old `merge_add` built one of these per candidate).
+fn merge_alloc<K: Copy + Ord>(a: &[(K, f32)], b: &[(K, f32)]) -> Vec<(K, f32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ka, wa) = a[i];
+        let (kb, wb) = b[j];
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => {
+                out.push((ka, wa));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((kb, wb));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((ka, wa + wb));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The historical per-snippet content similarity.
+fn content_sim(cfg: &IdentifyConfig, a: &Snippet, b: &Snippet) -> f64 {
+    let w = &cfg.weights;
+    let e = weighted_jaccard(a.entities().as_slice(), b.entities().as_slice());
+    let t = cosine(a.terms().as_slice(), b.terms().as_slice());
+    let ev = a.content.event_type.affinity(b.content.event_type);
+    (w.entity * e + w.term * t + w.event * ev) / w.total()
+}
+
+/// The pre-rework candidate-scoring loop: per-candidate pair similarity
+/// with full-pass norms, per-candidate allocating centroid accumulation,
+/// ranked blend, `partial_cmp` sort. Reads (but does not mutate) the
+/// identifier's story table, so it can be timed against the same
+/// evolving state as the real `assign`.
+///
+/// Returns the ranked `(story, score)` list head and the number of
+/// snippet comparisons performed.
+pub fn score_probe(
+    cfg: &IdentifyConfig,
+    snippet: &Snippet,
+    store: &EventStore,
+    ident: &Identifier,
+) -> (Option<(StoryId, f64)>, usize) {
+    struct Candidate {
+        pair: f64,
+        entities: Vec<(EntityId, f32)>,
+        terms: Vec<(TermId, f32)>,
+    }
+    let mut per_story: HashMap<StoryId, Candidate> = HashMap::new();
+    let mut compared = 0usize;
+    let candidates: Vec<&Snippet> = match cfg.mode {
+        MatchMode::Temporal { omega } => store.window(snippet.source, snippet.timestamp, omega),
+        MatchMode::Complete => store.snippets_of_source(snippet.source),
+    };
+    for cand in candidates {
+        if cand.id == snippet.id {
+            continue;
+        }
+        let Some(story) = ident.story_of(cand.id) else {
+            continue;
+        };
+        compared += 1;
+        let s = content_sim(cfg, snippet, cand);
+        let entry = per_story.entry(story).or_insert_with(|| Candidate {
+            pair: 0.0,
+            entities: Vec::new(),
+            terms: Vec::new(),
+        });
+        if s > entry.pair {
+            entry.pair = s;
+        }
+        entry.entities = merge_alloc(&entry.entities, cand.entities().as_slice());
+        entry.terms = merge_alloc(&entry.terms, cand.terms().as_slice());
+    }
+
+    let w = &cfg.weights;
+    let mut ranked: Vec<(StoryId, f64)> = per_story
+        .into_iter()
+        .map(|(story, c)| {
+            let type_affinity = snippet.content.event_type.affinity(
+                ident
+                    .story(story)
+                    .map(|s| s.dominant_event_type())
+                    .unwrap_or(snippet.content.event_type),
+            );
+            let centroid = (w.entity * cosine(snippet.entities().as_slice(), &c.entities)
+                + w.term * cosine(snippet.terms().as_slice(), &c.terms)
+                + w.event * type_affinity)
+                / w.total();
+            (story, cfg.pair_blend * c.pair + (1.0 - cfg.pair_blend) * centroid)
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    (ranked.first().copied(), compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storypivot_core::config::SketchConfig;
+    use storypivot_types::{
+        EntityId, EventType, SnippetId, Source, SourceId, SourceKind, TermId, Timestamp, DAY,
+    };
+
+    fn snip(id: u32, day: i64, entities: &[u32], terms: &[u32]) -> Snippet {
+        let mut b = Snippet::builder(
+            SnippetId::new(id),
+            SourceId::new(0),
+            Timestamp::from_secs(day * DAY),
+        )
+        .event_type(EventType::Accident);
+        for &e in entities {
+            b = b.entity(EntityId::new(e), 1.0);
+        }
+        for &t in terms {
+            b = b.term(TermId::new(t), 1.0);
+        }
+        b.build()
+    }
+
+    /// The legacy scorer must agree with the modern `assign` on the
+    /// winning story and score — it is the same math, only slower.
+    #[test]
+    fn legacy_scorer_agrees_with_modern_assign() {
+        let cfg = IdentifyConfig {
+            mode: MatchMode::Complete,
+            maintenance_every: 0,
+            ..IdentifyConfig::default()
+        };
+        let mut store = EventStore::new();
+        store
+            .register_source(Source::new(SourceId::new(0), "s0", SourceKind::Newspaper))
+            .unwrap();
+        let mut ident = Identifier::new(SourceId::new(0), cfg.clone(), SketchConfig::default());
+        for (i, s) in [
+            snip(0, 0, &[1, 2], &[10, 11]),
+            snip(1, 1, &[1, 2], &[10, 11]),
+            snip(2, 2, &[7, 8], &[20, 21]),
+            snip(3, 2, &[1, 2, 3], &[10, 12]),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            store.insert(s.clone()).unwrap();
+            let (legacy_best, legacy_compared) = score_probe(&cfg, &s, &store, &ident);
+            let d = ident.assign(&s, &store);
+            assert_eq!(legacy_compared, d.compared, "snippet {i}");
+            if let Some((_, score)) = legacy_best {
+                assert!(
+                    (score - d.best_score).abs() < 1e-9,
+                    "snippet {i}: legacy {score} vs modern {}",
+                    d.best_score
+                );
+            } else {
+                assert_eq!(d.best_score, 0.0, "snippet {i}");
+            }
+        }
+    }
+}

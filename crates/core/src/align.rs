@@ -291,13 +291,23 @@ impl Aligner {
         members: &[&storypivot_types::Snippet],
     ) -> bool {
         let lag = self.cfg.counterpart_lag;
+        // Bind the probe once: the outward scans re-score `sn` against
+        // every neighbour, so probe-side state is hoisted out.
+        let scorer = self.weights.probe(&sn.content);
+        let term_slice = sn.terms().as_slice();
+        let term_norm = sn.terms().norm();
         // members is sorted by timestamp: scan outwards until the lag
         // bound is exceeded in both directions.
         let check = |other: &storypivot_types::Snippet| -> bool {
             other.source != sn.source
                 && other.timestamp.distance(sn.timestamp) <= lag
-                && self.weights.snippet_sim(sn, other) >= self.cfg.counterpart_threshold
-                && sn.terms().cosine(other.terms()) >= self.cfg.counterpart_term_floor
+                && scorer.score(&other.content) >= self.cfg.counterpart_threshold
+                && storypivot_types::kernel::cosine(
+                    term_slice,
+                    term_norm,
+                    other.terms().as_slice(),
+                    other.terms().norm(),
+                ) >= self.cfg.counterpart_term_floor
         };
         for other in members[pos + 1..].iter() {
             if other.timestamp.distance(sn.timestamp) > lag {

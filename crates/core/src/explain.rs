@@ -125,8 +125,7 @@ pub fn explain_assignment(pivot: &StoryPivot, snippet: SnippetId, k: usize) -> O
     let by_sim = |a: &NeighborEvidence, b: &NeighborEvidence| {
         b.sim
             .combined
-            .partial_cmp(&a.sim.combined)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.sim.combined)
             .then(a.snippet.cmp(&b.snippet))
     };
     supporting.sort_by(by_sim);
@@ -182,8 +181,7 @@ pub fn explain_counterparts(
     out.sort_by(|a, b| {
         b.sim
             .combined
-            .partial_cmp(&a.sim.combined)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.sim.combined)
             .then(a.snippet.cmp(&b.snippet))
     });
     out.truncate(k);

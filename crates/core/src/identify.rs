@@ -21,9 +21,10 @@ use std::collections::HashMap;
 use storypivot_sketch::HashFamily;
 use storypivot_store::EventStore;
 use storypivot_types::ids::IdGen;
-use storypivot_types::{Snippet, SnippetId, SourceId, StoryId};
+use storypivot_types::{kernel, EntityId, Snippet, SnippetId, SourceId, SparseVec, StoryId, TermId};
 
 use crate::config::{IdentifyConfig, MatchMode, SketchConfig};
+use crate::hotcache::HotStoryCache;
 use crate::state::StoryState;
 use crate::unionfind::UnionFind;
 
@@ -45,6 +46,12 @@ pub struct IdentifyDecision {
     pub merged: Vec<StoryId>,
     /// Number of snippet comparisons performed (drives experiment E1).
     pub compared: usize,
+    /// Hot-story-cache hits while scoring this snippet (candidate
+    /// stories whose windowed fold was reused or merely extended).
+    pub cache_hits: usize,
+    /// Hot-story-cache misses (stories folded from scratch, whether
+    /// admitted to the cache or accumulated in local scratch).
+    pub cache_misses: usize,
 }
 
 /// Report of a maintenance pass.
@@ -53,6 +60,109 @@ pub struct MaintenanceReport {
     /// Each entry: a story that split, with the ids of the fragments
     /// (the original id is reused for the largest fragment).
     pub splits: Vec<(StoryId, Vec<StoryId>)>,
+}
+
+/// Where a candidate story's windowed fold lives for the current probe.
+/// Phase 2 sets this for every live slot; phase 3 reads the fold back
+/// at array-index cost (no per-story hashing in the batch kernels).
+#[derive(Debug, Clone, Copy)]
+enum Fold {
+    /// Hot-cache slab index (read with [`HotStoryCache::by_index`]).
+    Cached(u32),
+    /// Pooled local scratch buffer index.
+    Local(u32),
+}
+
+/// One candidate story's accumulation state during a probe.
+#[derive(Debug, Clone)]
+struct Slot {
+    story: StoryId,
+    /// Best single-pair similarity seen so far.
+    pair: f64,
+    /// Indices into the probe's candidate list belonging to this story,
+    /// in window (fold) order.
+    cand_idx: Vec<u32>,
+    /// Fold location; the placeholder is always overwritten in phase 2.
+    fold: Fold,
+}
+
+impl Slot {
+    fn reset(&mut self, story: StoryId) {
+        self.story = story;
+        self.pair = 0.0;
+        self.cand_idx.clear();
+        self.fold = Fold::Local(0);
+    }
+}
+
+/// Reusable per-probe scoring state. Every buffer is pooled: a probe
+/// clears and refills them, so steady-state candidate scoring performs
+/// no allocation at all (the old code allocated a freshly merged vector
+/// per candidate — O(story size) allocations per probe).
+#[derive(Debug, Clone, Default)]
+struct ScoreScratch {
+    /// Story → slot index as a stamped dense array ("sparse set").
+    /// Story ids are allocated sequentially per source, so the id
+    /// offset from the source's base indexes directly — no hashing on
+    /// the per-candidate path. `si_of[off]` is valid for the current
+    /// probe iff `stamp[off] == probe`.
+    stamp: Vec<u32>,
+    si_of: Vec<u32>,
+    probe: u32,
+    /// Slot pool; only `slots[..live]` belong to the current probe.
+    slots: Vec<Slot>,
+    live: usize,
+    /// Pool of fold buffers for stories that could not use the cache.
+    locals: Vec<(SparseVec<EntityId>, SparseVec<TermId>)>,
+    live_locals: usize,
+    /// Batch cosine outputs, indexed like `slots`.
+    ent_scores: Vec<f64>,
+    term_scores: Vec<f64>,
+    /// `(story, blended score)` ranking buffer.
+    ranked: Vec<(StoryId, f64)>,
+}
+
+impl ScoreScratch {
+    fn begin(&mut self) {
+        self.probe = self.probe.wrapping_add(1);
+        if self.probe == 0 {
+            // Stamp wrapped (once per 2^32 probes): old stamps could
+            // collide, so reset them all and restart at 1.
+            self.stamp.fill(0);
+            self.probe = 1;
+        }
+        self.live = 0;
+        self.live_locals = 0;
+    }
+
+    /// Index of the slot for `story` (id offset `off` from the source's
+    /// story-id base), acquiring one from the pool on first sight.
+    /// Slots are issued in first-seen order, exactly as the hash-map
+    /// entry API this replaces.
+    fn slot(&mut self, story: StoryId, off: usize) -> usize {
+        if off >= self.stamp.len() {
+            self.stamp.resize(off + 1, 0);
+            self.si_of.resize(off + 1, 0);
+        }
+        if self.stamp[off] == self.probe {
+            return self.si_of[off] as usize;
+        }
+        let si = self.live;
+        self.live += 1;
+        if si == self.slots.len() {
+            self.slots.push(Slot {
+                story,
+                pair: 0.0,
+                cand_idx: Vec::new(),
+                fold: Fold::Local(0),
+            });
+        } else {
+            self.slots[si].reset(story);
+        }
+        self.stamp[off] = self.probe;
+        self.si_of[off] = si as u32;
+        si
+    }
 }
 
 /// Incremental story identifier for one data source.
@@ -64,8 +174,15 @@ pub struct Identifier {
     family: HashFamily,
     stories: HashMap<StoryId, StoryState>,
     assignment: HashMap<SnippetId, StoryId>,
+    /// Dense mirror of `assignment` indexed by snippet raw id, for the
+    /// per-candidate lookup on the scoring hot path (`u32::MAX` ⇒ not
+    /// assigned, or — pathologically — a story whose raw id is
+    /// `u32::MAX`; lookups fall back to the map for that value).
+    assign_dense: Vec<u32>,
     ids: IdGen<StoryId>,
     since_maintenance: usize,
+    cache: HotStoryCache,
+    scratch: ScoreScratch,
 }
 
 impl Identifier {
@@ -76,8 +193,11 @@ impl Identifier {
             family: HashFamily::new(sketch_cfg.seed, sketch_cfg.minhash_k),
             stories: HashMap::new(),
             assignment: HashMap::new(),
+            assign_dense: Vec::new(),
             ids: IdGen::starting_at(source.raw().wrapping_mul(STORY_ID_STRIDE)),
             since_maintenance: 0,
+            cache: HotStoryCache::new(cfg.hot_cache_capacity),
+            scratch: ScoreScratch::default(),
             cfg,
             sketch_cfg,
         }
@@ -141,6 +261,27 @@ impl Identifier {
         &self.family
     }
 
+    /// Record `snippet → story` in both the map and the dense mirror.
+    /// Every assignment mutation must go through this or
+    /// [`Identifier::erase_assignment`] to keep the mirror truthful.
+    fn record_assignment(&mut self, snippet: SnippetId, story: StoryId) {
+        self.assignment.insert(snippet, story);
+        let off = snippet.index();
+        if off >= self.assign_dense.len() {
+            self.assign_dense.resize(off + 1, u32::MAX);
+        }
+        self.assign_dense[off] = story.raw();
+    }
+
+    /// Remove `snippet` from both the map and the dense mirror.
+    fn erase_assignment(&mut self, snippet: SnippetId) -> Option<StoryId> {
+        let prev = self.assignment.remove(&snippet);
+        if prev.is_some() {
+            self.assign_dense[snippet.index()] = u32::MAX;
+        }
+        prev
+    }
+
     /// Identify one snippet. The snippet must already be stored in
     /// `store` (so window queries can see it); it must belong to this
     /// identifier's source.
@@ -149,9 +290,25 @@ impl Identifier {
     /// when due (its effect is visible through the story table, not the
     /// returned decision).
     pub fn assign(&mut self, snippet: &Snippet, store: &EventStore) -> IdentifyDecision {
+        let (compared, cache_hits, cache_misses) = self.score_probe(snippet, store);
+        self.decide(snippet, compared, cache_hits, cache_misses)
+    }
+
+    /// The scoring phases of [`Identifier::assign`]: score `snippet`
+    /// against every candidate story and leave the ranked `(story,
+    /// score)` list in the internal scratch. Mutates only the hot-story
+    /// cache (folds, admissions, LFU popularity) — never assignments or
+    /// the story table — so running it without the subsequent decision
+    /// is harmless, and running it twice makes the second pass a
+    /// guaranteed cache hit. Returns `(compared, cache_hits,
+    /// cache_misses)`.
+    ///
+    /// Public so the benchmark harness can time the similarity hot path
+    /// in isolation, symmetric with the preserved legacy scorer.
+    pub fn score_probe(&mut self, snippet: &Snippet, store: &EventStore) -> (usize, usize, usize) {
         debug_assert_eq!(snippet.source, self.source);
 
-        // ---- candidate scoring ------------------------------------------
+        // ---- phase 1: pair scoring, group candidates by story ----------
         //
         // Score = pair_blend·best-pair + (1-pair_blend)·window-centroid.
         // The best-pair (single-link) component lets evolving stories
@@ -159,95 +316,242 @@ impl Identifier {
         // story's *windowed* members keeps one spuriously similar pair
         // from chaining unrelated stories together (the incremental
         // record-linkage failure mode at scale). E10 ablates the blend.
-        struct Candidate {
-            pair: f64,
-            entities: storypivot_types::SparseVec<storypivot_types::EntityId>,
-            terms: storypivot_types::SparseVec<storypivot_types::TermId>,
-            count: u32,
-        }
-        let mut per_story: HashMap<StoryId, Candidate> = HashMap::new();
-        let mut compared = 0usize;
         let candidates: Vec<&Snippet> = match self.cfg.mode {
             MatchMode::Temporal { omega } => store.window(self.source, snippet.timestamp, omega),
             MatchMode::Complete => store.snippets_of_source(self.source),
         };
-        for cand in candidates {
+        let mut compared = 0usize;
+        let scorer = self.cfg.weights.probe(&snippet.content);
+        let id_base = self.source.raw().wrapping_mul(STORY_ID_STRIDE);
+        self.scratch.begin();
+        for (ci, cand) in candidates.iter().enumerate() {
             if cand.id == snippet.id {
                 continue;
             }
-            let Some(&story) = self.assignment.get(&cand.id) else {
-                continue; // not yet identified (e.g. later batch position)
+            let story = match self.assign_dense.get(cand.id.index()) {
+                Some(&raw) if raw != u32::MAX => StoryId::new(raw),
+                // Sentinel collision or unmirrored id: the map decides.
+                _ => match self.assignment.get(&cand.id) {
+                    Some(&s) => s,
+                    None => continue, // not yet identified (later batch position)
+                },
             };
             compared += 1;
-            let s = self.cfg.weights.snippet_sim(snippet, cand);
-            let entry = per_story.entry(story).or_insert_with(|| Candidate {
-                pair: 0.0,
-                entities: storypivot_types::SparseVec::new(),
-                terms: storypivot_types::SparseVec::new(),
-                count: 0,
-            });
-            if s > entry.pair {
-                entry.pair = s;
+            let s = scorer.score(&cand.content);
+            let off = story.raw().wrapping_sub(id_base) as usize;
+            let si = self.scratch.slot(story, off);
+            let slot = &mut self.scratch.slots[si];
+            if s > slot.pair {
+                slot.pair = s;
             }
-            entry.entities.merge_add(cand.entities());
-            entry.terms.merge_add(cand.terms());
-            entry.count += 1;
+            slot.cand_idx.push(ci as u32);
         }
 
-        // ---- pick the best story, detect merge evidence ---------------
-        let w = &self.cfg.weights;
-        let mut ranked: Vec<(StoryId, f64)> = per_story
-            .into_iter()
-            .map(|(story, c)| {
+        // ---- phase 2: bring each story's windowed fold current ---------
+        //
+        // The fold (sum of the story's windowed members' vectors) is the
+        // expensive part; hot stories are served from the cache, which
+        // only has to extend the fold by the members that newly entered
+        // the window. Everything else is refolded into pooled scratch.
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
+        {
+            let ScoreScratch {
+                stamp,
+                probe,
+                slots,
+                live,
+                locals,
+                live_locals,
+                ..
+            } = &mut self.scratch;
+            // A story is part of the current probe iff its stamp slot
+            // carries this probe's stamp — the sparse-set equivalent of
+            // the old `slot_of.contains_key`.
+            let in_probe = |s: StoryId| {
+                let off = s.raw().wrapping_sub(id_base) as usize;
+                stamp.get(off).is_some_and(|&st| st == *probe)
+            };
+            for slot in &mut slots[..*live] {
+                if let Some((idx, entry)) = self.cache.get_mut_indexed(slot.story) {
+                    let is_prefix = entry.members.len() <= slot.cand_idx.len()
+                        && entry
+                            .members
+                            .iter()
+                            .zip(&slot.cand_idx)
+                            .all(|(&m, &ci)| m == candidates[ci as usize].id);
+                    if is_prefix {
+                        // Exact hit or trailing-edge growth: fold only
+                        // the members beyond the cached list.
+                        for &ci in &slot.cand_idx[entry.members.len()..] {
+                            let c = candidates[ci as usize];
+                            entry.entities.merge_add(c.entities());
+                            entry.terms.merge_add(c.terms());
+                            entry.members.push(c.id);
+                        }
+                        entry.uses += 1;
+                        cache_hits += 1;
+                    } else {
+                        // Window slid or membership changed: refold in
+                        // place, keeping the entry's LFU popularity.
+                        let uses = entry.uses;
+                        entry.reset();
+                        entry.uses = uses + 1;
+                        for &ci in &slot.cand_idx {
+                            let c = candidates[ci as usize];
+                            entry.entities.merge_add(c.entities());
+                            entry.terms.merge_add(c.terms());
+                            entry.members.push(c.id);
+                        }
+                        cache_misses += 1;
+                    }
+                    slot.fold = Fold::Cached(idx);
+                    continue;
+                }
+                if let Some((idx, entry)) = self.cache.admit(slot.story, &in_probe) {
+                    entry.uses = 1;
+                    for &ci in &slot.cand_idx {
+                        let c = candidates[ci as usize];
+                        entry.entities.merge_add(c.entities());
+                        entry.terms.merge_add(c.terms());
+                        entry.members.push(c.id);
+                    }
+                    cache_misses += 1;
+                    slot.fold = Fold::Cached(idx);
+                    continue;
+                }
+                // Cache disabled or full of protected entries: fold into
+                // a pooled local buffer. Bit-identical either way.
+                let li = *live_locals;
+                *live_locals += 1;
+                if li == locals.len() {
+                    locals.push((SparseVec::new(), SparseVec::new()));
+                }
+                let (ents, terms) = &mut locals[li];
+                ents.clear();
+                terms.clear();
+                for &ci in &slot.cand_idx {
+                    let c = candidates[ci as usize];
+                    ents.merge_add(c.entities());
+                    terms.merge_add(c.terms());
+                }
+                cache_misses += 1;
+                slot.fold = Fold::Local(li as u32);
+            }
+        }
+
+        // ---- phase 3: batch-score the probe, rank stories --------------
+        {
+            let ScoreScratch {
+                slots,
+                live,
+                locals,
+                ent_scores,
+                term_scores,
+                ranked,
+                ..
+            } = &mut self.scratch;
+            let cache = &self.cache;
+            kernel::cosine_batch(
+                snippet.entities().as_slice(),
+                snippet.entities().norm(),
+                slots[..*live].iter().map(|slot| {
+                    let v = match slot.fold {
+                        Fold::Local(li) => &locals[li as usize].0,
+                        Fold::Cached(ci) => &cache.by_index(ci).entities,
+                    };
+                    (v.as_slice(), v.norm())
+                }),
+                ent_scores,
+            );
+            kernel::cosine_batch(
+                snippet.terms().as_slice(),
+                snippet.terms().norm(),
+                slots[..*live].iter().map(|slot| {
+                    let v = match slot.fold {
+                        Fold::Local(li) => &locals[li as usize].1,
+                        Fold::Cached(ci) => &cache.by_index(ci).terms,
+                    };
+                    (v.as_slice(), v.norm())
+                }),
+                term_scores,
+            );
+            let w = &self.cfg.weights;
+            ranked.clear();
+            for (si, slot) in slots[..*live].iter().enumerate() {
                 let type_affinity = snippet.content.event_type.affinity(
                     self.stories
-                        .get(&story)
+                        .get(&slot.story)
                         .map(|s| s.dominant_event_type())
                         .unwrap_or(snippet.content.event_type),
                 );
-                let centroid = (w.entity * snippet.entities().cosine(&c.entities)
-                    + w.term * snippet.terms().cosine(&c.terms)
+                let centroid = (w.entity * ent_scores[si]
+                    + w.term * term_scores[si]
                     + w.event * type_affinity)
                     / w.total();
-                (
-                    story,
-                    self.cfg.pair_blend * c.pair + (1.0 - self.cfg.pair_blend) * centroid,
-                )
-            })
-            .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+                ranked.push((
+                    slot.story,
+                    self.cfg.pair_blend * slot.pair + (1.0 - self.cfg.pair_blend) * centroid,
+                ));
+            }
+            // total_cmp keeps this a strict weak order even when a
+            // degenerate weight config produces NaN scores; NaN ranks
+            // first but fails the match threshold, so the decision stays
+            // deterministic instead of depending on sort internals.
+            ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        (compared, cache_hits, cache_misses)
+    }
 
-        let decision = match ranked.first() {
-            Some(&(best_story, best_score)) if best_score >= self.cfg.match_threshold => {
+    /// The decision phase of [`Identifier::assign`]: consume the ranked
+    /// list left in scratch by [`Identifier::score_probe`] and commit
+    /// the assignment (story creation, merges, bookkeeping).
+    fn decide(
+        &mut self,
+        snippet: &Snippet,
+        compared: usize,
+        cache_hits: usize,
+        cache_misses: usize,
+    ) -> IdentifyDecision {
+        // ---- pick the best story, detect merge evidence ---------------
+        let decision = match self.scratch.ranked.first().copied() {
+            Some((best_story, best_score)) if best_score >= self.cfg.match_threshold => {
                 // Merge every other story that also matches strongly.
                 let mut merged = Vec::new();
-                for &(other, score) in ranked.iter().skip(1) {
+                for i in 1..self.scratch.ranked.len() {
+                    let (other, score) = self.scratch.ranked[i];
                     if score >= self.cfg.merge_threshold {
                         if let Some(other_state) = self.stories.remove(&other) {
                             for &m in &other_state.story.members {
-                                self.assignment.insert(m, best_story);
+                                self.record_assignment(m, best_story);
                             }
                             self.stories
                                 .get_mut(&best_story)
                                 .expect("best story exists")
                                 .absorb(&other_state);
+                            self.cache.invalidate(other);
                             merged.push(other);
                         }
                     }
                 }
+                if !merged.is_empty() {
+                    self.cache.invalidate(best_story);
+                }
                 let state = self.stories.get_mut(&best_story).expect("best story exists");
                 state.add_snippet(snippet, &self.family);
-                self.assignment.insert(snippet.id, best_story);
+                self.record_assignment(snippet.id, best_story);
                 IdentifyDecision {
                     story: best_story,
                     created: false,
                     best_score,
                     merged,
                     compared,
+                    cache_hits,
+                    cache_misses,
                 }
             }
             other => {
-                let best_score = other.map_or(0.0, |&(_, s)| s);
+                let best_score = other.map_or(0.0, |(_, s)| s);
                 let id = self.ids.next_id();
                 let mut state = StoryState::new(
                     id,
@@ -258,13 +562,15 @@ impl Identifier {
                 );
                 state.add_snippet(snippet, &self.family);
                 self.stories.insert(id, state);
-                self.assignment.insert(snippet.id, id);
+                self.record_assignment(snippet.id, id);
                 IdentifyDecision {
                     story: id,
                     created: true,
                     best_score,
                     merged: Vec::new(),
                     compared,
+                    cache_hits,
+                    cache_misses,
                 }
             }
         };
@@ -291,7 +597,8 @@ impl Identifier {
     /// Rebuilds the story's aggregates exactly; drops the story when it
     /// becomes empty. Returns the story it was removed from.
     pub fn remove_snippet(&mut self, snippet: &Snippet, store: &EventStore) -> Option<StoryId> {
-        let story_id = self.assignment.remove(&snippet.id)?;
+        let story_id = self.erase_assignment(snippet.id)?;
+        self.cache.invalidate(story_id);
         let state = self.stories.get_mut(&story_id)?;
         state.story.remove_member(snippet.id);
         if state.story.is_empty() {
@@ -318,6 +625,7 @@ impl Identifier {
     /// if it does not exist.
     pub fn force_assign(&mut self, snippet: &Snippet, story: StoryId) {
         debug_assert_eq!(snippet.source, self.source);
+        self.cache.invalidate(story);
         let state = self.stories.entry(story).or_insert_with(|| {
             StoryState::new(
                 story,
@@ -328,7 +636,7 @@ impl Identifier {
             )
         });
         state.add_snippet(snippet, &self.family);
-        self.assignment.insert(snippet.id, story);
+        self.record_assignment(snippet.id, story);
     }
 
     /// Allocate a fresh story id (for refinement moves that need a new
@@ -383,6 +691,7 @@ impl Identifier {
                 continue;
             }
             // Split: largest component keeps the id, others get new ids.
+            self.cache.invalidate(story_id);
             let mut groups = uf.groups();
             groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
             let family = self.family.clone();
@@ -408,7 +717,7 @@ impl Identifier {
                 );
                 for &i in group {
                     state.add_snippet(members[i], &family);
-                    self.assignment.insert(members[i].id, new_id);
+                    self.record_assignment(members[i].id, new_id);
                 }
                 self.stories.insert(new_id, state);
                 fragment_ids.push(new_id);
@@ -633,6 +942,75 @@ mod tests {
         let mut a = a;
         let mut b = b;
         assert_ne!(a.fresh_story_id(), b.fresh_story_id());
+    }
+
+    #[test]
+    fn adversarial_weights_keep_assignment_deterministic() {
+        // Infinite weights drive every blended score to NaN (inf·0 and
+        // inf/inf both appear). The old partial_cmp/unwrap_or(Equal)
+        // comparator was not a strict weak order under mixed NaN, so the
+        // ranking — and thus the partition — depended on sort internals.
+        // With total_cmp the sort is well-defined and NaN fails the
+        // match threshold, so every run yields the same partition.
+        use crate::sim::SimWeights;
+        let run = || {
+            let cfg = IdentifyConfig {
+                mode: MatchMode::Complete,
+                weights: SimWeights {
+                    entity: f64::INFINITY,
+                    term: 1.0,
+                    event: 0.0,
+                },
+                maintenance_every: 0,
+                ..IdentifyConfig::default()
+            };
+            let mut st = store();
+            let mut id = Identifier::new(SourceId::new(0), cfg, SketchConfig::default());
+            let mut out = Vec::new();
+            for i in 0..16u32 {
+                let d = ingest(&mut st, &mut id, snip(i, (i / 3) as i64, &[i % 4], &[i % 3]));
+                out.push((d.story, d.created));
+            }
+            out
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // NaN never satisfies the threshold: every snippet opens a story.
+        assert!(a.iter().all(|&(_, created)| created));
+    }
+
+    #[test]
+    fn hot_cache_hits_on_repeated_probes_of_the_same_story() {
+        let mut st = store();
+        let mut id = ident(MatchMode::Temporal { omega: 5 * DAY });
+        let d0 = ingest(&mut st, &mut id, snip(0, 0, &[1, 2], &[10, 11]));
+        assert_eq!(d0.cache_hits + d0.cache_misses, 0, "no candidate stories yet");
+        let d1 = ingest(&mut st, &mut id, snip(1, 0, &[1, 2], &[10, 11]));
+        assert_eq!((d1.cache_hits, d1.cache_misses), (0, 1), "first fold of the story");
+        let d2 = ingest(&mut st, &mut id, snip(2, 0, &[1, 2], &[10, 11]));
+        assert_eq!(
+            (d2.cache_hits, d2.cache_misses),
+            (1, 0),
+            "cached fold extends at the trailing edge"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_counts_only_misses() {
+        let mut st = store();
+        let cfg = IdentifyConfig {
+            mode: MatchMode::Complete,
+            maintenance_every: 0,
+            hot_cache_capacity: 0,
+            ..IdentifyConfig::default()
+        };
+        let mut id = Identifier::new(SourceId::new(0), cfg, SketchConfig::default());
+        ingest(&mut st, &mut id, snip(0, 0, &[1, 2], &[10, 11]));
+        ingest(&mut st, &mut id, snip(1, 0, &[1, 2], &[10, 11]));
+        let d = ingest(&mut st, &mut id, snip(2, 0, &[1, 2], &[10, 11]));
+        assert_eq!(d.cache_hits, 0);
+        assert_eq!(d.cache_misses, 1, "one candidate story, folded locally");
     }
 
     #[test]

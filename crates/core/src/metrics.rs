@@ -36,6 +36,12 @@ pub struct EngineMetrics {
     /// `storypivot_identify_split_total` — stories split by the
     /// maintenance pass.
     pub identify_split_total: Counter,
+    /// `storypivot_story_cache_hits_total` — hot-story-cache hits
+    /// (candidate stories whose windowed fold was reused or extended).
+    pub story_cache_hits_total: Counter,
+    /// `storypivot_story_cache_misses_total` — hot-story-cache misses
+    /// (candidate stories folded from scratch).
+    pub story_cache_misses_total: Counter,
     /// `storypivot_maintenance_runs_total` — merge/split maintenance
     /// passes executed.
     pub maintenance_runs_total: Counter,
@@ -96,6 +102,14 @@ impl EngineMetrics {
             identify_split_total: registry.counter(
                 "storypivot_identify_split_total",
                 "Stories split into fragments by the maintenance pass.",
+            ),
+            story_cache_hits_total: registry.counter(
+                "storypivot_story_cache_hits_total",
+                "Hot-story-cache hits during identification scoring.",
+            ),
+            story_cache_misses_total: registry.counter(
+                "storypivot_story_cache_misses_total",
+                "Hot-story-cache misses during identification scoring.",
             ),
             maintenance_runs_total: registry.counter(
                 "storypivot_maintenance_runs_total",

@@ -229,6 +229,8 @@ impl StoryPivot {
             self.metrics.identify_assigned_total.inc();
         }
         self.metrics.identify_merge_total.add(decision.merged.len() as u64);
+        self.metrics.story_cache_hits_total.add(decision.cache_hits as u64);
+        self.metrics.story_cache_misses_total.add(decision.cache_misses as u64);
         self.dirty.insert(decision.story);
         for &m in &decision.merged {
             self.dirty.insert(m);

@@ -132,8 +132,7 @@ pub fn query_stories(pivot: &StoryPivot, query: &StoryQuery) -> Vec<QueryHit> {
     }
     hits.sort_by(|a, b| {
         b.relevance
-            .partial_cmp(&a.relevance)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.relevance)
             .then(a.story.cmp(&b.story))
     });
     hits

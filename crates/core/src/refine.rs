@@ -67,13 +67,15 @@ fn cohesion(
     store: &EventStore,
     weights: &SimWeights,
 ) -> f64 {
+    // Bind the probe once; the loop only pays the per-member merge.
+    let scorer = weights.probe(&v.content);
     let mut best = 0.0f64;
     for &m in members {
         if m == v.id {
             continue;
         }
         if let Some(other) = store.get(m) {
-            let s = weights.snippet_sim(v, other);
+            let s = scorer.score(&other.content);
             if s > best {
                 best = s;
             }

@@ -6,7 +6,7 @@
 //! combines three signals — shared entities, shared description terms,
 //! and event-type affinity — with configurable weights.
 
-use storypivot_types::{Error, Result, Snippet, SnippetContent};
+use storypivot_types::{kernel, EntityId, Error, EventType, Result, Snippet, SnippetContent, TermId};
 
 /// Weights of the similarity components. They need not sum to one; the
 /// score is normalized by the weight total.
@@ -49,16 +49,59 @@ impl SimWeights {
 
     /// Similarity of two snippet contents in `[0,1]`.
     pub fn content_sim(&self, a: &SnippetContent, b: &SnippetContent) -> f64 {
-        let e = a.entities.weighted_jaccard(&b.entities);
-        let t = a.terms.cosine(&b.terms);
-        let ev = a.event_type.affinity(b.event_type);
-        (self.entity * e + self.term * t + self.event * ev) / self.total()
+        self.probe(a).score(b)
     }
 
     /// Similarity of two snippets (delegates to the contents).
     #[inline]
     pub fn snippet_sim(&self, a: &Snippet, b: &Snippet) -> f64 {
         self.content_sim(&a.content, &b.content)
+    }
+
+    /// Bind one probe content for repeated scoring against many
+    /// counterparts. The probe-side slices, term norm, and weight total
+    /// are derived once instead of per comparison.
+    pub fn probe<'a>(&self, a: &'a SnippetContent) -> ProbeScorer<'a> {
+        ProbeScorer {
+            entity_w: self.entity,
+            term_w: self.term,
+            event_w: self.event,
+            total: self.total(),
+            entities: a.entities.as_slice(),
+            terms: a.terms.as_slice(),
+            term_norm: a.terms.norm(),
+            event_type: a.event_type,
+        }
+    }
+}
+
+/// One probe snippet's content, pre-bound for scoring against many
+/// candidates ([`SimWeights::probe`]).
+///
+/// `score` evaluates exactly the same expression as
+/// [`SimWeights::content_sim`] — same kernels, same term order — so a
+/// loop over candidates through a `ProbeScorer` is bit-identical to
+/// calling `content_sim` per pair, just without re-deriving the
+/// probe-side state every iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeScorer<'a> {
+    entity_w: f64,
+    term_w: f64,
+    event_w: f64,
+    total: f64,
+    entities: &'a [(EntityId, f32)],
+    terms: &'a [(TermId, f32)],
+    term_norm: f64,
+    event_type: EventType,
+}
+
+impl ProbeScorer<'_> {
+    /// Similarity of the bound probe against `b` in `[0,1]`.
+    pub fn score(&self, b: &SnippetContent) -> f64 {
+        let e = kernel::weighted_jaccard(self.entities, b.entities.as_slice());
+        let t = kernel::cosine(self.terms, self.term_norm, b.terms.as_slice(), b.terms.norm());
+        let ev = self.event_type.affinity(b.event_type);
+        (self.entity_w * e + self.term_w * t + self.event_w * ev) / self.total
     }
 }
 
@@ -128,6 +171,18 @@ mod tests {
         let b = snip(&[2, 3], &[10, 11], EventType::Diplomacy);
         let w = SimWeights::default();
         assert_eq!(w.snippet_sim(&a, &b), w.snippet_sim(&b, &a));
+    }
+
+    #[test]
+    fn probe_scorer_matches_content_sim_bitwise() {
+        let a = snip(&[1, 2, 3], &[10, 11], EventType::Accident);
+        let b = snip(&[2, 9], &[10, 12], EventType::Protest);
+        let w = SimWeights::default();
+        let p = w.probe(&a.content);
+        assert_eq!(
+            p.score(&b.content).to_bits(),
+            w.content_sim(&a.content, &b.content).to_bits()
+        );
     }
 
     #[test]

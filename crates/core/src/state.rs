@@ -9,7 +9,7 @@
 
 use storypivot_sketch::{HashFamily, MinHash, TemporalSignature, TopK};
 use storypivot_types::{
-    EntityId, EventType, Snippet, SourceId, SparseVec, StoryId, TermId, TimeRange,
+    kernel, EntityId, EventType, Snippet, SourceId, SparseVec, StoryId, TermId, TimeRange,
 };
 
 use crate::config::SketchConfig;
@@ -45,6 +45,10 @@ pub struct StoryState {
     pub term_counts: TopK,
     /// Histogram of member event types.
     pub event_types: [u32; EventType::COUNT],
+    /// Cached argmax of `event_types` (ties break by discriminant),
+    /// refreshed on every histogram mutation so the identification
+    /// ranking loop reads a field instead of rescanning.
+    dominant: EventType,
 }
 
 impl StoryState {
@@ -59,6 +63,7 @@ impl StoryState {
             entity_counts: TopK::new(cfg.topk_capacity),
             term_counts: TopK::new(cfg.topk_capacity),
             event_types: [0; EventType::COUNT],
+            dominant: EventType::Other,
         }
     }
 
@@ -108,6 +113,7 @@ impl StoryState {
         }
         self.signature.add(snippet.timestamp, 1.0);
         self.event_types[snippet.content.event_type.code() as usize] += 1;
+        self.refresh_dominant();
     }
 
     /// Remove a snippet from the *subtractable* aggregates. MinHash and
@@ -123,6 +129,7 @@ impl StoryState {
         self.signature.remove(snippet.timestamp, 1.0);
         let ty = snippet.content.event_type.code() as usize;
         self.event_types[ty] = self.event_types[ty].saturating_sub(1);
+        self.refresh_dominant();
         true
     }
 
@@ -160,10 +167,17 @@ impl StoryState {
         for (a, &b) in self.event_types.iter_mut().zip(&other.event_types) {
             *a += b;
         }
+        self.refresh_dominant();
     }
 
     /// The story's dominant event type (ties break by discriminant).
+    #[inline]
     pub fn dominant_event_type(&self) -> EventType {
+        self.dominant
+    }
+
+    /// Recompute the cached dominant event type from the histogram.
+    fn refresh_dominant(&mut self) {
         let mut best = EventType::Other;
         let mut best_count = 0u32;
         for (i, &c) in self.event_types.iter().enumerate() {
@@ -172,7 +186,7 @@ impl StoryState {
                 best = EventType::ALL[i];
             }
         }
-        best
+        self.dominant = best;
     }
 
     /// Centroid-normalized entity vector (weights divided by member
@@ -188,8 +202,13 @@ impl StoryState {
     /// Exact content similarity between two stories: weighted Jaccard of
     /// entity mass plus cosine of term mass, averaged.
     pub fn content_sim_exact(&self, other: &StoryState) -> f64 {
-        let e = self.entities.weighted_jaccard(&other.entities);
-        let t = self.terms.cosine(&other.terms);
+        let e = kernel::weighted_jaccard(self.entities.as_slice(), other.entities.as_slice());
+        let t = kernel::cosine(
+            self.terms.as_slice(),
+            self.terms.norm(),
+            other.terms.as_slice(),
+            other.terms.norm(),
+        );
         0.6 * e + 0.4 * t
     }
 

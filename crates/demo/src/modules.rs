@@ -187,7 +187,7 @@ pub fn snippet_information(pivot: &StoryPivot, id: SnippetId, names: &dyn NameSo
         .join(", ");
     let _ = writeln!(out, "Entities    {entities}");
     let mut terms: Vec<(storypivot_types::TermId, f32)> = sn.terms().iter().collect();
-    terms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    terms.sort_by(|a, b| b.1.total_cmp(&a.1));
     let terms = terms
         .iter()
         .take(6)

@@ -37,9 +37,16 @@ pub struct StoreStats {
 }
 
 /// In-memory event store with temporal, entity, and document indexes.
+///
+/// Snippets live in a slot arena (`arena` + `free`); the id map and the
+/// per-source window indexes both reference arena slots, so the hot
+/// window-range queries resolve snippets by direct indexing instead of
+/// a hash lookup per hit.
 #[derive(Debug, Clone, Default)]
 pub struct EventStore {
-    snippets: HashMap<SnippetId, Snippet>,
+    arena: Vec<Option<Snippet>>,
+    slot_of: HashMap<SnippetId, u32>,
+    free: Vec<u32>,
     sources: BTreeMap<SourceId, Source>,
     windows: HashMap<SourceId, WindowIndex>,
     entity_index: InvertedIndex<EntityId, SnippetId>,
@@ -103,18 +110,26 @@ impl EventStore {
 
     /// Insert a snippet. Fails on duplicate id or unregistered source.
     pub fn insert(&mut self, snippet: Snippet) -> Result<()> {
-        if self.snippets.contains_key(&snippet.id) {
+        if self.slot_of.contains_key(&snippet.id) {
             return Err(Error::Duplicate(format!("snippet {}", snippet.id)));
         }
         let window = self
             .windows
             .get_mut(&snippet.source)
             .ok_or(Error::UnknownSource(snippet.source))?;
-        window.insert(snippet.timestamp, snippet.id);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.arena.push(None);
+                (self.arena.len() - 1) as u32
+            }
+        };
+        window.insert(snippet.timestamp, snippet.id, slot);
         self.entity_index
             .insert_all(snippet.entities().keys(), snippet.id);
         self.doc_index.entry(snippet.doc).or_default().insert(snippet.id);
-        self.snippets.insert(snippet.id, snippet);
+        self.slot_of.insert(snippet.id, slot);
+        self.arena[slot as usize] = Some(snippet);
         Ok(())
     }
 
@@ -122,11 +137,11 @@ impl EventStore {
     pub fn remove(&mut self, id: SnippetId) -> Result<Snippet> {
         // Leave source-window bookkeeping to detach, but verify first so
         // the caller gets a precise error.
-        if !self.snippets.contains_key(&id) {
+        let Some(snippet) = self.get(id) else {
             return Err(Error::UnknownSnippet(id));
-        }
-        let source = self.snippets[&id].source;
-        let timestamp = self.snippets[&id].timestamp;
+        };
+        let source = snippet.source;
+        let timestamp = snippet.timestamp;
         if let Some(w) = self.windows.get_mut(&source) {
             w.remove(timestamp, id);
         }
@@ -136,7 +151,11 @@ impl EventStore {
     /// Remove a snippet from all indexes *except* the source window
     /// (used by `remove_source`, which drops the window wholesale).
     fn detach(&mut self, id: SnippetId) -> Result<Snippet> {
-        let snippet = self.snippets.remove(&id).ok_or(Error::UnknownSnippet(id))?;
+        let slot = self.slot_of.remove(&id).ok_or(Error::UnknownSnippet(id))?;
+        let snippet = self.arena[slot as usize]
+            .take()
+            .expect("id map and arena agree");
+        self.free.push(slot);
         self.entity_index
             .remove_all(snippet.entities().keys(), id);
         if let Some(set) = self.doc_index.get_mut(&snippet.doc) {
@@ -166,32 +185,33 @@ impl EventStore {
 
     /// Look up a snippet.
     pub fn get(&self, id: SnippetId) -> Option<&Snippet> {
-        self.snippets.get(&id)
+        let &slot = self.slot_of.get(&id)?;
+        self.arena[slot as usize].as_ref()
     }
 
     /// Look up a snippet, erroring when absent.
     pub fn get_or_err(&self, id: SnippetId) -> Result<&Snippet> {
-        self.snippets.get(&id).ok_or(Error::UnknownSnippet(id))
+        self.get(id).ok_or(Error::UnknownSnippet(id))
     }
 
     /// Whether the snippet exists.
     pub fn contains(&self, id: SnippetId) -> bool {
-        self.snippets.contains_key(&id)
+        self.slot_of.contains_key(&id)
     }
 
     /// Number of stored snippets.
     pub fn len(&self) -> usize {
-        self.snippets.len()
+        self.slot_of.len()
     }
 
     /// Whether the store holds no snippets.
     pub fn is_empty(&self) -> bool {
-        self.snippets.is_empty()
+        self.slot_of.is_empty()
     }
 
     /// Iterate over all snippets (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = &Snippet> + '_ {
-        self.snippets.values()
+        self.arena.iter().filter_map(Option::as_ref)
     }
 
     // ---- queries ---------------------------------------------------
@@ -206,8 +226,12 @@ impl EventStore {
     pub fn range(&self, source: SourceId, range: TimeRange) -> Vec<&Snippet> {
         match self.windows.get(&source) {
             Some(w) => w
-                .query(range)
-                .map(|(_, id)| &self.snippets[&id])
+                .query_slots(range)
+                .map(|slot| {
+                    self.arena[slot as usize]
+                        .as_ref()
+                        .expect("window entries point at live slots")
+                })
                 .collect(),
             None => Vec::new(),
         }
@@ -255,7 +279,7 @@ impl EventStore {
             .fold(TimeRange::EMPTY, TimeRange::cover);
         StoreStats {
             source_count: self.sources.len(),
-            snippet_count: self.snippets.len(),
+            snippet_count: self.slot_of.len(),
             entity_count: self.entity_index.key_count(),
             document_count: self.doc_index.len(),
             coverage,

@@ -5,10 +5,20 @@
 //! the hot similarity kernels — dot product, Jaccard, weighted Jaccard —
 //! single linear merges with no hashing and no allocation, which matters
 //! because story identification evaluates millions of such comparisons.
+//! The merge loops themselves live in [`crate::kernel`]; this type adds
+//! the cached L2 norm so cosine never pays a full pass per call.
 
 use std::fmt::Debug;
 
+use crate::kernel;
+
 /// A sparse vector of non-negative weights, sorted by key.
+///
+/// The vector caches its Euclidean norm. Invariant: `norm` always equals
+/// `kernel::norm(&entries)` — every mutation recomputes it with that one
+/// pure function (never incrementally), so two vectors with equal entry
+/// lists carry bit-equal norms no matter what sequence of operations
+/// produced them.
 ///
 /// ```
 /// use storypivot_types::sparse::SparseVec;
@@ -16,15 +26,24 @@ use std::fmt::Debug;
 /// assert_eq!(a.len(), 2);                 // duplicate keys are summed
 /// assert_eq!(a.get(&2), Some(4.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SparseVec<K> {
     entries: Vec<(K, f32)>,
+    norm: f64,
+}
+
+/// Equality is over the entry lists; the cached norm is a pure function
+/// of the entries, so it cannot disagree between equal vectors.
+impl<K: PartialEq> PartialEq for SparseVec<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl<K: Copy + Ord + Debug> SparseVec<K> {
     /// The empty vector.
     pub const fn new() -> Self {
-        SparseVec { entries: Vec::new() }
+        SparseVec { entries: Vec::new(), norm: 0.0 }
     }
 
     /// Build from arbitrary pairs; duplicate keys are summed, zero or
@@ -39,12 +58,19 @@ impl<K: Copy + Ord + Debug> SparseVec<K> {
             }
         }
         entries.retain(|&(_, w)| w > 0.0);
-        SparseVec { entries }
+        let norm = kernel::norm(&entries);
+        SparseVec { entries, norm }
     }
 
     /// Build from keys with unit weight each (duplicates sum).
     pub fn from_keys<I: IntoIterator<Item = K>>(keys: I) -> Self {
         Self::from_pairs(keys.into_iter().map(|k| (k, 1.0)).collect())
+    }
+
+    /// Restore the norm invariant after `entries` changed.
+    #[inline]
+    fn renorm(&mut self) {
+        self.norm = kernel::norm(&self.entries);
     }
 
     /// Number of non-zero entries.
@@ -88,6 +114,13 @@ impl<K: Copy + Ord + Debug> SparseVec<K> {
             Ok(i) => self.entries[i].1 += weight,
             Err(i) => self.entries.insert(i, (key, weight)),
         }
+        self.renorm();
+    }
+
+    /// Drop every entry, keeping the allocation (scratch reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.norm = 0.0;
     }
 
     /// Sum of all weights.
@@ -95,41 +128,20 @@ impl<K: Copy + Ord + Debug> SparseVec<K> {
         self.entries.iter().map(|&(_, w)| w as f64).sum()
     }
 
-    /// Euclidean norm.
+    /// Euclidean norm (cached; maintained through every mutation).
+    #[inline]
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| (w as f64) * (w as f64))
-            .sum::<f64>()
-            .sqrt()
+        self.norm
     }
 
     /// Dot product via linear merge of the sorted entry lists.
     pub fn dot(&self, other: &Self) -> f64 {
-        let (mut i, mut j, mut acc) = (0usize, 0usize, 0f64);
-        let (a, b) = (&self.entries, &other.entries);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    acc += a[i].1 as f64 * b[j].1 as f64;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        acc
+        kernel::dot(&self.entries, &other.entries)
     }
 
     /// Cosine similarity in `[0,1]`; 0 when either vector is empty.
     pub fn cosine(&self, other: &Self) -> f64 {
-        let denom = self.norm() * other.norm();
-        if denom == 0.0 {
-            0.0
-        } else {
-            (self.dot(other) / denom).clamp(0.0, 1.0)
-        }
+        kernel::cosine(&self.entries, self.norm, &other.entries, other.norm)
     }
 
     /// Set Jaccard over the key sets, ignoring weights.
@@ -137,91 +149,90 @@ impl<K: Copy + Ord + Debug> SparseVec<K> {
     /// Both empty ⇒ 0 (two contentless snippets carry no evidence of
     /// referring to the same story).
     pub fn jaccard(&self, other: &Self) -> f64 {
-        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
-        let (a, b) = (&self.entries, &other.entries);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    inter += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        let union = a.len() + b.len() - inter;
-        if union == 0 {
-            0.0
-        } else {
-            inter as f64 / union as f64
-        }
+        kernel::jaccard(&self.entries, &other.entries)
     }
 
     /// Weighted Jaccard: `Σ min(a,b) / Σ max(a,b)`.
     pub fn weighted_jaccard(&self, other: &Self) -> f64 {
-        let (mut i, mut j) = (0usize, 0usize);
-        let (mut num, mut den) = (0f64, 0f64);
-        let (a, b) = (&self.entries, &other.entries);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => {
-                    den += a[i].1 as f64;
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    den += b[j].1 as f64;
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    num += a[i].1.min(b[j].1) as f64;
-                    den += a[i].1.max(b[j].1) as f64;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        den += a[i..].iter().map(|&(_, w)| w as f64).sum::<f64>();
-        den += b[j..].iter().map(|&(_, w)| w as f64).sum::<f64>();
-        if den == 0.0 {
-            0.0
-        } else {
-            num / den
-        }
+        kernel::weighted_jaccard(&self.entries, &other.entries)
     }
 
     /// Accumulate `other` into `self` (element-wise addition).
+    ///
+    /// Runs in place: disjoint tails append, key-subset inputs add into
+    /// the existing entries, and the general case merges backwards into
+    /// reserved capacity — no fresh vector is allocated on any path
+    /// (`reserve` grows the existing one only when capacity is short).
     pub fn merge_add(&mut self, other: &Self) {
         if other.is_empty() {
             return;
         }
         if self.is_empty() {
-            self.entries = other.entries.clone();
+            self.entries.clear();
+            self.entries.extend_from_slice(&other.entries);
+            self.norm = other.norm;
             return;
         }
-        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
-        let (mut i, mut j) = (0usize, 0usize);
-        let (a, b) = (&self.entries, &other.entries);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => {
-                    merged.push(a[i]);
+        // Append fast path: all of `other` sorts after `self`.
+        if self.entries.last().expect("non-empty").0 < other.entries[0].0 {
+            self.entries.extend_from_slice(&other.entries);
+            self.renorm();
+            return;
+        }
+        // Subset fast path: every key of `other` already present — add
+        // the weights in place, no entry moves at all.
+        if is_key_subset(&other.entries, &self.entries) {
+            let mut i = 0usize;
+            for &(k, w) in &other.entries {
+                while self.entries[i].0 != k {
                     i += 1;
                 }
+                self.entries[i].1 += w;
+            }
+            self.renorm();
+            return;
+        }
+        // General case: backward in-place merge into the tail of the
+        // (reserved) buffer. Write cursor `w` stays strictly ahead of
+        // read cursor `i` while `j >= 0`, so nothing unread is clobbered.
+        let n = self.entries.len();
+        let m = other.entries.len();
+        self.entries.reserve(m);
+        let pad = self.entries[0];
+        self.entries.resize(n + m, pad);
+        let (mut i, mut j) = (n as isize - 1, m as isize - 1);
+        let mut w = (n + m) as isize - 1;
+        while i >= 0 && j >= 0 {
+            let (ka, wa) = self.entries[i as usize];
+            let (kb, wb) = other.entries[j as usize];
+            self.entries[w as usize] = match ka.cmp(&kb) {
                 std::cmp::Ordering::Greater => {
-                    merged.push(b[j]);
-                    j += 1;
+                    i -= 1;
+                    (ka, wa)
+                }
+                std::cmp::Ordering::Less => {
+                    j -= 1;
+                    (kb, wb)
                 }
                 std::cmp::Ordering::Equal => {
-                    merged.push((a[i].0, a[i].1 + b[j].1));
-                    i += 1;
-                    j += 1;
+                    i -= 1;
+                    j -= 1;
+                    (ka, wa + wb)
                 }
-            }
+            };
+            w -= 1;
         }
-        merged.extend_from_slice(&a[i..]);
-        merged.extend_from_slice(&b[j..]);
-        self.entries = merged;
+        while j >= 0 {
+            self.entries[w as usize] = other.entries[j as usize];
+            j -= 1;
+            w -= 1;
+        }
+        // Entries at [0..=i] are already in place; shared keys left a
+        // gap of (w - i) duplicate slots to close.
+        if w > i {
+            self.entries.drain((i + 1) as usize..=(w as usize));
+        }
+        self.renorm();
     }
 
     /// Subtract `other` from `self`, dropping entries that reach ≤ 0
@@ -233,6 +244,7 @@ impl<K: Copy + Ord + Debug> SparseVec<K> {
             }
         }
         self.entries.retain(|&(_, w)| w > 1e-6);
+        self.renorm();
     }
 
     /// Multiply every weight by `factor` (used for temporal decay).
@@ -241,12 +253,13 @@ impl<K: Copy + Ord + Debug> SparseVec<K> {
             *w *= factor;
         }
         self.entries.retain(|&(_, w)| w > 1e-6);
+        self.renorm();
     }
 
     /// The `k` heaviest entries, by descending weight (ties by key).
     pub fn top_k(&self, k: usize) -> Vec<(K, f32)> {
         let mut v = self.entries.clone();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
     }
@@ -255,6 +268,28 @@ impl<K: Copy + Ord + Debug> SparseVec<K> {
     pub fn as_slice(&self) -> &[(K, f32)] {
         &self.entries
     }
+}
+
+/// Whether every key of `sub` occurs in `sup` (both sorted by key).
+fn is_key_subset<K: Copy + Ord>(sub: &[(K, f32)], sup: &[(K, f32)]) -> bool {
+    if sub.len() > sup.len() {
+        return false;
+    }
+    let mut i = 0usize;
+    'outer: for &(k, _) in sub {
+        while i < sup.len() {
+            match sup[i].0.cmp(&k) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
 }
 
 impl<K: Copy + Ord + Debug> FromIterator<(K, f32)> for SparseVec<K> {
@@ -271,10 +306,17 @@ mod tests {
         SparseVec::from_pairs(pairs.to_vec())
     }
 
+    /// The norm cache must equal a from-scratch recomputation, bit for
+    /// bit, after any operation.
+    fn assert_norm_fresh(v: &SparseVec<u32>) {
+        assert_eq!(v.norm().to_bits(), kernel::norm(v.as_slice()).to_bits());
+    }
+
     #[test]
     fn from_pairs_sorts_and_merges_duplicates() {
         let v = sv(&[(3, 1.0), (1, 2.0), (3, 0.5)]);
         assert_eq!(v.as_slice(), &[(1, 2.0), (3, 1.5)]);
+        assert_norm_fresh(&v);
     }
 
     #[test]
@@ -322,8 +364,73 @@ mod tests {
         let b = sv(&[(2, 5.0), (3, 1.0)]);
         a.merge_add(&b);
         assert_eq!(a.as_slice(), &[(1, 1.0), (2, 5.0), (3, 3.0)]);
+        assert_norm_fresh(&a);
         a.merge_sub(&b);
         assert_eq!(a.as_slice(), &[(1, 1.0), (3, 2.0)]);
+        assert_norm_fresh(&a);
+    }
+
+    #[test]
+    fn merge_add_append_fast_path() {
+        let mut a = sv(&[(1, 1.0), (2, 2.0)]);
+        a.merge_add(&sv(&[(5, 1.0), (9, 4.0)]));
+        assert_eq!(a.as_slice(), &[(1, 1.0), (2, 2.0), (5, 1.0), (9, 4.0)]);
+        assert_norm_fresh(&a);
+    }
+
+    #[test]
+    fn merge_add_subset_fast_path_keeps_entries_in_place() {
+        let mut a = sv(&[(1, 1.0), (2, 2.0), (5, 3.0), (9, 4.0)]);
+        a.merge_add(&sv(&[(2, 1.0), (9, 1.0)]));
+        assert_eq!(a.as_slice(), &[(1, 1.0), (2, 3.0), (5, 3.0), (9, 5.0)]);
+        assert_norm_fresh(&a);
+    }
+
+    #[test]
+    fn merge_add_interleaved_general_case() {
+        // Overlapping and interleaved keys exercise the backward merge
+        // including the duplicate-gap drain.
+        let mut a = sv(&[(2, 1.0), (4, 1.0), (6, 1.0)]);
+        a.merge_add(&sv(&[(1, 0.5), (4, 2.0), (7, 3.0)]));
+        assert_eq!(
+            a.as_slice(),
+            &[(1, 0.5), (2, 1.0), (4, 3.0), (6, 1.0), (7, 3.0)]
+        );
+        assert_norm_fresh(&a);
+    }
+
+    #[test]
+    fn merge_add_into_empty_reuses_capacity() {
+        let mut a = sv(&[(1, 1.0)]);
+        a.clear();
+        let cap = a.as_slice().as_ptr();
+        a.merge_add(&sv(&[(3, 2.0)]));
+        assert_eq!(a.as_slice(), &[(3, 2.0)]);
+        assert_eq!(a.as_slice().as_ptr(), cap, "buffer must be reused");
+        assert_norm_fresh(&a);
+    }
+
+    #[test]
+    fn clear_resets_norm() {
+        let mut a = sv(&[(1, 3.0), (2, 4.0)]);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.norm(), 0.0);
+    }
+
+    #[test]
+    fn norm_survives_every_mutation() {
+        let mut a = sv(&[(1, 2.0), (2, 1.0)]);
+        assert_norm_fresh(&a);
+        a.add(7, 1.5);
+        assert_norm_fresh(&a);
+        a.merge_add(&sv(&[(2, 1.0), (3, 3.0)]));
+        assert_norm_fresh(&a);
+        a.merge_sub(&sv(&[(1, 2.0)]));
+        assert_norm_fresh(&a);
+        a.scale(0.25);
+        assert_norm_fresh(&a);
     }
 
     #[test]
@@ -331,6 +438,7 @@ mod tests {
         let mut a = sv(&[(1, 1.0)]);
         a.merge_sub(&sv(&[(1, 1.0)]));
         assert!(a.is_empty());
+        assert_eq!(a.norm(), 0.0);
     }
 
     #[test]
@@ -358,11 +466,22 @@ mod tests {
         a.add(2, 2.0);
         a.add(5, 1.5);
         assert_eq!(a.as_slice(), &[(2, 2.0), (5, 2.5)]);
+        assert_norm_fresh(&a);
     }
 
     #[test]
     fn from_keys_unit_weights() {
         let a = SparseVec::from_keys(vec![3u32, 1, 3]);
         assert_eq!(a.as_slice(), &[(1, 1.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn equality_ignores_capacity_history() {
+        let mut a = sv(&[(1, 1.0), (2, 2.0)]);
+        a.merge_add(&sv(&[(3, 1.0)]));
+        a.merge_sub(&sv(&[(3, 1.0)]));
+        let b = sv(&[(1, 1.0), (2, 2.0)]);
+        assert_eq!(a, b);
+        assert_eq!(a.norm().to_bits(), b.norm().to_bits());
     }
 }

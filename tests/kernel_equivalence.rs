@@ -1,0 +1,258 @@
+//! Differential property suite for the flat similarity kernels.
+//!
+//! The hot path (`storypivot_types::kernel`) re-implements the sparse
+//! similarity measures as branch-light merges over raw entry slices,
+//! with cosine fed by the cached per-vector norm. These tests pit every
+//! kernel against an independently written naive reference (per-key
+//! lookups over a sorted key union, full-pass norms) across random
+//! vectors — including the shapes that break merge loops: empty,
+//! disjoint, single-entry, and heavily-overlapping — and require
+//! agreement to 1e-12. A second group proves the `merge_add` in-place
+//! fast paths (append, subset, backward merge) leave the entry list and
+//! the cached norm bit-identical to a from-scratch rebuild.
+
+use std::collections::BTreeSet;
+
+use storypivot::substrate::prop;
+use storypivot::substrate::rng::{RngExt, StdRng};
+use storypivot::types::kernel;
+use storypivot::types::sparse::SparseVec;
+
+// ---- naive references -------------------------------------------------
+//
+// Deliberately structured differently from the kernels: iterate the
+// sorted union of keys and look each key up on both sides.
+
+fn get(v: &[(u32, f32)], key: u32) -> Option<f32> {
+    v.iter().find(|&&(k, _)| k == key).map(|&(_, w)| w)
+}
+
+fn key_union(a: &[(u32, f32)], b: &[(u32, f32)]) -> BTreeSet<u32> {
+    a.iter().map(|&(k, _)| k).chain(b.iter().map(|&(k, _)| k)).collect()
+}
+
+fn naive_dot(a: &[(u32, f32)], b: &[(u32, f32)]) -> f64 {
+    key_union(a, b)
+        .into_iter()
+        .filter_map(|k| Some(get(a, k)? as f64 * get(b, k)? as f64))
+        .sum()
+}
+
+fn naive_norm(a: &[(u32, f32)]) -> f64 {
+    a.iter().map(|&(_, w)| (w as f64).powi(2)).sum::<f64>().sqrt()
+}
+
+fn naive_cosine(a: &[(u32, f32)], b: &[(u32, f32)]) -> f64 {
+    let denom = naive_norm(a) * naive_norm(b);
+    if denom == 0.0 {
+        0.0
+    } else {
+        (naive_dot(a, b) / denom).clamp(0.0, 1.0)
+    }
+}
+
+fn naive_jaccard(a: &[(u32, f32)], b: &[(u32, f32)]) -> f64 {
+    let ka: BTreeSet<u32> = a.iter().map(|&(k, _)| k).collect();
+    let kb: BTreeSet<u32> = b.iter().map(|&(k, _)| k).collect();
+    let inter = ka.intersection(&kb).count();
+    let union = ka.union(&kb).count();
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+fn naive_weighted_jaccard(a: &[(u32, f32)], b: &[(u32, f32)]) -> f64 {
+    let (mut num, mut den) = (0f64, 0f64);
+    for k in key_union(a, b) {
+        let wa = get(a, k).unwrap_or(0.0) as f64;
+        let wb = get(b, k).unwrap_or(0.0) as f64;
+        num += wa.min(wb);
+        den += wa.max(wb);
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+// ---- generators -------------------------------------------------------
+
+fn arb_vec(rng: &mut StdRng, max_len: usize, key_space: u32) -> SparseVec<u32> {
+    let pairs = prop::vec_with(rng, 0, max_len, |r| {
+        (r.random_range(0..key_space), r.random_range(0.01f32..10.0))
+    });
+    SparseVec::from_pairs(pairs)
+}
+
+/// The shapes the suite must cover, cycled per case: generic sparse,
+/// heavily-overlapping (tiny key space), disjoint (even vs. odd keys),
+/// single-entry, and empty-on-one-side.
+fn arb_pair(rng: &mut StdRng, case: u32) -> (SparseVec<u32>, SparseVec<u32>) {
+    match case % 5 {
+        0 => (arb_vec(rng, 40, 10_000), arb_vec(rng, 40, 10_000)),
+        1 => (arb_vec(rng, 40, 12), arb_vec(rng, 40, 12)),
+        2 => {
+            let a = prop::vec_with(rng, 1, 30, |r| {
+                (2 * r.random_range(0..500u32), r.random_range(0.01f32..10.0))
+            });
+            let b = prop::vec_with(rng, 1, 30, |r| {
+                (2 * r.random_range(0..500u32) + 1, r.random_range(0.01f32..10.0))
+            });
+            (SparseVec::from_pairs(a), SparseVec::from_pairs(b))
+        }
+        3 => (arb_vec(rng, 1, 4), arb_vec(rng, 1, 4)),
+        _ => {
+            let v = arb_vec(rng, 40, 100);
+            if case.is_multiple_of(2) {
+                (SparseVec::new(), v)
+            } else {
+                (v, SparseVec::new())
+            }
+        }
+    }
+}
+
+// ---- kernel vs. reference ---------------------------------------------
+
+#[test]
+fn kernels_agree_with_naive_references() {
+    let mut case = 0u32;
+    prop::run(1000, |rng| {
+        let (a, b) = arb_pair(rng, case);
+        case += 1;
+        let (sa, sb) = (a.as_slice(), b.as_slice());
+
+        let d = kernel::dot(sa, sb);
+        assert!((d - naive_dot(sa, sb)).abs() < 1e-12, "dot {sa:?} {sb:?}");
+
+        let n = kernel::norm(sa);
+        assert!((n - naive_norm(sa)).abs() < 1e-12, "norm {sa:?}");
+
+        let c = kernel::cosine(sa, a.norm(), sb, b.norm());
+        assert!((c - naive_cosine(sa, sb)).abs() < 1e-12, "cosine {sa:?} {sb:?}");
+
+        let j = kernel::jaccard(sa, sb);
+        assert!((j - naive_jaccard(sa, sb)).abs() < 1e-12, "jaccard {sa:?} {sb:?}");
+
+        let wj = kernel::weighted_jaccard(sa, sb);
+        assert!(
+            (wj - naive_weighted_jaccard(sa, sb)).abs() < 1e-12,
+            "weighted_jaccard {sa:?} {sb:?}"
+        );
+    });
+}
+
+#[test]
+fn sparse_vec_methods_delegate_to_kernels() {
+    let mut case = 0u32;
+    prop::run(300, |rng| {
+        let (a, b) = arb_pair(rng, case);
+        case += 1;
+        assert_eq!(a.dot(&b).to_bits(), kernel::dot(a.as_slice(), b.as_slice()).to_bits());
+        assert_eq!(
+            a.cosine(&b).to_bits(),
+            kernel::cosine(a.as_slice(), a.norm(), b.as_slice(), b.norm()).to_bits()
+        );
+        assert_eq!(
+            a.jaccard(&b).to_bits(),
+            kernel::jaccard(a.as_slice(), b.as_slice()).to_bits()
+        );
+        assert_eq!(
+            a.weighted_jaccard(&b).to_bits(),
+            kernel::weighted_jaccard(a.as_slice(), b.as_slice()).to_bits()
+        );
+    });
+}
+
+#[test]
+fn cosine_batch_matches_pairwise_cosine() {
+    prop::run(200, |rng| {
+        let probe = arb_vec(rng, 30, 50);
+        let n = rng.random_range(0..8usize);
+        let cands: Vec<SparseVec<u32>> = (0..n).map(|_| arb_vec(rng, 30, 50)).collect();
+        let mut out = Vec::new();
+        kernel::cosine_batch(
+            probe.as_slice(),
+            probe.norm(),
+            cands.iter().map(|c| (c.as_slice(), c.norm())),
+            &mut out,
+        );
+        assert_eq!(out.len(), cands.len());
+        for (score, c) in out.iter().zip(&cands) {
+            assert_eq!(score.to_bits(), probe.cosine(c).to_bits());
+        }
+    });
+}
+
+// ---- merge_add fast paths vs. from-scratch rebuild ---------------------
+
+/// Rebuild `a + b` from raw pairs and demand bit-identical entries *and*
+/// bit-identical cached norm, whatever fast path `merge_add` picked.
+fn assert_merge_matches_rebuild(a: &SparseVec<u32>, b: &SparseVec<u32>) {
+    let mut merged = a.clone();
+    merged.merge_add(b);
+    let mut all: Vec<(u32, f32)> = a.as_slice().to_vec();
+    all.extend_from_slice(b.as_slice());
+    let rebuilt = SparseVec::from_pairs(all);
+    assert_eq!(merged.as_slice(), rebuilt.as_slice(), "a={a:?} b={b:?}");
+    assert_eq!(
+        merged.norm().to_bits(),
+        rebuilt.norm().to_bits(),
+        "cached norm drifted: a={a:?} b={b:?}"
+    );
+}
+
+#[test]
+fn merge_add_matches_from_scratch_rebuild() {
+    let mut case = 0u32;
+    prop::run(1000, |rng| {
+        let (a, b) = arb_pair(rng, case);
+        case += 1;
+        assert_merge_matches_rebuild(&a, &b);
+    });
+}
+
+#[test]
+fn merge_add_subset_path_matches_rebuild() {
+    prop::run(300, |rng| {
+        let a = arb_vec(rng, 30, 60);
+        if a.is_empty() {
+            return;
+        }
+        // b's keys are a subset of a's keys.
+        let keys: Vec<u32> = a.keys().collect();
+        let b_pairs = prop::vec_with(rng, 1, keys.len(), |r| {
+            (keys[r.random_range(0..keys.len())], r.random_range(0.01f32..10.0))
+        });
+        assert_merge_matches_rebuild(&a, &SparseVec::from_pairs(b_pairs));
+    });
+}
+
+#[test]
+fn merge_add_append_path_matches_rebuild() {
+    prop::run(300, |rng| {
+        let a = arb_vec(rng, 30, 100);
+        // b's keys all sort after a's keys.
+        let b_pairs = prop::vec_with(rng, 1, 30, |r| {
+            (100 + r.random_range(0..100u32), r.random_range(0.01f32..10.0))
+        });
+        assert_merge_matches_rebuild(&a, &SparseVec::from_pairs(b_pairs));
+    });
+}
+
+#[test]
+fn merge_add_chain_keeps_norm_fresh() {
+    // A long accumulation chain (the story-centroid usage pattern) must
+    // keep the cached norm equal to a recomputation at every step.
+    prop::run(100, |rng| {
+        let mut acc: SparseVec<u32> = SparseVec::new();
+        for _ in 0..12 {
+            let v = arb_vec(rng, 10, 40);
+            acc.merge_add(&v);
+            assert_eq!(acc.norm().to_bits(), kernel::norm(acc.as_slice()).to_bits());
+        }
+    });
+}

@@ -107,7 +107,7 @@ fn window_query_equals_naive_filter() {
         let mut idx = WindowIndex::new();
         let mut naive: Vec<(i64, u32)> = Vec::new();
         for (t, id) in entries {
-            idx.insert(Timestamp::from_secs(t), SnippetId::new(id));
+            idx.insert(Timestamp::from_secs(t), SnippetId::new(id), 0);
             if !naive.contains(&(t, id)) {
                 naive.push((t, id));
             }
